@@ -1,0 +1,1 @@
+bin/cqa_cli.ml: Arg Array Cmd Cmdliner Core Cqa Format Fun List Manpage Qlang Random Relational Satsolver String Term Workload

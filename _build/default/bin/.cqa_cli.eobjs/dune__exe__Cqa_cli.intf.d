@@ -1,0 +1,1 @@
+bin/cqa_cli.mli:

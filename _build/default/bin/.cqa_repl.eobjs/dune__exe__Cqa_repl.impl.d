@@ -1,0 +1,1 @@
+bin/cqa_repl.ml: Core In_channel String

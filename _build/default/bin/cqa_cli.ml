@@ -1,0 +1,393 @@
+(* Command-line front-end for the dichotomy classifier and the certain-answer
+   solvers.
+
+   cqa classify "R(x u | x y) R(u y | x z)"
+   cqa certain  "R(x | y) R(y | z)" db.facts
+   cqa tripath  "R(x | y z) R(z | x y)" --kind triangle
+   cqa catalog
+   cqa gadget   "R(x u | x y) R(u y | x z)" --vars 4 --clauses 6 *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let query_conv =
+  let parse s =
+    match Qlang.Parse.query s with
+    | Ok q -> Ok q
+    | Error msg -> Error (`Msg ("bad query: " ^ msg))
+  in
+  Arg.conv (parse, Qlang.Query.pp)
+
+let query_arg =
+  Arg.(
+    required
+    & pos 0 (some query_conv) None
+    & info [] ~docv:"QUERY" ~doc:"Two-atom self-join query, e.g. \"R(x u | x y) R(u y | x z)\".")
+
+let merges_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "merges" ] ~docv:"N" ~doc:"Centre-variable identification budget of the tripath search.")
+
+let opts_of_merges merges =
+  { Core.Tripath_search.default_options with Core.Tripath_search.max_merges = merges }
+
+(* ------------------------------------------------------------------ *)
+(* classify *)
+
+let classify_run query merges verbose =
+  let report = Core.Dichotomy.classify ~opts:(opts_of_merges merges) query in
+  if verbose then Format.printf "%a@." Core.Dichotomy.explain report
+  else Format.printf "%a@." Core.Dichotomy.pp_report report;
+  0
+
+let classify_cmd =
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the full decision trace and witness tripath.")
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Classify a query under the CQA dichotomy.")
+    Term.(const classify_run $ query_arg $ merges_arg $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* certain *)
+
+let certain_run query db_path k exact_flag =
+  match Qlang.Parse.database (read_file db_path) with
+  | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | Ok db ->
+      let exact = if exact_flag then `Sat else `Backtracking in
+      let answer, algorithm = Core.Solver.certain_query ~k ~exact query db in
+      Format.printf "CERTAIN: %b (via %a)@." answer Core.Solver.pp_algorithm algorithm;
+      if answer then 0 else 1
+
+let certain_cmd =
+  let db_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"DB" ~doc:"Database file: one fact per line, e.g. \"R(1 | 2)\".")
+  in
+  let k_arg =
+    Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc:"Fixpoint parameter of Cert_k.")
+  in
+  let sat_arg =
+    Arg.(value & flag & info [ "sat" ] ~doc:"Use the SAT solver for coNP-hard queries.")
+  in
+  Cmd.v
+    (Cmd.info "certain"
+       ~doc:"Decide whether the query is certain for a database (exit status 1 when not)."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Classifies the query first, then runs the algorithm the \
+              dichotomy designates: a per-block test for trivial queries, \
+              Cert_2 / Cert_k / the matching combination for PTIME queries, \
+              and an exact exponential solver for coNP-complete ones.";
+         ])
+    Term.(const certain_run $ query_arg $ db_arg $ k_arg $ sat_arg)
+
+(* ------------------------------------------------------------------ *)
+(* tripath *)
+
+let tripath_run query merges kind =
+  let opts = opts_of_merges merges in
+  let result =
+    match kind with
+    | Some "fork" -> Core.Tripath_search.find_fork ~opts query
+    | Some "triangle" -> Core.Tripath_search.find_triangle ~opts query
+    | Some other ->
+        Format.eprintf "error: unknown kind %s (use fork or triangle)@." other;
+        exit 2
+    | None -> Core.Tripath_search.find_any ~opts query
+  in
+  match result with
+  | Core.Tripath_search.Found (tp, k) ->
+      Format.printf "found a %a-tripath with %d blocks:@.%a@." Core.Tripath.pp_kind k
+        (Core.Tripath.n_blocks tp) Core.Tripath.pp tp;
+      0
+  | Core.Tripath_search.Not_found ->
+      Format.printf "no tripath within the search bounds@.";
+      1
+
+let tripath_cmd =
+  let kind_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kind" ] ~docv:"KIND" ~doc:"Restrict to 'fork' or 'triangle' tripaths.")
+  in
+  Cmd.v
+    (Cmd.info "tripath" ~doc:"Search for a tripath witness of a query.")
+    Term.(const tripath_run $ query_arg $ merges_arg $ kind_arg)
+
+(* ------------------------------------------------------------------ *)
+(* catalog *)
+
+let catalog_run merges =
+  Format.printf "%-18s %-40s %s@." "name" "query" "verdict";
+  List.iter
+    (fun (e : Workload.Catalog.entry) ->
+      let r = Core.Dichotomy.classify ~opts:(opts_of_merges merges) e.Workload.Catalog.query in
+      Format.printf "%-18s %-40s %s@." e.Workload.Catalog.name
+        (Qlang.Query.to_string e.Workload.Catalog.query)
+        (Core.Dichotomy.verdict_summary r.Core.Dichotomy.verdict))
+    Workload.Catalog.all;
+  0
+
+let catalog_cmd =
+  Cmd.v
+    (Cmd.info "catalog" ~doc:"Classify the built-in query catalogue (the paper's q1..q7 and more).")
+    Term.(const catalog_run $ merges_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gadget *)
+
+let gadget_run query n_vars n_clauses seed =
+  match Core.Gadget.create query with
+  | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | Ok g ->
+      let rng = Random.State.make [| seed |] in
+      let rec try_formula attempts =
+        if attempts = 0 then begin
+          Format.eprintf "error: random formulas kept simplifying away@.";
+          1
+        end
+        else
+          match
+            Workload.Randdb.hard_instance rng g ~n_vars ~n_clauses
+          with
+          | None -> try_formula (attempts - 1)
+          | Some (phi, db) ->
+              Format.printf "formula: %a@." Satsolver.Cnf.pp phi;
+              Format.printf "database: %d facts in %d blocks@."
+                (Relational.Database.size db)
+                (List.length (Relational.Database.blocks db));
+              let sat = Satsolver.Dpll.is_sat phi in
+              let certain = Cqa.Exact.certain_query query db in
+              Format.printf "satisfiable: %b, certain: %b (Lemma 13: certain = unsat: %b)@."
+                sat certain (certain = not sat);
+              if certain = not sat then 0 else 1
+      in
+      try_formula 20
+
+let gadget_cmd =
+  let vars_arg =
+    Arg.(value & opt int 4 & info [ "vars" ] ~docv:"N" ~doc:"Number of 3-SAT variables.")
+  in
+  let clauses_arg =
+    Arg.(value & opt int 6 & info [ "clauses" ] ~docv:"M" ~doc:"Number of 3-SAT clauses.")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "gadget"
+       ~doc:"Build the Theorem 12 hardness gadget for a fork-tripath query and check Lemma 13.")
+    Term.(const gadget_run $ query_arg $ vars_arg $ clauses_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* answers *)
+
+let answers_run query db_path free_spec =
+  match Qlang.Parse.database (read_file db_path) with
+  | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | Ok db -> (
+      let free =
+        String.split_on_char ',' free_spec
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+      in
+      try
+        let results = Core.Answers.evaluate ~free query db in
+        Format.printf "%-30s %s@." "tuple" "certain";
+        List.iter
+          (fun (a : Core.Answers.t) ->
+            Format.printf "%-30s %b@."
+              (String.concat ", " (List.map Relational.Value.to_string a.Core.Answers.tuple))
+              a.Core.Answers.certain)
+          results;
+        let certain = List.filter (fun (a : Core.Answers.t) -> a.Core.Answers.certain) results in
+        Format.printf "@.%d certain / %d possible answers@." (List.length certain)
+          (List.length results);
+        0
+      with Invalid_argument msg ->
+        Format.eprintf "error: %s@." msg;
+        2)
+
+let answers_cmd =
+  let db_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"DB" ~doc:"Database file.")
+  in
+  let free_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "free" ] ~docv:"VARS" ~doc:"Comma-separated free variables, e.g. \"x,z\".")
+  in
+  Cmd.v
+    (Cmd.info "answers"
+       ~doc:"Compute the certain and possible answer tuples of a non-Boolean query.")
+    Term.(const answers_run $ query_arg $ db_arg $ free_arg)
+
+(* ------------------------------------------------------------------ *)
+(* explain *)
+
+let explain_run query db_path k =
+  match Qlang.Parse.database (read_file db_path) with
+  | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | Ok db -> (
+      let g = Qlang.Solution_graph.of_query query db in
+      match Cqa.Certk.certificate ~k g with
+      | Some cert ->
+          Format.printf "Cert_%d proves the query certain; derivation of {}:@.%a@." k
+            (Cqa.Certk.pp_certificate g) cert;
+          0
+      | None -> (
+          match Cqa.Exact.falsifying_repair g with
+          | Some picks ->
+              Format.printf "not certain; a falsifying repair:@.";
+              List.iter
+                (fun v ->
+                  Format.printf "  %a@." Relational.Fact.pp
+                    g.Qlang.Solution_graph.facts.(v))
+                picks;
+              1
+          | None ->
+              Format.printf
+                "certain, but Cert_%d finds no derivation (raise -k, or the query \
+                 needs the matching algorithm)@."
+                k;
+              0))
+
+let explain_cmd =
+  let db_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"DB" ~doc:"Database file.")
+  in
+  let k_arg = Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc:"Cert_k parameter.") in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Explain certainty: print a Cert_k derivation certificate or a falsifying repair.")
+    Term.(const explain_run $ query_arg $ db_arg $ k_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dot *)
+
+let dot_run query db_path directed =
+  match Qlang.Parse.database (read_file db_path) with
+  | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | Ok db ->
+      let g = Qlang.Solution_graph.of_query query db in
+      print_string (Qlang.Dot.solution_graph ~directed g);
+      0
+
+let dot_cmd =
+  let db_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"DB" ~doc:"Database file.")
+  in
+  let directed_arg =
+    Arg.(value & flag & info [ "directed" ] ~doc:"Draw directed solutions q(a b).")
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:"Print the solution graph G(D,q) in Graphviz DOT format (pipe into dot -Tsvg).")
+    Term.(const dot_run $ query_arg $ db_arg $ directed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* atlas *)
+
+let atlas_run arity key_len verbose =
+  let queries = Core.Atlas.enumerate ~arity ~key_len in
+  Format.printf "signature [%d, %d]: %d canonical queries@." arity key_len
+    (List.length queries);
+  let entries = Core.Atlas.classify_all queries in
+  Format.printf "%a@." Core.Atlas.pp_summary (Core.Atlas.summarize entries);
+  if verbose then
+    List.iter
+      (fun (e : Core.Atlas.entry) ->
+        Format.printf "%-40s %s@."
+          (Qlang.Query.to_string e.Core.Atlas.query)
+          (Core.Dichotomy.verdict_summary e.Core.Atlas.report.Core.Dichotomy.verdict))
+      entries;
+  0
+
+let atlas_cmd =
+  let arity_arg =
+    Arg.(value & pos 0 int 3 & info [] ~docv:"ARITY" ~doc:"Relation arity (default 3).")
+  in
+  let key_arg =
+    Arg.(value & pos 1 int 1 & info [] ~docv:"KEYLEN" ~doc:"Key length (default 1).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"List every query with its verdict.")
+  in
+  Cmd.v
+    (Cmd.info "atlas"
+       ~doc:"Classify every two-atom query of a signature (the dichotomy landscape).")
+    Term.(const atlas_run $ arity_arg $ key_arg $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* estimate *)
+
+let estimate_run query db_path trials seed =
+  match Qlang.Parse.database (read_file db_path) with
+  | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | Ok db ->
+      let rng = Random.State.make [| seed |] in
+      let e = Cqa.Montecarlo.estimate rng ~trials query db in
+      Format.printf "sampled %d repairs: %d satisfied the query (frequency %.3f)@."
+        e.Cqa.Montecarlo.trials e.Cqa.Montecarlo.satisfying e.Cqa.Montecarlo.frequency;
+      (match e.Cqa.Montecarlo.counterexample with
+      | Some r ->
+          Format.printf "a sampled falsifying repair (disproves certainty):@.";
+          List.iter (fun f -> Format.printf "  %a@." Relational.Fact.pp f) r
+      | None -> Format.printf "no falsifying repair sampled (suggests certainty)@.");
+      0
+
+let estimate_cmd =
+  let db_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"DB" ~doc:"Database file.")
+  in
+  let trials_arg =
+    Arg.(value & opt int 1000 & info [ "trials" ] ~docv:"N" ~doc:"Number of sampled repairs.")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.") in
+  Cmd.v
+    (Cmd.info "estimate"
+       ~doc:"Monte-Carlo estimate of the fraction of repairs satisfying the query.")
+    Term.(const estimate_run $ query_arg $ db_arg $ trials_arg $ seed_arg)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "cqa" ~version:"1.0.0"
+       ~doc:"Consistent query answering for two-atom self-join queries under primary keys.")
+    [
+      classify_cmd;
+      certain_cmd;
+      answers_cmd;
+      explain_cmd;
+      tripath_cmd;
+      catalog_cmd;
+      gadget_cmd;
+      dot_cmd;
+      atlas_cmd;
+      estimate_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

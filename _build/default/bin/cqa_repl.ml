@@ -1,0 +1,27 @@
+(* Interactive shell for consistent query answering.
+
+   dune exec bin/cqa_repl.exe
+
+   > query R(x | y) R(y | z)
+   > add R(1 2)
+   > add R(1 9)
+   > add R(2 3)
+   > certain
+   > explain *)
+
+let () =
+  print_endline "cqa repl — consistent query answering under primary keys";
+  print_endline "type 'help' for commands, 'quit' to leave";
+  let rec loop state =
+    print_string "> ";
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line -> (
+        match String.lowercase_ascii (String.trim line) with
+        | "quit" | "exit" -> ()
+        | _ ->
+            let state, output = Core.Shell.exec state line in
+            if output <> "" then print_endline output;
+            loop state)
+  in
+  loop Core.Shell.initial

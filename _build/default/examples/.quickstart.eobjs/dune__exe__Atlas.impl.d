@@ -1,0 +1,1 @@
+examples/atlas.ml: Array Core Format List Qlang Sys

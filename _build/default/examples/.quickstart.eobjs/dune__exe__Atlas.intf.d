@@ -1,0 +1,1 @@
+examples/atlas.mli:

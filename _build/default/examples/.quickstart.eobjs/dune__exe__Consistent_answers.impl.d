@@ -1,0 +1,1 @@
+examples/consistent_answers.ml: Core Format List Qlang Relational String

@@ -1,0 +1,1 @@
+examples/consistent_answers.mli:

@@ -1,0 +1,1 @@
+examples/csv_audit.ml: Core Cqa Format In_channel List Qlang Random Relational Sys

@@ -1,0 +1,1 @@
+examples/csv_audit.mli:

@@ -1,0 +1,1 @@
+examples/data_integration.ml: Array Core Cqa Format List Qlang Relational

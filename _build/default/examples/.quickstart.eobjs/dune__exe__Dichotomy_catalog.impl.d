@@ -1,0 +1,1 @@
+examples/dichotomy_catalog.ml: Core Cqa Format List Qlang Random String Workload

@@ -1,0 +1,1 @@
+examples/dichotomy_catalog.mli:

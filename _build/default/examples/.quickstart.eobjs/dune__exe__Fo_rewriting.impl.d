@@ -1,0 +1,1 @@
+examples/fo_rewriting.ml: Cqa Folog Format Qlang Workload

@@ -1,0 +1,1 @@
+examples/fo_rewriting.mli:

@@ -1,0 +1,1 @@
+examples/sat_reduction.ml: Core Cqa Format List Qlang Random Relational Satsolver Workload

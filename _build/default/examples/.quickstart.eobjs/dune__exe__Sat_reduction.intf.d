@@ -1,0 +1,1 @@
+examples/sat_reduction.mli:

@@ -1,0 +1,1 @@
+examples/visualize.ml: Core Cqa Filename Format Fun Qlang Sys Workload

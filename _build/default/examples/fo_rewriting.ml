@@ -1,0 +1,35 @@
+(* Cert_2 as an inflationary first-order fixpoint.
+
+   Section 5 of the paper notes that the greedy fixpoint algorithm's
+   "initial and inductive steps can be expressed in FO". This example prints
+   the actual FO update formulas and runs the resulting model-checking
+   fixpoint side by side with the two other Cert_2 implementations (the
+   optimised antichain version and the literal textbook fixpoint).
+
+   Run with: dune exec examples/fo_rewriting.exe *)
+
+let () =
+  let step0, step1, step2 = Cqa.Certk_fo.formulas () in
+  Format.printf "FO update formulas over the vocabulary {Sol/2, SameBlock/2, Delta0/0, Delta1/1, Delta2/2}:@.@.";
+  Format.printf "  Delta0    <-  %a@." Folog.Formula.pp step0;
+  Format.printf "  Delta1(x) <-  %a@." Folog.Formula.pp step1;
+  Format.printf "  Delta2(x,y) <-  %a@.@." Folog.Formula.pp step2;
+
+  let show name q db =
+    let g = Qlang.Solution_graph.of_query q db in
+    let fo = Cqa.Certk_fo.run g in
+    let antichain = Cqa.Certk.run ~k:2 g in
+    let naive = Cqa.Certk_naive.run ~k:2 g in
+    let exact = Cqa.Exact.certain g in
+    Format.printf "%-24s FO=%b antichain=%b naive=%b  (CERTAIN=%b)@." name fo antichain
+      naive exact
+  in
+  let q3 = Workload.Catalog.q3 in
+  show "path, consistent" q3 (Qlang.Parse.database_exn "R[2,1]\nR(1 2)\nR(2 3)");
+  show "path, conflicting" q3 (Qlang.Parse.database_exn "R[2,1]\nR(1 2)\nR(1 9)\nR(2 3)");
+  show "q6, two orientations" Workload.Catalog.q6 Workload.Designs.two_orientations;
+  show "q6, fano minus line" Workload.Catalog.q6 (Workload.Designs.fano_minus 0);
+  Format.printf
+    "@.All three implementations agree everywhere (property-tested); on the \
+     Fano@.instance Cert_2 answers no although the query is certain — \
+     Theorem 14's point.@."

@@ -1,0 +1,55 @@
+(* Visualising consistency: export solution graphs and repairs as Graphviz
+   DOT files. Writes into ./_viz; render with e.g.
+     dot -Tsvg _viz/mentors.dot -o mentors.svg
+
+   Run with: dune exec examples/visualize.exe *)
+
+let write path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents);
+  Format.printf "wrote %s@." path
+
+let () =
+  let dir = "_viz" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+
+  (* 1. The mentoring database of the data-integration example. *)
+  let q = Qlang.Parse.query_exn "M(x | y) M(y | x)" in
+  let db =
+    Qlang.Parse.database_exn
+      {|M[2,1]
+        M(ada grace)
+        M(ada hedy)
+        M(grace ada)
+        M(linus dennis)
+        M(dennis ken)
+        M(ken linus)|}
+  in
+  let g = Qlang.Solution_graph.of_query q db in
+  write (Filename.concat dir "mentors.dot") (Qlang.Dot.solution_graph ~name:"mentors" g);
+  (match Cqa.Satreduce.falsifying_repair g with
+  | Some repair ->
+      write
+        (Filename.concat dir "mentors_repair.dot")
+        (Qlang.Dot.highlight_repair ~name:"falsifying_repair" g repair)
+  | None -> Format.printf "no falsifying repair to draw@.");
+
+  (* 2. A Theorem 14 instance: the Fano plane minus a line for q6. The
+     solution graph is a disjoint union of rotation 3-cliques; no choice of
+     one fact per block avoids them all. *)
+  let g6 =
+    Qlang.Solution_graph.of_query Workload.Catalog.q6 (Workload.Designs.fano_minus 0)
+  in
+  write (Filename.concat dir "fano_minus.dot") (Qlang.Dot.solution_graph ~name:"fano" g6);
+
+  (* 3. The q2 nice fork-tripath as a database, with directed solutions. *)
+  let tp = Workload.Catalog.q2_nice_fork_tripath in
+  let gtp =
+    Qlang.Solution_graph.of_query Workload.Catalog.q2 (Core.Tripath.database tp)
+  in
+  write
+    (Filename.concat dir "tripath_q2.dot")
+    (Qlang.Dot.solution_graph ~name:"tripath" ~directed:true gtp);
+  Format.printf "render with: dot -Tsvg %s/<file>.dot -o out.svg@." dir

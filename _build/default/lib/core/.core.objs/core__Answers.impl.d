@@ -1,0 +1,1 @@
+lib/core/answers.ml: Array Dichotomy Hashtbl List Printf Qlang Relational Solver String

@@ -1,0 +1,1 @@
+lib/core/answers.mli: Qlang Relational

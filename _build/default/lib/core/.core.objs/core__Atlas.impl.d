@@ -1,0 +1,1 @@
+lib/core/atlas.ml: Dichotomy Format Hashtbl Int List Printf Qlang Relational Tripath_search

@@ -1,0 +1,1 @@
+lib/core/atlas.mli: Dichotomy Format Qlang Tripath_search

@@ -1,0 +1,1 @@
+lib/core/dichotomy.ml: Format Qlang String Syntactic Tripath Tripath_search

@@ -1,0 +1,1 @@
+lib/core/dichotomy.mli: Format Qlang Tripath Tripath_search

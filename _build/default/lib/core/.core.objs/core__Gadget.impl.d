@@ -1,0 +1,1 @@
+lib/core/gadget.ml: Array Cqa Format Hashtbl Int List Option Printf Qlang Relational Satsolver String Tripath Tripath_search

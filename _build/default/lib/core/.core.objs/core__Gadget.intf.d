@@ -1,0 +1,1 @@
+lib/core/gadget.mli: Qlang Relational Satsolver Tripath Tripath_search

@@ -1,0 +1,1 @@
+lib/core/session.ml: Array Cqa Dichotomy Hashtbl Lazy List Option Qlang Relational Solver

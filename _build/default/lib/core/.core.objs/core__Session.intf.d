@@ -1,0 +1,1 @@
+lib/core/session.mli: Cqa Dichotomy Qlang Random Relational Solver Tripath_search

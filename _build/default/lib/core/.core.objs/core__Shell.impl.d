@@ -1,0 +1,1 @@
+lib/core/shell.ml: Answers Cqa Dichotomy Format In_channel List Qlang Random Relational Session Solver String

@@ -1,0 +1,1 @@
+lib/core/shell.mli:

@@ -1,0 +1,1 @@
+lib/core/solver.ml: Array Cqa Dichotomy Format Hashtbl List Option Printf Qlang Relational

@@ -1,0 +1,1 @@
+lib/core/solver.mli: Dichotomy Format Qlang Relational Tripath_search

@@ -1,0 +1,1 @@
+lib/core/syntactic.ml: List Qlang Relational

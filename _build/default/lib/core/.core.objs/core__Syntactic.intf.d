@@ -1,0 +1,1 @@
+lib/core/syntactic.mli: Qlang Relational

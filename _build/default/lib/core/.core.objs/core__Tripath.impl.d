@@ -1,0 +1,1 @@
+lib/core/tripath.ml: Format List Qlang Relational Set String

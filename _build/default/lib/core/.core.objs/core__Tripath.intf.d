@@ -1,0 +1,1 @@
+lib/core/tripath.mli: Format Qlang Relational

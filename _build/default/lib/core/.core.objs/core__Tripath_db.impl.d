@@ -1,0 +1,1 @@
+lib/core/tripath_db.ml: Array Int List Option Qlang Relational Set Tripath

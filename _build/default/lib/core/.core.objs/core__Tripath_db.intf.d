@@ -1,0 +1,1 @@
+lib/core/tripath_db.mli: Qlang Relational Tripath

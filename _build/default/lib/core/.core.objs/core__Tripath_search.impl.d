@@ -1,0 +1,1 @@
+lib/core/tripath_search.ml: Array Hashtbl List Qlang Relational String Tripath

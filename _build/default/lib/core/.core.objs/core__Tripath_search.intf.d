@@ -1,0 +1,1 @@
+lib/core/tripath_search.mli: Qlang Tripath

@@ -1,0 +1,53 @@
+module Query = Qlang.Query
+module Database = Relational.Database
+module Solution_graph = Qlang.Solution_graph
+
+type t = {
+  report : Dichotomy.report;
+  database : Database.t;
+  graph : Solution_graph.t Lazy.t;
+  answer : (int, bool * Solver.algorithm) Hashtbl.t;  (* keyed by k *)
+}
+
+let of_report report database =
+  let q = report.Dichotomy.query in
+  {
+    report;
+    database;
+    graph = lazy (Solution_graph.of_query q database);
+    answer = Hashtbl.create 4;
+  }
+
+let create ?opts q db =
+  (* Fail fast on schema mismatches. *)
+  List.iter
+    (fun f -> ignore (Relational.Fact.key (Database.schema_of db f) f))
+    (Database.facts db);
+  of_report (Dichotomy.classify ?opts q) db
+
+let query s = s.report.Dichotomy.query
+let report s = s.report
+let database s = s.database
+let add_fact s f = of_report s.report (Database.add s.database f)
+let remove_fact s f = of_report s.report (Database.remove s.database f)
+
+let certain ?(k = 3) s =
+  match Hashtbl.find_opt s.answer k with
+  | Some cached -> cached
+  | None ->
+      let result = Solver.certain ~k s.report s.database in
+      Hashtbl.add s.answer k result;
+      result
+
+let estimate s rng ~trials =
+  Cqa.Montecarlo.estimate rng ~trials (query s) s.database
+
+let certificate ?(k = 3) s =
+  let g = Lazy.force s.graph in
+  Option.map (fun c -> (g, c)) (Cqa.Certk.certificate ~k g)
+
+let falsifying_repair s =
+  let g = Lazy.force s.graph in
+  Option.map
+    (List.map (fun v -> g.Solution_graph.facts.(v)))
+    (Cqa.Exact.falsifying_repair g)

@@ -1,0 +1,42 @@
+(** A classify-once, query-many session.
+
+    Classification (in particular the tripath search) is orders of magnitude
+    more expensive than solving one instance, and it depends only on the
+    query. A session classifies up front and then serves certainty checks,
+    estimates and explanations against an evolving database, caching the
+    answer per database state. Sessions are immutable values: updates return
+    new sessions sharing the classification. *)
+
+type t
+
+(** [create ?opts q db] classifies [q] and attaches the initial database.
+    @raise Invalid_argument if facts of [db] do not fit the query schema. *)
+val create :
+  ?opts:Tripath_search.options -> Qlang.Query.t -> Relational.Database.t -> t
+
+val query : t -> Qlang.Query.t
+val report : t -> Dichotomy.report
+val database : t -> Relational.Database.t
+
+(** [add_fact s f] / [remove_fact s f] update the database (classification
+    is reused; the cached answer is invalidated). *)
+val add_fact : t -> Relational.Fact.t -> t
+
+val remove_fact : t -> Relational.Fact.t -> t
+
+(** [certain ?k s] answers CERTAIN with the algorithm the verdict
+    designates, memoized per session state. *)
+val certain : ?k:int -> t -> bool * Solver.algorithm
+
+(** [estimate s rng ~trials] is the Monte-Carlo repair-sampling estimate. *)
+val estimate : t -> Random.State.t -> trials:int -> Cqa.Montecarlo.estimate
+
+(** [certificate ?k s] is the [Cert_k] derivation certificate, when [Cert_k]
+    can prove certainty of the current state (PTIME verdicts only; [None]
+    otherwise or when [Cert_k] answers no). *)
+val certificate :
+  ?k:int -> t -> (Qlang.Solution_graph.t * Cqa.Certk.certificate) option
+
+(** [falsifying_repair s] is a repair falsifying the query, if any (exact
+    search; exponential for hard instances). *)
+val falsifying_repair : t -> Relational.Fact.t list option

@@ -1,0 +1,220 @@
+module Query = Qlang.Query
+module Database = Relational.Database
+module Fact = Relational.Fact
+
+type state = { session : Session.t option; rng : Random.State.t }
+
+let initial = { session = None; rng = Random.State.make [| 0x5EED |] }
+
+let help =
+  String.concat "\n"
+    [
+      "commands:";
+      "  query <two-atom query>   set and classify the query, e.g.  query R(x | y) R(y | z)";
+      "  add <fact>               add a fact, e.g.  add R(1 2)";
+      "  del <fact>               remove a fact";
+      "  load <file>              load a database file (replaces the facts)";
+      "  show                     print query, verdict and database";
+      "  blocks                   print the blocks (key conflicts)";
+      "  certain                  decide CERTAIN with the designated algorithm";
+      "  explain                  print a Cert_k certificate or a falsifying repair";
+      "  answers <x,y,...>        certain/possible answer tuples";
+      "  estimate [trials]        Monte-Carlo repair sampling (default 1000)";
+      "  dot                      solution graph in Graphviz format";
+      "  help                     this text";
+      "  quit                     leave";
+    ]
+
+let need_session state f =
+  match state.session with
+  | None -> (state, "no query set; use:  query <two-atom query>")
+  | Some session -> f session
+
+let fmt = Format.asprintf
+
+let set_query state text =
+  match Qlang.Parse.query text with
+  | Error msg -> (state, "bad query: " ^ msg)
+  | Ok q ->
+      let db = Database.empty [ q.Query.schema ] in
+      let session = Session.create q db in
+      ( { state with session = Some session },
+        fmt "%a@.%s" Query.pp q
+          (Dichotomy.verdict_summary
+             (Session.report session).Dichotomy.verdict) )
+
+let parse_fact_for session text =
+  match Qlang.Parse.fact text with
+  | Error msg -> Error ("bad fact: " ^ msg)
+  | Ok (f, _) -> (
+      let q = Session.query session in
+      let schema = q.Query.schema in
+      if
+        String.equal f.Fact.rel schema.Relational.Schema.name
+        && Fact.arity f = schema.Relational.Schema.arity
+      then Ok f
+      else
+        Error
+          (fmt "fact %a does not fit the query relation %a" Fact.pp f
+             Relational.Schema.pp schema))
+
+let add_fact state text =
+  need_session state (fun session ->
+      match parse_fact_for session text with
+      | Error msg -> (state, msg)
+      | Ok f ->
+          let session = Session.add_fact session f in
+          ( { state with session = Some session },
+            fmt "added; %d facts" (Database.size (Session.database session)) ))
+
+let del_fact state text =
+  need_session state (fun session ->
+      match parse_fact_for session text with
+      | Error msg -> (state, msg)
+      | Ok f ->
+          if not (Database.mem (Session.database session) f) then (state, "no such fact")
+          else
+            let session = Session.remove_fact session f in
+            ( { state with session = Some session },
+              fmt "removed; %d facts" (Database.size (Session.database session)) ))
+
+let load state path =
+  need_session state (fun session ->
+      match
+        try Ok (In_channel.with_open_bin path In_channel.input_all)
+        with Sys_error msg -> Error msg
+      with
+      | Error msg -> (state, "cannot read " ^ path ^ ": " ^ msg)
+      | Ok contents -> (
+          match Qlang.Parse.database contents with
+          | Error msg -> (state, "bad database: " ^ msg)
+          | Ok db ->
+              let q = Session.query session in
+              let expected = q.Query.schema.Relational.Schema.name in
+              let foreign =
+                List.filter
+                  (fun (f : Fact.t) -> not (String.equal f.Fact.rel expected))
+                  (Database.facts db)
+              in
+              if foreign <> [] then
+                (state, fmt "database contains facts of other relations than %s" expected)
+              else
+                let db = Database.of_facts [ q.Query.schema ] (Database.facts db) in
+                let session = Session.create q db in
+                ( { state with session = Some session },
+                  fmt "loaded %d facts in %d blocks" (Database.size db)
+                    (List.length (Database.blocks db)) )))
+
+let show state =
+  need_session state (fun session ->
+      let db = Session.database session in
+      ( state,
+        fmt "%a@.%s@.%d facts, %d blocks, consistent: %b@.%a" Query.pp
+          (Session.query session)
+          (Dichotomy.verdict_summary (Session.report session).Dichotomy.verdict)
+          (Database.size db)
+          (List.length (Database.blocks db))
+          (Database.is_consistent db) Database.pp db ))
+
+let blocks state =
+  need_session state (fun session ->
+      let bs = Database.blocks (Session.database session) in
+      let lines =
+        List.map
+          (fun b ->
+            fmt "%a%s" Relational.Block.pp b
+              (if Relational.Block.size b > 1 then "   <-- conflict" else ""))
+          bs
+      in
+      (state, if lines = [] then "empty database" else String.concat "\n" lines))
+
+let certain state =
+  need_session state (fun session ->
+      let answer, algorithm = Session.certain session in
+      (state, fmt "CERTAIN: %b (via %a)" answer Solver.pp_algorithm algorithm))
+
+let explain state =
+  need_session state (fun session ->
+      match Session.certificate session with
+      | Some (g, cert) ->
+          (state, fmt "certain; Cert_k derivation:@.%a" (Cqa.Certk.pp_certificate g) cert)
+      | None -> (
+          match Session.falsifying_repair session with
+          | Some facts ->
+              ( state,
+                fmt "not certain; a falsifying repair:@.%s"
+                  (String.concat "\n" (List.map Fact.to_string facts)) )
+          | None ->
+              ( state,
+                "certain, but Cert_k finds no derivation (the matching algorithm \
+                 is doing the work)" )))
+
+let answers state spec =
+  need_session state (fun session ->
+      let free =
+        String.split_on_char ',' spec |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+      in
+      try
+        let results =
+          Answers.evaluate ~free (Session.query session) (Session.database session)
+        in
+        if results = [] then (state, "no possible answers")
+        else
+          ( state,
+            String.concat "\n"
+              (List.map
+                 (fun (a : Answers.t) ->
+                   fmt "(%s)  certain: %b"
+                     (String.concat ", "
+                        (List.map Relational.Value.to_string a.Answers.tuple))
+                     a.Answers.certain)
+                 results) )
+      with Invalid_argument msg -> (state, "error: " ^ msg))
+
+let estimate state arg =
+  need_session state (fun session ->
+      let trials =
+        match int_of_string_opt (String.trim arg) with Some n when n > 0 -> n | _ -> 1000
+      in
+      let e = Session.estimate session state.rng ~trials in
+      ( state,
+        fmt "%d/%d sampled repairs satisfy the query (frequency %.3f)%s"
+          e.Cqa.Montecarlo.satisfying e.Cqa.Montecarlo.trials
+          e.Cqa.Montecarlo.frequency
+          (if e.Cqa.Montecarlo.counterexample <> None then
+             "; a falsifying repair was sampled"
+           else "") ))
+
+let dot state =
+  need_session state (fun session ->
+      let g =
+        Qlang.Solution_graph.of_query (Session.query session)
+          (Session.database session)
+      in
+      (state, Qlang.Dot.solution_graph g))
+
+let exec state line =
+  let line = String.trim line in
+  let command, rest =
+    match String.index_opt line ' ' with
+    | None -> (line, "")
+    | Some i ->
+        ( String.sub line 0 i,
+          String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+  in
+  match String.lowercase_ascii command with
+  | "" -> (state, "")
+  | "help" -> (state, help)
+  | "query" -> set_query state rest
+  | "add" -> add_fact state rest
+  | "del" | "remove" -> del_fact state rest
+  | "load" -> load state rest
+  | "show" -> show state
+  | "blocks" -> blocks state
+  | "certain" -> certain state
+  | "explain" -> explain state
+  | "answers" -> answers state rest
+  | "estimate" -> estimate state rest
+  | "dot" -> dot state
+  | other -> (state, fmt "unknown command %s (try: help)" other)

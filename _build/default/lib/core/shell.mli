@@ -1,0 +1,35 @@
+(** A line-oriented command engine for interactive exploration — the engine
+    behind [bin/cqa_repl].
+
+    The engine is a pure-ish state machine ([exec] returns the new state and
+    the output text), so the whole interaction surface is unit-testable
+    without a terminal. Commands:
+
+    {v
+    query <two-atom query>     set and classify the query
+    add <fact>                 add a fact, e.g.  add R(1 | 2)
+    del <fact>                 remove a fact
+    load <file>                load a database file (replaces facts)
+    show                       print query, verdict and database
+    blocks                     print the blocks (conflicts)
+    certain                    decide CERTAIN with the designated algorithm
+    explain                    Cert_k certificate or falsifying repair
+    answers <x,y,...>          certain/possible answer tuples
+    estimate [trials]          Monte-Carlo repair sampling
+    dot                        solution graph in Graphviz format
+    help                       this text
+    v}
+
+    [quit]/[exit] are left to the driving loop. *)
+
+type state
+
+(** A fresh state (no query, empty database). *)
+val initial : state
+
+(** [exec state line] parses and runs one command. Unknown commands and
+    errors are reported in the output, never raised. *)
+val exec : state -> string -> state * string
+
+(** The help text. *)
+val help : string

@@ -1,0 +1,113 @@
+module Query = Qlang.Query
+module Atom = Qlang.Atom
+module Term = Qlang.Term
+module Database = Relational.Database
+
+type algorithm =
+  | Alg_one_atom
+  | Alg_cert2
+  | Alg_certk of int
+  | Alg_combined of int
+  | Alg_exact_backtracking
+  | Alg_exact_sat
+
+let pp_algorithm ppf = function
+  | Alg_one_atom -> Format.pp_print_string ppf "one-atom block test"
+  | Alg_cert2 -> Format.pp_print_string ppf "Cert_2"
+  | Alg_certk k -> Format.fprintf ppf "Cert_%d" k
+  | Alg_combined k -> Format.fprintf ppf "Cert_%d \u{2228} \u{00AC}Matching" k
+  | Alg_exact_backtracking -> Format.pp_print_string ppf "exact (backtracking)"
+  | Alg_exact_sat -> Format.pp_print_string ppf "exact (SAT)"
+
+(* A fact [a] satisfies [∃μ. μ(A) = a = μ(B)] iff its positions respect the
+   equalities forced by ONE assignment matching both atoms: [a_i = μ(A[i])]
+   and [a_i = μ(B[i])], so two positions must be equal whenever they are
+   connected through shared variables of either atom (e.g. in
+   [R(x | y z) ∧ R(x | z y)], positions 1 and 2 are linked through [y] and
+   [z] jointly). Union-find over positions, linking every position to a
+   representative position of each variable it carries in A or in B;
+   constants constrain their class. *)
+let conjunction_atom (q : Query.t) =
+  let arity = Atom.arity q.Query.a in
+  let parent = Array.init arity (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  let var_position = Hashtbl.create 8 in
+  let link_var i t =
+    match t with
+    | Term.Cst _ -> ()
+    | Term.Var v -> (
+        match Hashtbl.find_opt var_position v with
+        | None -> Hashtbl.add var_position v i
+        | Some j -> union i j)
+  in
+  for i = 0 to arity - 1 do
+    link_var i (Atom.nth q.Query.a i);
+    link_var i (Atom.nth q.Query.b i)
+  done;
+  (* Collect the constant constraint of each class. *)
+  let exception Conflict in
+  try
+    let constants = Hashtbl.create 8 in
+    let record i t =
+      match t with
+      | Term.Var _ -> ()
+      | Term.Cst v -> (
+          let r = find i in
+          match Hashtbl.find_opt constants r with
+          | None -> Hashtbl.add constants r v
+          | Some v' -> if not (Relational.Value.equal v v') then raise Conflict)
+    in
+    for i = 0 to arity - 1 do
+      record i (Atom.nth q.Query.a i);
+      record i (Atom.nth q.Query.b i)
+    done;
+    let args =
+      Array.init arity (fun i ->
+          let r = find i in
+          match Hashtbl.find_opt constants r with
+          | Some v -> Term.cst v
+          | None -> Term.var (Printf.sprintf "c%d" r))
+    in
+    Some (Atom.of_array q.Query.a.Atom.rel args)
+  with Conflict -> None
+
+let matches atom fact =
+  Option.is_some (Qlang.Unify.match_fact Qlang.Subst.empty atom fact)
+
+let certain_one_atom atom db =
+  List.exists
+    (fun (block : Relational.Block.t) ->
+      List.for_all (matches atom) block.Relational.Block.facts)
+    (Database.blocks db)
+
+let certain_trivial (q : Query.t) triviality db =
+  match triviality with
+  | Query.Hom_a_to_b -> certain_one_atom q.Query.b db
+  | Query.Hom_b_to_a -> certain_one_atom q.Query.a db
+  | Query.Equal_key_tuples -> (
+      match conjunction_atom q with
+      | None -> false (* no single fact can match both atoms *)
+      | Some c -> certain_one_atom c db)
+
+let certain ?(k = 3) ?(exact = `Backtracking) (report : Dichotomy.report) db =
+  let q = report.Dichotomy.query in
+  match report.Dichotomy.verdict with
+  | Dichotomy.Ptime (Dichotomy.Trivial t) -> (certain_trivial q t db, Alg_one_atom)
+  | Dichotomy.Ptime Dichotomy.Cert2 ->
+      (Cqa.Certk.certain_query ~k:2 q db, Alg_cert2)
+  | Dichotomy.Ptime Dichotomy.Certk_no_tripath ->
+      (Cqa.Certk.certain_query ~k q db, Alg_certk k)
+  | Dichotomy.Ptime (Dichotomy.Combined_triangle _) ->
+      (Cqa.Combined.certain_query ~k q db, Alg_combined k)
+  | Dichotomy.Conp_complete _ -> (
+      let g = Qlang.Solution_graph.of_query q db in
+      match exact with
+      | `Backtracking -> (Cqa.Exact.certain g, Alg_exact_backtracking)
+      | `Sat -> (Cqa.Satreduce.certain g, Alg_exact_sat))
+
+let certain_query ?opts ?k ?exact q db =
+  certain ?k ?exact (Dichotomy.classify ?opts q) db

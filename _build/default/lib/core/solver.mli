@@ -1,0 +1,53 @@
+(** Certain-answer solver front-end: classify the query, then dispatch to the
+    algorithm the dichotomy designates.
+
+    For PTIME queries the designated polynomial algorithm is used ([Cert_2],
+    [Cert_k], or [Cert_k ∨ ¬Matching]); for coNP-complete queries an exact
+    exponential solver is used (backtracking search for a falsifying repair,
+    or the SAT encoding). For queries equivalent to a one-atom query the
+    answer is computed directly: a one-atom query [R(C)] is certain iff some
+    block consists entirely of facts matching [C]. *)
+
+type algorithm =
+  | Alg_one_atom  (** Per-block matching test for trivial queries. *)
+  | Alg_cert2
+  | Alg_certk of int
+  | Alg_combined of int
+  | Alg_exact_backtracking
+  | Alg_exact_sat
+
+val pp_algorithm : Format.formatter -> algorithm -> unit
+
+(** [conjunction_atom q] is the single most general atom [C] equivalent to
+    [q = A ∧ B] over consistent databases when [key-bar(A) = key-bar(B)]:
+    a fact [a] matches [C] iff a {e single} assignment [μ] satisfies
+    [μ(A) = a = μ(B)] (positions connected through the shared variables of
+    the two atoms must hold equal values). [None] when no single fact can
+    match (conflicting constants). *)
+val conjunction_atom : Qlang.Query.t -> Qlang.Atom.t option
+
+(** [certain_one_atom atom db] decides certainty of the one-atom query
+    [∃* atom]: some block has all its facts matching [atom]. *)
+val certain_one_atom : Qlang.Atom.t -> Relational.Database.t -> bool
+
+(** [certain ?k report db] answers CERTAIN for the classified query on [db],
+    returning the algorithm used. [k] bounds the fixpoint parameter of
+    [Cert_k] (default 3; the paper's bound {!Cqa.Certk.paper_k} is
+    astronomically larger but never needed on practical instances — see
+    EXPERIMENTS.md). For coNP-complete queries [exact] selects the
+    exponential solver (default [`Backtracking]). *)
+val certain :
+  ?k:int ->
+  ?exact:[ `Backtracking | `Sat ] ->
+  Dichotomy.report ->
+  Relational.Database.t ->
+  bool * algorithm
+
+(** [certain_query ?opts ?k ?exact q db] classifies then solves. *)
+val certain_query :
+  ?opts:Tripath_search.options ->
+  ?k:int ->
+  ?exact:[ `Backtracking | `Sat ] ->
+  Qlang.Query.t ->
+  Relational.Database.t ->
+  bool * algorithm

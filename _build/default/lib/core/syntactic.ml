@@ -1,0 +1,58 @@
+module Query = Qlang.Query
+module Var_set = Qlang.Term.Var_set
+
+let subset = Var_set.subset
+
+let thm3_condition1 q =
+  let shared = Query.shared_vars q in
+  let ka = Query.key_a q and kb = Query.key_b q in
+  (not (subset shared ka))
+  && (not (subset shared kb))
+  && (not (subset ka kb))
+  && not (subset kb ka)
+
+let thm3_condition2 q =
+  let ka = Query.key_a q and kb = Query.key_b q in
+  (not (subset ka (Query.vars_b q))) || not (subset kb (Query.vars_a q))
+
+let thm3_conp_hard q = thm3_condition1 q && thm3_condition2 q
+
+let thm4_ptime q = not (thm3_condition1 q)
+
+let two_way_determined q = thm3_condition1 q && not (thm3_condition2 q)
+
+let zigzag_holds q db =
+  let facts = Relational.Database.facts db in
+  let sol = Qlang.Solutions.query_solution_pair q in
+  List.for_all
+    (fun a ->
+      List.for_all
+        (fun b ->
+          (not (sol a b))
+          || List.for_all
+               (fun b' ->
+                 (not (Relational.Database.key_equal db b b'))
+                 || List.for_all
+                      (fun c ->
+                        if
+                          Relational.Fact.equal a c || Relational.Fact.equal a b
+                          || not (sol c b')
+                        then true
+                        else sol a b')
+                      facts)
+               facts)
+        facts)
+    facts
+
+let lemma7_holds q db =
+  let pairs = Qlang.Solutions.query_pairs q db in
+  List.for_all
+    (fun (a, b) ->
+      List.for_all
+        (fun (c, d) ->
+          (if Relational.Fact.equal a c then Relational.Database.key_equal db b d
+           else true)
+          && if Relational.Fact.equal b d then Relational.Database.key_equal db a c
+             else true)
+        pairs)
+    pairs

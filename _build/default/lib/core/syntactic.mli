@@ -1,0 +1,45 @@
+(** Syntactic classification tests (Sections 3, 4, 6, 7 of the paper).
+
+    For a two-atom query [q = AB], with [vars(X)] the variables of atom [X]
+    and [key(X)] the variables in its key positions:
+
+    - Theorem 3: if (1) [vars(A) ∩ vars(B) ⊄ key(A)] and
+      [vars(A) ∩ vars(B) ⊄ key(B)] and [key(A) ⊄ key(B)] and
+      [key(B) ⊄ key(A)]; and (2) [key(A) ⊄ vars(B)] or [key(B) ⊄ vars(A)],
+      then CERTAIN(q) is coNP-complete (via the reduction of Proposition 2 to
+      the self-join-free dichotomy of Kolaitis and Pema).
+    - Theorem 4: if condition (1) fails — for [q] or its swap — then
+      CERTAIN(q) = Cert_2(q), hence PTIME.
+    - Otherwise [q] is {e 2way-determined}: [key(A) ⊄ key(B)],
+      [key(B) ⊄ key(A)], [key(A) ⊆ vars(B)], [key(B) ⊆ vars(A)]; its
+      complexity is governed by the tripath analysis. *)
+
+(** Condition (1) of Theorem 3. Symmetric in [A]/[B]. *)
+val thm3_condition1 : Qlang.Query.t -> bool
+
+(** Condition (2) of Theorem 3. Symmetric in [A]/[B]. *)
+val thm3_condition2 : Qlang.Query.t -> bool
+
+(** Both conditions of Theorem 3: [q] is coNP-complete by the self-join-free
+    reduction. *)
+val thm3_conp_hard : Qlang.Query.t -> bool
+
+(** Theorem 4 hypothesis, tried in both orientations:
+    [key(A) ⊆ key(B)] or [vars(A) ∩ vars(B) ⊆ key(B)], or the same with the
+    atoms swapped. Equivalent to the failure of {!thm3_condition1}. *)
+val thm4_ptime : Qlang.Query.t -> bool
+
+(** 2way-determinacy (Section 7): condition (1) holds and condition (2)
+    fails. *)
+val two_way_determined : Qlang.Query.t -> bool
+
+(** The zig-zag property of Lemma 5 is implied by the Theorem 4 hypothesis;
+    [zigzag_holds q db] checks it {e semantically} on a database (used by
+    property tests): for all facts [a, b, b', c] with [a ≠ c], [a ≠ b],
+    [b ~ b'], if [q(ab)] and [q(cb')] then [q(ab')]. *)
+val zigzag_holds : Qlang.Query.t -> Relational.Database.t -> bool
+
+(** Lemma 7, checked semantically: in any database, if [q(ab)] and [q(ac)]
+    then [b ~ c], and if [q(ab)] and [q(cb)] then [a ~ c]. Holds whenever [q]
+    is 2way-determined. *)
+val lemma7_holds : Qlang.Query.t -> Relational.Database.t -> bool

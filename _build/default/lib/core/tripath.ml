@@ -1,0 +1,280 @@
+module Fact = Relational.Fact
+module Value = Relational.Value
+module Database = Relational.Database
+module Query = Qlang.Query
+module Solutions = Qlang.Solutions
+
+type inner = { fa : Fact.t; fb : Fact.t }
+
+type t = {
+  query : Query.t;
+  root : Fact.t;
+  spine : inner list;
+  center : inner;
+  arm1 : inner list;
+  leaf1 : Fact.t;
+  arm2 : inner list;
+  leaf2 : Fact.t;
+}
+
+type kind = Fork | Triangle
+
+let pp_kind ppf = function
+  | Fork -> Format.pp_print_string ppf "fork"
+  | Triangle -> Format.pp_print_string ppf "triangle"
+
+let center_facts tp =
+  let e = tp.center.fa in
+  let d = match tp.arm1 with b :: _ -> b.fb | [] -> tp.leaf1 in
+  let f = match tp.arm2 with b :: _ -> b.fb | [] -> tp.leaf2 in
+  (d, e, f)
+
+let all_facts tp =
+  let inner_facts l = List.concat_map (fun b -> [ b.fa; b.fb ]) l in
+  (tp.root :: inner_facts tp.spine)
+  @ [ tp.center.fa; tp.center.fb ]
+  @ inner_facts tp.arm1 @ [ tp.leaf1 ] @ inner_facts tp.arm2 @ [ tp.leaf2 ]
+
+let database tp = Database.of_facts [ tp.query.Query.schema ] (all_facts tp)
+let n_blocks tp = 3 + List.length tp.spine + List.length tp.arm1 + List.length tp.arm2 + 1
+
+let key_set (q : Query.t) fact = Fact.key_set q.Query.schema fact
+
+let g_set q ~d ~e ~f =
+  let kd = key_set q d and ke = key_set q e and kf = key_set q f in
+  let sub = Value.Set.subset in
+  if sub kd ke && not (sub kf ke) then kd
+  else if (not (sub kd ke)) && sub kf ke then kf
+  else if sub kd kf && sub kf ke then kd
+  else if sub kf kd && sub kd ke then kf
+  else ke
+
+(* The parent-child solution constraints of the tree, as ordered triples
+   (parent_a, child_b, directed): when [directed] is [None] the requirement
+   is q{parent_a child_b}; for the two center edges the paper's branching
+   notion fixes the orientation. *)
+type edge = { parent_a : Fact.t; child_b : Fact.t; directed : [ `Down | `Up ] option }
+
+let edges tp =
+  let d, e, f = center_facts tp in
+  (* Chain from the root down to the center: the child's b facts are the b of
+     each spine block and finally the center's b. *)
+  let rec chain parent_a acc = function
+    | [] -> List.rev ({ parent_a; child_b = tp.center.fb; directed = None } :: acc)
+    | blk :: rest ->
+        chain blk.fa ({ parent_a; child_b = blk.fb; directed = None } :: acc) rest
+  in
+  let spine_edges = chain tp.root [] tp.spine in
+  (* Arms: from the center down to each leaf. The first arm edge carries the
+     branching orientation: q(d e) for arm 1 and q(e f) for arm 2. *)
+  let arm_edges first_dir arm leaf =
+    let rec go parent_a acc first = function
+      | [] ->
+          List.rev
+            ({ parent_a; child_b = leaf; directed = (if first then Some first_dir else None) }
+            :: acc)
+      | blk :: rest ->
+          go blk.fa
+            ({ parent_a; child_b = blk.fb; directed = (if first then Some first_dir else None) }
+            :: acc)
+            false rest
+    in
+    go e [] true arm
+  in
+  ignore d;
+  ignore f;
+  spine_edges @ arm_edges `Up tp.arm1 tp.leaf1 @ arm_edges `Down tp.arm2 tp.leaf2
+
+let check tp =
+  let q = tp.query in
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let facts = all_facts tp in
+  (* Schema conformance. *)
+  List.iter
+    (fun fact ->
+      if
+        not
+          (String.equal fact.Fact.rel q.Query.schema.Relational.Schema.name
+          && Fact.arity fact = q.Query.schema.Relational.Schema.arity)
+      then err "fact %a does not fit the query schema" Fact.pp fact)
+    facts;
+  if !errors <> [] then Error (List.rev !errors)
+  else begin
+    (* Distinct facts. *)
+    let sorted = List.sort_uniq Fact.compare facts in
+    if List.length sorted <> List.length facts then
+      err "tripath facts are not pairwise distinct";
+    (* Internal blocks: fa ~ fb and fa <> fb. *)
+    let check_inner where blk =
+      if not (Fact.key_equal q.Query.schema blk.fa blk.fb) then
+        err "%s block facts %a and %a are not key-equal" where Fact.pp blk.fa
+          Fact.pp blk.fb
+    in
+    List.iter (check_inner "spine") tp.spine;
+    check_inner "center" tp.center;
+    List.iter (check_inner "arm") (tp.arm1 @ tp.arm2);
+    (* Distinct block keys: the tree blocks are exactly the database blocks. *)
+    let block_keys =
+      (Fact.key q.Query.schema tp.root
+      :: List.map (fun b -> Fact.key q.Query.schema b.fa) tp.spine)
+      @ [ Fact.key q.Query.schema tp.center.fa ]
+      @ List.map (fun b -> Fact.key q.Query.schema b.fa) tp.arm1
+      @ [ Fact.key q.Query.schema tp.leaf1 ]
+      @ List.map (fun b -> Fact.key q.Query.schema b.fa) tp.arm2
+      @ [ Fact.key q.Query.schema tp.leaf2 ]
+    in
+    let distinct_keys = List.sort_uniq (List.compare Value.compare) block_keys in
+    if List.length distinct_keys <> List.length block_keys then
+      err "two tree blocks share a key";
+    (* Solution constraints along the edges. *)
+    let sol = Solutions.query_solution_pair q in
+    List.iter
+      (fun { parent_a; child_b; directed } ->
+        match directed with
+        | None ->
+            if not (sol parent_a child_b || sol child_b parent_a) then
+              err "missing solution q{%a %a}" Fact.pp parent_a Fact.pp child_b
+        | Some `Up ->
+            (* Arm-1 first edge: q(d e) with d the child fact. *)
+            if not (sol child_b parent_a) then
+              err "missing directed solution q(%a %a)" Fact.pp child_b Fact.pp
+                parent_a
+        | Some `Down ->
+            (* Arm-2 first edge: q(e f) with f the child fact. *)
+            if not (sol parent_a child_b) then
+              err "missing directed solution q(%a %a)" Fact.pp parent_a Fact.pp
+                child_b)
+      (edges tp);
+    (* Endpoint conditions on g(e). *)
+    let d, e, f = center_facts tp in
+    let g = g_set q ~d ~e ~f in
+    List.iter
+      (fun (name, endpoint) ->
+        if Value.Set.subset g (key_set q endpoint) then
+          err "g(e) is included in the key of %s %a" name Fact.pp endpoint)
+      [ ("root", tp.root); ("leaf1", tp.leaf1); ("leaf2", tp.leaf2) ];
+    match List.rev !errors with
+    | [] ->
+        let sol = Solutions.query_solution_pair q in
+        Ok (if sol f d then Triangle else Fork)
+    | errs -> Error errs
+  end
+
+type nice_witness = {
+  x : Value.t;
+  y : Value.t;
+  z : Value.t;
+  u : Value.t;
+  v : Value.t;
+  w : Value.t;
+}
+
+let unordered_pair f g = if Fact.compare f g <= 0 then (f, g) else (g, f)
+
+module Pair_set = Set.Make (struct
+  type t = Fact.t * Fact.t
+
+  let compare (a1, b1) (a2, b2) =
+    let c = Fact.compare a1 a2 in
+    if c <> 0 then c else Fact.compare b1 b2
+end)
+
+let niceness tp =
+  match check tp with
+  | Error errs -> Error errs
+  | Ok kind ->
+      let q = tp.query in
+      let errors = ref [] in
+      let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+      let d, e, f = center_facts tp in
+      let endpoints = [ tp.root; tp.leaf1; tp.leaf2 ] in
+      let endpoint_keys =
+        List.fold_left
+          (fun acc fact -> Value.Set.union acc (key_set q fact))
+          Value.Set.empty endpoints
+      in
+      let non_endpoint_facts =
+        List.filter
+          (fun fact -> not (List.exists (Fact.equal fact) endpoints))
+          (all_facts tp)
+      in
+      (* Solution-nice: computed solutions are only the enforced ones (and
+         possibly (f d) for triangles). *)
+      let allowed =
+        List.fold_left
+          (fun acc { parent_a; child_b; _ } ->
+            Pair_set.add (unordered_pair parent_a child_b) acc)
+          Pair_set.empty (edges tp)
+        |> Pair_set.add (unordered_pair f d)
+      in
+      let db = database tp in
+      List.iter
+        (fun (s, t) ->
+          if not (Pair_set.mem (unordered_pair s t) allowed) then
+            err "extra solution q(%a %a)" Fact.pp s Fact.pp t)
+        (Solutions.query_pairs q db);
+      (* Variable-nice + covering element: choose x, y, z. *)
+      let candidates fact = Value.Set.diff (key_set q fact) endpoint_keys in
+      let xc = candidates d and yc = candidates e and zc = candidates f in
+      if Value.Set.is_empty xc then err "no variable-nice witness in key(d)";
+      if Value.Set.is_empty yc then err "no variable-nice witness in key(e)";
+      if Value.Set.is_empty zc then err "no variable-nice witness in key(f)";
+      let covering =
+        List.fold_left
+          (fun acc fact -> Value.Set.inter acc (key_set q fact))
+          (Value.Set.union xc (Value.Set.union yc zc))
+          non_endpoint_facts
+      in
+      let witness_xyz =
+        if Value.Set.is_empty covering then None
+        else
+          Value.Set.fold
+            (fun g acc ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                  let pick set = if Value.Set.mem g set then Some g else Value.Set.min_elt_opt set in
+                  (match (pick xc, pick yc, pick zc) with
+                  | Some x, Some y, Some z
+                    when Value.Set.mem g (Value.Set.of_list [ x; y; z ]) ->
+                      Some (x, y, z)
+                  | _, _, _ -> None))
+            covering None
+      in
+      if witness_xyz = None && !errors = [] then
+        err "no element of key(d)/key(e)/key(f) covers all non-endpoint keys";
+      (* Unique endpoint elements. *)
+      let unique_for endpoint =
+        let others =
+          List.filter (fun fact -> not (Fact.equal fact endpoint)) (all_facts tp)
+        in
+        let other_keys =
+          List.fold_left
+            (fun acc fact -> Value.Set.union acc (key_set q fact))
+            Value.Set.empty others
+        in
+        Value.Set.min_elt_opt (Value.Set.diff (key_set q endpoint) other_keys)
+      in
+      let u = unique_for tp.root and v = unique_for tp.leaf1 and w = unique_for tp.leaf2 in
+      if u = None then err "root key has no element unique to it";
+      if v = None then err "leaf1 key has no element unique to it";
+      if w = None then err "leaf2 key has no element unique to it";
+      (match (List.rev !errors, witness_xyz, u, v, w) with
+      | [], Some (x, y, z), Some u, Some v, Some w ->
+          Ok (kind, { x; y; z; u; v; w })
+      | errs, _, _, _, _ ->
+          Error (if errs = [] then [ "niceness check failed" ] else errs))
+
+let pp ppf tp =
+  let pp_fact = Fact.pp_with_key tp.query.Query.schema in
+  let pp_inner ppf blk =
+    Format.fprintf ppf "{a=%a; b=%a}" pp_fact blk.fa pp_fact blk.fb
+  in
+  Format.fprintf ppf "@[<v>root: %a@," pp_fact tp.root;
+  List.iter (Format.fprintf ppf "spine: %a@," pp_inner) tp.spine;
+  Format.fprintf ppf "center: %a@," pp_inner tp.center;
+  List.iter (Format.fprintf ppf "arm1: %a@," pp_inner) tp.arm1;
+  Format.fprintf ppf "leaf1: %a@," pp_fact tp.leaf1;
+  List.iter (Format.fprintf ppf "arm2: %a@," pp_inner) tp.arm2;
+  Format.fprintf ppf "leaf2: %a@]" pp_fact tp.leaf2

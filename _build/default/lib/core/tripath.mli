@@ -1,0 +1,83 @@
+(** Tripaths (Section 7): the witness databases that pinpoint the complexity
+    of 2way-determined queries.
+
+    A tripath of [q] is a database whose blocks form a tree with one root
+    block (a single fact [a(B0)]), one branching block, and exactly two leaf
+    blocks (a single fact each); every other block has exactly two facts
+    [a(B)], [b(B)]. Whenever [B = s(B')] (parent), [q{a(B) b(B')}] holds. The
+    branching block's fact [e = a(B)] is {e branching} with [d = b(B')] and
+    [f = b(B'')] for its two children: [q(de)] and [q(ef)]. Finally the
+    element set [g(e)] (defined from the key inclusions of [d, e, f]) must
+    not be included in the key of the root fact nor of either leaf fact.
+
+    If moreover [q(fd)] holds the tripath is a {e triangle}-tripath,
+    otherwise a {e fork}-tripath. Existence of a fork-tripath makes
+    CERTAIN(q) coNP-complete (Theorem 12); absence of any tripath makes
+    [Cert_k] exact (Theorem 9); triangle-only queries need the combined
+    algorithm (Theorems 14, 18). *)
+
+type inner = {
+  fa : Relational.Fact.t;  (** The fact [a(B)] of an internal block. *)
+  fb : Relational.Fact.t;  (** The fact [b(B)] of an internal block. *)
+}
+
+(** A candidate tripath, presented by its tree decomposition. [arm1] leads to
+    the child holding [d] (so [d] is [fb] of the first block of [arm1], or
+    [leaf1] itself when [arm1] is empty); symmetrically [arm2] leads to [f]. *)
+type t = {
+  query : Qlang.Query.t;
+  root : Relational.Fact.t;  (** [a(B0) = u0]. *)
+  spine : inner list;  (** Blocks strictly between root and center, top-down. *)
+  center : inner;  (** The branching block: [fa = e]. *)
+  arm1 : inner list;  (** Blocks strictly between center and leaf 1, top-down. *)
+  leaf1 : Relational.Fact.t;  (** [b(B1) = u1]. *)
+  arm2 : inner list;
+  leaf2 : Relational.Fact.t;  (** [b(B2) = u2]. *)
+}
+
+type kind = Fork | Triangle
+
+val pp_kind : Format.formatter -> kind -> unit
+
+(** The branching triple [(d, e, f)] — the {e center} of the tripath. *)
+val center_facts : t -> Relational.Fact.t * Relational.Fact.t * Relational.Fact.t
+
+(** All facts of the tripath, as a database over the query's schema. *)
+val database : t -> Relational.Database.t
+
+(** Number of blocks. *)
+val n_blocks : t -> int
+
+(** [g_set q ~d ~e ~f] is the element set [g(e)] for a branching triple,
+    following the five-case definition of Section 7. *)
+val g_set :
+  Qlang.Query.t ->
+  d:Relational.Fact.t ->
+  e:Relational.Fact.t ->
+  f:Relational.Fact.t ->
+  Relational.Value.Set.t
+
+(** [check tp] verifies every condition of the tripath definition and
+    returns the tripath's kind, or the list of violated conditions. *)
+val check : t -> (kind, string list) result
+
+(** Witness elements of a {e nice} tripath (Section 7, used by the gadget of
+    Theorem 12): [x ∈ key(d)], [y ∈ key(e)], [z ∈ key(f)] avoid all endpoint
+    keys and at least one of them occurs in the key of every non-endpoint
+    fact; [u], [v], [w] occur respectively in the keys of [u0], [u1], [u2]
+    and nowhere else. *)
+type nice_witness = {
+  x : Relational.Value.t;
+  y : Relational.Value.t;
+  z : Relational.Value.t;
+  u : Relational.Value.t;
+  v : Relational.Value.t;
+  w : Relational.Value.t;
+}
+
+(** [niceness tp] checks, on top of {!check}, the four niceness conditions:
+    variable-nice, solution-nice, covering element, and unique endpoint
+    elements. Returns a witness on success. *)
+val niceness : t -> (kind * nice_witness, string list) result
+
+val pp : Format.formatter -> t -> unit

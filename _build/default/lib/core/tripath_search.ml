@@ -1,0 +1,319 @@
+module Query = Qlang.Query
+module Atom = Qlang.Atom
+module Term = Qlang.Term
+module Subst = Qlang.Subst
+module Unify = Qlang.Unify
+module Fact = Relational.Fact
+module Value = Relational.Value
+
+type options = {
+  max_spine : int;
+  max_arm : int;
+  max_merges : int;
+  max_candidates : int;
+}
+
+let default_options =
+  { max_spine = 3; max_arm = 3; max_merges = 2; max_candidates = 200_000 }
+
+type outcome = Found of Tripath.t * Tripath.kind | Not_found
+
+(* Symbolic facts are atoms; a symbolic inner block pairs two of them. *)
+type sym_inner = { sa : Atom.t; sb : Atom.t }
+
+type candidate = {
+  subst : Subst.t;
+  root : Atom.t;
+  spine : sym_inner list;
+  center : sym_inner;
+  arm1 : sym_inner list;
+  leaf1 : Atom.t;
+  arm2 : sym_inner list;
+  leaf2 : Atom.t;
+}
+
+exception Found_exn of Tripath.t * Tripath.kind * Tripath.nice_witness option
+exception Budget_exhausted
+
+(* ------------------------------------------------------------------ *)
+(* Fresh copies and siblings                                           *)
+
+let copy_query gen (q : Query.t) =
+  let mapping = Hashtbl.create 8 in
+  let rename v =
+    match Hashtbl.find_opt mapping v with
+    | Some v' -> v'
+    | None ->
+        let v' = Unify.Fresh.name gen in
+        Hashtbl.add mapping v v';
+        v'
+  in
+  (Atom.rename rename q.Query.a, Atom.rename rename q.Query.b)
+
+(* Sibling of a symbolic fact: same key terms, fresh non-key variables.
+   Returns [None] when the relation has no non-key position (blocks of size
+   two are then impossible). *)
+let sibling gen (q : Query.t) subst atom =
+  let schema = q.Query.schema in
+  let l = schema.Relational.Schema.key_len in
+  let arity = schema.Relational.Schema.arity in
+  if l = arity then None
+  else
+    let atom = Subst.apply_atom subst atom in
+    let args =
+      Array.init arity (fun i ->
+          if i < l then Atom.nth atom i else Unify.Fresh.var gen)
+    in
+    Some (Atom.of_array atom.Atom.rel args)
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic endpoint pruning                                           *)
+
+let term_key_set (q : Query.t) subst atom =
+  List.fold_left
+    (fun acc t -> Term.Set.add (Subst.apply_term subst t) acc)
+    Term.Set.empty
+    (Atom.key_tuple q.Query.schema (Subst.apply_atom subst atom))
+
+(* Symbolic g(e): under the final distinct-constant instantiation, two terms
+   denote the same element iff they are syntactically equal, so the concrete
+   five-case definition can be evaluated on term sets. Subsethood can only
+   grow under later unifications, so pruning a stop point whose endpoint key
+   already includes g(e) is safe. *)
+let g_sym (q : Query.t) subst ~d ~e ~f =
+  let kd = term_key_set q subst d
+  and ke = term_key_set q subst e
+  and kf = term_key_set q subst f in
+  let sub = Term.Set.subset in
+  if sub kd ke && not (sub kf ke) then kd
+  else if (not (sub kd ke)) && sub kf ke then kf
+  else if sub kd kf && sub kf ke then kd
+  else if sub kf kd && sub kd ke then kf
+  else ke
+
+let endpoint_not_pruned (q : Query.t) subst ~d ~e ~f endpoint =
+  not (Term.Set.subset (g_sym q subst ~d ~e ~f) (term_key_set q subst endpoint))
+
+(* ------------------------------------------------------------------ *)
+(* Instantiation and verification                                      *)
+
+let instantiate (q : Query.t) candidate =
+  let counter = ref 0 in
+  let assignment = Hashtbl.create 32 in
+  let value_of v =
+    match Hashtbl.find_opt assignment v with
+    | Some value -> value
+    | None ->
+        let value = Value.tag "\u{03B8}" (Value.int !counter) in
+        incr counter;
+        Hashtbl.add assignment v value;
+        value
+  in
+  let ground atom =
+    let atom = Subst.apply_atom candidate.subst atom in
+    Fact.of_array atom.Atom.rel
+      (Array.map
+         (function Term.Cst value -> value | Term.Var v -> value_of v)
+         atom.Atom.args)
+  in
+  let ground_inner blk = { Tripath.fa = ground blk.sa; fb = ground blk.sb } in
+  {
+    Tripath.query = q;
+    root = ground candidate.root;
+    spine = List.map ground_inner candidate.spine;
+    center = ground_inner candidate.center;
+    arm1 = List.map ground_inner candidate.arm1;
+    leaf1 = ground candidate.leaf1;
+    arm2 = List.map ground_inner candidate.arm2;
+    leaf2 = ground candidate.leaf2;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Search                                                              *)
+
+let search_internal ?(opts = default_options) ?want ~require_nice (q : Query.t) =
+  let gen = Unify.Fresh.create ~prefix:"\u{03C3}" () in
+  let budget = ref opts.max_candidates in
+  let spend () =
+    decr budget;
+    if !budget <= 0 then raise Budget_exhausted
+  in
+  let try_candidate candidate =
+    spend ();
+    let tripath = instantiate q candidate in
+    match Tripath.check tripath with
+    | Error _ -> ()
+    | Ok kind -> (
+        let kind_ok = match want with None -> true | Some k -> k = kind in
+        if kind_ok then
+          if require_nice then
+            match Tripath.niceness tripath with
+            | Ok (kind, witness) -> raise (Found_exn (tripath, kind, Some witness))
+            | Error _ -> ()
+          else raise (Found_exn (tripath, kind, None)))
+  in
+  (* Grow one arm downward. [on_done] receives (subst, blocks, leaf). *)
+  let rec grow_arm subst ~d ~e ~f cur_b blocks depth on_done =
+    spend ();
+    (* Stop: the current block is the leaf, containing only [cur_b]. *)
+    if endpoint_not_pruned q subst ~d ~e ~f cur_b then
+      on_done subst (List.rev blocks) cur_b;
+    if depth < opts.max_arm then
+      match sibling gen q subst cur_b with
+      | None -> ()
+      | Some sib ->
+          let block = { sa = sib; sb = Subst.apply_atom subst cur_b } in
+          List.iter
+            (fun orientation ->
+              let a_copy, b_copy = copy_query gen q in
+              let pattern, child =
+                match orientation with
+                | `AB -> (a_copy, b_copy) (* q(sib, child) *)
+                | `BA -> (b_copy, a_copy) (* q(child, sib) *)
+              in
+              match Unify.atoms subst pattern sib with
+              | None -> ()
+              | Some subst' ->
+                  let child_b = Subst.apply_atom subst' child in
+                  grow_arm subst' ~d ~e ~f child_b (block :: blocks) (depth + 1)
+                    on_done)
+            [ `AB; `BA ]
+  in
+  (* Grow the spine upward from the center sibling. [on_done] receives
+     (subst, root, spine_top_down). *)
+  let rec grow_up subst ~d ~e ~f cur_b blocks depth on_done =
+    spend ();
+    List.iter
+      (fun orientation ->
+        let a_copy, b_copy = copy_query gen q in
+        let pattern, parent =
+          match orientation with
+          | `AB -> (b_copy, a_copy) (* q(parent, cur_b) *)
+          | `BA -> (a_copy, b_copy) (* q(cur_b, parent) *)
+        in
+        match Unify.atoms subst pattern cur_b with
+        | None -> ()
+        | Some subst' ->
+            let parent_a = Subst.apply_atom subst' parent in
+            (* Stop: parent is the root. *)
+            if endpoint_not_pruned q subst' ~d ~e ~f parent_a then
+              on_done subst' parent_a blocks;
+            (* Continue: the parent is an internal block. *)
+            if depth < opts.max_spine then
+              match sibling gen q subst' parent_a with
+              | None -> ()
+              | Some sib ->
+                  let block = { sa = Subst.apply_atom subst' parent_a; sb = sib } in
+                  grow_up subst' ~d ~e ~f sib (block :: blocks) (depth + 1) on_done)
+      [ `AB; `BA ]
+  in
+  (* Center variants: the mgu of the branching pattern, optionally with the
+     triangle constraint and/or extra variable identifications. *)
+  let base_center () =
+    let a1, b1 = copy_query gen q in
+    let a2, b2 = copy_query gen q in
+    match Unify.atoms Subst.empty b1 a2 with
+    | None -> None
+    | Some subst -> Some (subst, a1, b1, b2)
+    (* d = a1, e = b1 (= a2), f = b2 *)
+  in
+  let center_vars subst atoms =
+    List.fold_left
+      (fun acc atom -> Term.Var_set.union acc (Atom.vars (Subst.apply_atom subst atom)))
+      Term.Var_set.empty atoms
+    |> Term.Var_set.elements
+  in
+  let merge_choices subst d e f =
+    let vars = center_vars subst [ d; e; f ] in
+    let pairs =
+      List.concat_map
+        (fun v1 ->
+          List.filter_map
+            (fun v2 -> if String.compare v1 v2 < 0 then Some (v1, v2) else None)
+            vars)
+        vars
+    in
+    (* Merge sets of size 0, 1, ..., max_merges, in that order. *)
+    let rec subsets_of_size k lst =
+      if k = 0 then [ [] ]
+      else
+        match lst with
+        | [] -> []
+        | x :: rest ->
+            List.map (fun s -> x :: s) (subsets_of_size (k - 1) rest)
+            @ subsets_of_size k rest
+    in
+    List.concat_map (fun k -> subsets_of_size k pairs)
+      (List.init (opts.max_merges + 1) (fun i -> i))
+  in
+  let apply_merges subst merges =
+    List.fold_left
+      (fun acc (v1, v2) ->
+        match acc with
+        | None -> None
+        | Some s -> Unify.terms s (Term.Var v1) (Term.Var v2))
+      (Some subst) merges
+  in
+  let run_center subst d e f =
+    match sibling gen q subst e with
+    | None -> () (* the center block needs two facts *)
+    | Some e_sib ->
+        let center = { sa = Subst.apply_atom subst e; sb = e_sib } in
+        grow_up subst ~d ~e ~f e_sib [] 0 (fun subst root spine ->
+            grow_arm subst ~d ~e ~f (Subst.apply_atom subst d) [] 0
+              (fun subst arm1 leaf1 ->
+                grow_arm subst ~d ~e ~f (Subst.apply_atom subst f) [] 0
+                  (fun subst arm2 leaf2 ->
+                    try_candidate
+                      { subst; root; spine; center; arm1; leaf1; arm2; leaf2 })))
+  in
+  try
+    (match base_center () with
+    | None -> ()
+    | Some (subst0, d, e, f) ->
+        let variants =
+          (* The plain mgu center, all merge variants, and — when searching
+             for triangles — the center with q(fd) enforced by unification. *)
+          let merged =
+            List.filter_map
+              (fun merges -> apply_merges subst0 merges)
+              (merge_choices subst0 d e f)
+          in
+          let triangle_enforced =
+            if want = Some Tripath.Triangle || want = None then
+              List.filter_map
+                (fun subst ->
+                  let a3, b3 = copy_query gen q in
+                  match Unify.atoms subst a3 (Subst.apply_atom subst f) with
+                  | None -> None
+                  | Some s -> Unify.atoms s b3 (Subst.apply_atom s d))
+                merged
+            else []
+          in
+          merged @ triangle_enforced
+        in
+        List.iter (fun subst -> run_center subst d e f) variants);
+    Not_found
+  with
+  | Found_exn (tripath, kind, _) -> Found (tripath, kind)
+  | Budget_exhausted -> Not_found
+
+let search ?opts ?want q = search_internal ?opts ?want ~require_nice:false q
+let find_any ?opts q = search ?opts q
+let find_fork ?opts q = search ?opts ~want:Tripath.Fork q
+let find_triangle ?opts q = search ?opts ~want:Tripath.Triangle q
+
+let find_nice ?(opts = default_options) ~want q =
+  (* Nice tripaths tend to need slightly longer arms; widen the bounds. *)
+  let opts = { opts with max_spine = max 3 opts.max_spine; max_arm = max 4 opts.max_arm } in
+  let result =
+    try search_internal ~opts ~want ~require_nice:true q with Budget_exhausted -> Not_found
+  in
+  match result with
+  | Not_found -> None
+  | Found (tripath, kind) -> (
+      match Tripath.niceness tripath with
+      | Ok (kind', witness) ->
+          assert (kind' = kind);
+          Some (tripath, witness)
+      | Error _ -> None)

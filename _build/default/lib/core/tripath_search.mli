@@ -1,0 +1,58 @@
+(** Bounded symbolic search for tripaths (the decision procedure behind the
+    dichotomy classification).
+
+    The paper shows that tripath existence is decidable — if a fork-tripath
+    exists there is one of exponential size — but gives no practical
+    procedure. This module implements a unification-based search: candidate
+    tripaths are built from {e symbolic facts} (atoms over fresh variables).
+    The center [d, e, f] is the most general unifier of the branching pattern
+    [q(de) ∧ q(ef)]; the spine and the two arms are grown by chase-like
+    unification steps (one block at a time, two possible orientations of the
+    parent/child solution); block siblings take fresh non-key variables.
+    Remaining variables are finally instantiated with pairwise distinct fresh
+    constants and the candidate is handed to the independent verifier
+    {!Tripath.check}.
+
+    Because the most general unifier may be {e too} general (some tripaths —
+    and especially nice ones — require identifying variables that unification
+    does not force, cf. Figure 1c), the search also enumerates additional
+    identifications of center variables, up to [max_merges] merged pairs.
+
+    The search is sound (every [Found] result is independently verified) and
+    complete up to its bounds: [Not_found] means no tripath with at most
+    [max_spine] spine blocks, [max_arm] blocks per arm and [max_merges]
+    center identifications — which suffices for every query catalogued in the
+    paper. *)
+
+type options = {
+  max_spine : int;  (** Internal blocks between root and center (default 3). *)
+  max_arm : int;  (** Internal blocks between center and each leaf (default 3). *)
+  max_merges : int;  (** Extra center-variable identifications (default 2). *)
+  max_candidates : int;  (** Global work budget (default 200_000). *)
+}
+
+val default_options : options
+
+type outcome =
+  | Found of Tripath.t * Tripath.kind
+  | Not_found  (** No tripath within the search bounds. *)
+
+(** [search ?opts ?want q] looks for a verified tripath of [q]; [want]
+    restricts the kind. Candidates are explored with fewer identifications
+    first, so the returned witness is minimal in that sense. *)
+val search : ?opts:options -> ?want:Tripath.kind -> Qlang.Query.t -> outcome
+
+(** [find_any q], [find_fork q], [find_triangle q]: convenience wrappers. *)
+val find_any : ?opts:options -> Qlang.Query.t -> outcome
+
+val find_fork : ?opts:options -> Qlang.Query.t -> outcome
+val find_triangle : ?opts:options -> Qlang.Query.t -> outcome
+
+(** [find_nice ?opts ~want q] searches for a {e nice} tripath of the given
+    kind (Proposition 8 guarantees one exists whenever a tripath of that kind
+    does); used by the Theorem 12 gadget. *)
+val find_nice :
+  ?opts:options ->
+  want:Tripath.kind ->
+  Qlang.Query.t ->
+  (Tripath.t * Tripath.nice_witness) option

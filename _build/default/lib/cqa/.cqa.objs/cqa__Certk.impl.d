@@ -1,0 +1,1 @@
+lib/cqa/certk.ml: Array Format Hashtbl Int List Map Qlang Relational Set String

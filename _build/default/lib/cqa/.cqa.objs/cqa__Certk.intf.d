@@ -1,0 +1,1 @@
+lib/cqa/certk.mli: Format Qlang Relational

@@ -1,0 +1,1 @@
+lib/cqa/certk_fo.ml: Array Folog List Qlang

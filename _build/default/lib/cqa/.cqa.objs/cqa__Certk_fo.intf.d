@@ -1,0 +1,1 @@
+lib/cqa/certk_fo.mli: Folog Qlang Relational

@@ -1,0 +1,1 @@
+lib/cqa/certk_naive.ml: Array Int List Qlang Set

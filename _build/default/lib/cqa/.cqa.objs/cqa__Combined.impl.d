@@ -1,0 +1,1 @@
+lib/cqa/combined.ml: Certk Matching_alg Qlang

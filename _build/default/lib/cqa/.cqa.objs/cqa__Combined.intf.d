@@ -1,0 +1,1 @@
+lib/cqa/combined.mli: Qlang Relational

@@ -1,0 +1,1 @@
+lib/cqa/exact.ml: Array List Option Qlang Relational

@@ -1,0 +1,1 @@
+lib/cqa/exact.mli: Qlang Relational

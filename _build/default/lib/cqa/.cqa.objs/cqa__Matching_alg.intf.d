@@ -1,0 +1,1 @@
+lib/cqa/matching_alg.mli: Graphs Qlang Relational

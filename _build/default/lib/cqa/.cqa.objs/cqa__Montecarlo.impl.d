@@ -1,0 +1,1 @@
+lib/cqa/montecarlo.ml: Qlang Relational

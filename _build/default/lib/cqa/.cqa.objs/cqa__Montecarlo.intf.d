@@ -1,0 +1,1 @@
+lib/cqa/montecarlo.mli: Qlang Random Relational

@@ -1,0 +1,1 @@
+lib/cqa/partition.ml: Array List Qlang Relational

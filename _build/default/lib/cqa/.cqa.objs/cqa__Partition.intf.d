@@ -1,0 +1,1 @@
+lib/cqa/partition.mli: Qlang Relational

@@ -1,0 +1,1 @@
+lib/cqa/satreduce.ml: Array List Option Qlang Satsolver

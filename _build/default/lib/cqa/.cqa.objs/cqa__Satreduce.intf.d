@@ -1,0 +1,1 @@
+lib/cqa/satreduce.mli: Qlang Relational Satsolver

@@ -1,0 +1,1 @@
+lib/cqa/sjf_dichotomy.ml: Certk Exact Format Qlang

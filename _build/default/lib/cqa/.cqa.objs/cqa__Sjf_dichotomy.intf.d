@@ -1,0 +1,1 @@
+lib/cqa/sjf_dichotomy.mli: Format Qlang Relational

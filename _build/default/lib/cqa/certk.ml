@@ -1,0 +1,222 @@
+module Solution_graph = Qlang.Solution_graph
+
+module Int_list_set = Set.Make (struct
+  type t = int list
+
+  let compare = List.compare Int.compare
+end)
+
+module Int_list_map = Map.Make (struct
+  type t = int list
+
+  let compare = List.compare Int.compare
+end)
+
+type reason =
+  | Initial of int * int
+  | Via_block of int * (int * int list) list
+
+type certificate = { set : int list; why : reason; premises : certificate list }
+
+(* Sorted-list utilities for k-sets. *)
+
+let rec union_sorted xs ys =
+  match (xs, ys) with
+  | [], l | l, [] -> l
+  | x :: xs', y :: ys' ->
+      if x = y then x :: union_sorted xs' ys'
+      else if x < y then x :: union_sorted xs' ys
+      else y :: union_sorted xs ys'
+
+let rec is_subset xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs', y :: ys' ->
+      if x = y then is_subset xs' ys'
+      else if x > y then is_subset xs ys'
+      else false
+
+let remove x l = List.filter (fun y -> y <> x) l
+
+(* A set of vertices is a k-set iff it has at most k elements and at most one
+   vertex per block (so it extends to a repair). *)
+let is_kset (g : Solution_graph.t) ~k s =
+  List.length s <= k
+  &&
+  let blocks = List.map (fun v -> g.Solution_graph.block_of.(v)) s in
+  List.length (List.sort_uniq Int.compare blocks) = List.length s
+
+type state = {
+  mutable minimal : Int_list_set.t;  (* antichain of minimal derived sets *)
+  by_vertex : Int_list_set.t array;  (* members containing a given vertex *)
+  mutable empty_derived : bool;
+  mutable provenance : reason Int_list_map.t;
+      (* how each set ever added was derived; never shrinks, so certificates
+         survive antichain pruning *)
+  mutable steps : int;  (* work counter for the optional budget *)
+}
+
+exception Out_of_budget
+
+let subsumed state s =
+  state.empty_derived
+  || Int_list_set.exists (fun t -> is_subset t s) state.minimal
+
+let add_set state s reason =
+  if not (subsumed state s) then begin
+    (* Remove supersets of the new minimal set from the antichain (their
+       provenance is kept for certificate reconstruction). *)
+    let supersets = Int_list_set.filter (fun t -> is_subset s t) state.minimal in
+    state.minimal <- Int_list_set.diff state.minimal supersets;
+    Int_list_set.iter
+      (fun t ->
+        List.iter
+          (fun v -> state.by_vertex.(v) <- Int_list_set.remove t state.by_vertex.(v))
+          t)
+      supersets;
+    state.minimal <- Int_list_set.add s state.minimal;
+    List.iter (fun v -> state.by_vertex.(v) <- Int_list_set.add s state.by_vertex.(v)) s;
+    if not (Int_list_map.mem s state.provenance) then
+      state.provenance <- Int_list_map.add s reason state.provenance;
+    if s = [] then state.empty_derived <- true;
+    true
+  end
+  else false
+
+(* The inductive step for one block: derive S = union over u in B of
+   (T_u \ {u}) for each choice of T_u in Delta containing u. Choices where
+   T_u does not contain u are redundant: T_u ⊆ S then, so S is subsumed by
+   the member T_u and yields no new minimal set. Partial unions that are
+   already subsumed are pruned for the same reason: every extension of a
+   subsumed union is subsumed. *)
+let derive_for_block (g : Solution_graph.t) ~k ~budget state block =
+  let members = Array.to_list g.Solution_graph.blocks.(block) in
+  let changed = ref false in
+  (* Distinct choice sequences frequently produce the same partial union;
+     memoising on (remaining facts, partial union) keeps the exploration
+     polynomial in the size of the antichain instead of exponential in the
+     block size. *)
+  let visited = Hashtbl.create 64 in
+  let rec choose acc chosen = function
+    | [] ->
+        if add_set state acc (Via_block (block, List.rev chosen)) then changed := true
+    | u :: rest as remaining ->
+        state.steps <- state.steps + 1;
+        if state.steps > budget then raise Out_of_budget;
+        let key = (List.length remaining, acc) in
+        if not (Hashtbl.mem visited key) then begin
+          Hashtbl.add visited key ();
+          Int_list_set.iter
+            (fun t ->
+              let acc' = union_sorted acc (remove u t) in
+              if is_kset g ~k acc' && not (subsumed state acc') then
+                choose acc' ((u, t) :: chosen) rest)
+            state.by_vertex.(u)
+        end
+  in
+  choose [] [] members;
+  !changed
+
+let fixpoint ?(budget = max_int) (g : Solution_graph.t) ~k =
+  if k < 1 then invalid_arg "Certk: k must be >= 1";
+  let n = Solution_graph.n_facts g in
+  let state =
+    {
+      minimal = Int_list_set.empty;
+      by_vertex = Array.make (max n 1) Int_list_set.empty;
+      empty_derived = false;
+      provenance = Int_list_map.empty;
+      steps = 0;
+    }
+  in
+  (* Initial sets: minimal k-sets satisfying q — solution pairs across
+     distinct blocks, and singletons for self-loop solutions. *)
+  List.iter
+    (fun (i, j) ->
+      let s =
+        if i = j then Some [ i ]
+        else if g.Solution_graph.block_of.(i) <> g.Solution_graph.block_of.(j) then
+          Some (List.sort_uniq Int.compare [ i; j ])
+        else None
+      in
+      match s with
+      | Some s when is_kset g ~k s -> ignore (add_set state s (Initial (i, j)))
+      | Some _ | None -> ())
+    g.Solution_graph.directed;
+  let n_blocks = Solution_graph.n_blocks g in
+  (try
+     let continue = ref true in
+     while !continue && not state.empty_derived do
+       continue := false;
+       for b = 0 to n_blocks - 1 do
+         if not state.empty_derived then
+           if derive_for_block g ~k ~budget state b then continue := true
+       done
+     done
+   with Out_of_budget -> ());
+  state
+
+let run ?budget ~k g = (fixpoint ?budget g ~k).empty_derived
+let certain_query ?budget ~k q db = run ?budget ~k (Solution_graph.of_query q db)
+let derived ~k g = Int_list_set.elements (fixpoint g ~k).minimal
+
+(* Certificates: unfold provenance from the target set down to the initial
+   solutions. Derivations are acyclic by construction (every premise was
+   added strictly before the conclusion), so the recursion terminates. *)
+let certificate ~k g =
+  let state = fixpoint g ~k in
+  if not state.empty_derived then None
+  else
+    let rec build set =
+      match Int_list_map.find_opt set state.provenance with
+      | None -> None
+      | Some (Initial _ as why) -> Some { set; why; premises = [] }
+      | Some (Via_block (_, choices) as why) ->
+          let premises =
+            List.filter_map (fun (_, t) -> build t) choices
+          in
+          if List.length premises = List.length choices then Some { set; why; premises }
+          else None
+    in
+    build []
+
+let rec pp_certificate_aux g indent ppf cert =
+  let pp_set ppf s =
+    if s = [] then Format.pp_print_string ppf "{}"
+    else
+      Format.fprintf ppf "{%s}"
+        (String.concat ", "
+           (List.map
+              (fun v -> Relational.Fact.to_string g.Solution_graph.facts.(v))
+              s))
+  in
+  (match cert.why with
+  | Initial (i, j) ->
+      Format.fprintf ppf "%s%a satisfies q: solution (%s, %s)@," indent pp_set cert.set
+        (Relational.Fact.to_string g.Solution_graph.facts.(i))
+        (Relational.Fact.to_string g.Solution_graph.facts.(j))
+  | Via_block (b, choices) ->
+      Format.fprintf ppf "%s%a derived via block %d using:@," indent pp_set cert.set b;
+      List.iter
+        (fun (u, t) ->
+          Format.fprintf ppf "%s  fact %s with premise %a@," indent
+            (Relational.Fact.to_string g.Solution_graph.facts.(u))
+            pp_set t)
+        choices);
+  List.iter (pp_certificate_aux g (indent ^ "  ") ppf) cert.premises
+
+let pp_certificate g ppf cert =
+  Format.fprintf ppf "@[<v>";
+  pp_certificate_aux g "" ppf cert;
+  Format.fprintf ppf "@]"
+
+let kappa (q : Qlang.Query.t) =
+  let l = q.Qlang.Query.schema.Relational.Schema.key_len in
+  let rec pow acc i = if i = 0 then acc else pow (acc * l) (i - 1) in
+  if l = 0 then 1 else pow 1 l
+
+let paper_k q =
+  let kap = kappa q in
+  if kap >= 30 then max_int
+  else (1 lsl ((2 * kap) + 1)) + kap - 1

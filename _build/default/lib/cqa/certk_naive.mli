@@ -1,0 +1,17 @@
+(** Textbook reference implementation of [Cert_k(q)] (Section 5), kept as an
+    oracle for the optimised antichain implementation in {!Certk}.
+
+    It materialises {e all} k-sets of the database and computes the
+    inflationary fixpoint [Δ_k(q, D)] literally: initialise with the k-sets
+    satisfying [q]; repeatedly add a k-set [S] whenever some block [B] is
+    such that every [u ∈ B] has some [S' ⊆ S ∪ {u}] already in the fixpoint;
+    answer yes iff [∅] enters the fixpoint. Exponential in [k] — use only on
+    small instances (the implementation refuses more than [10^6] candidate
+    k-sets). *)
+
+(** [run ~k g] computes [D ⊨ Cert_k(q)] by the literal definition.
+    @raise Invalid_argument if [k < 1] or the instance has too many k-sets. *)
+val run : k:int -> Qlang.Solution_graph.t -> bool
+
+(** [delta ~k g] exposes the full fixpoint (sorted vertex lists). *)
+val delta : k:int -> Qlang.Solution_graph.t -> int list list

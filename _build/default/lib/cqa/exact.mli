@@ -1,0 +1,25 @@
+(** Exact CERTAIN solvers (exponential-time baselines).
+
+    [q] is {e not} certain for [D] iff some repair of [D] falsifies [q], iff
+    one can pick one fact per block of the solution graph such that the picks
+    form an independent set (no edge, no self-loop). {!falsifying_repair}
+    searches for such a pick by backtracking with forward pruning and a
+    fewest-candidates-first block order; {!certain_enum} enumerates repairs
+    outright and is kept as an independent test oracle. *)
+
+(** [falsifying_repair g] returns one vertex per block forming an independent
+    set of [g], if any (i.e. a repair falsifying the query). *)
+val falsifying_repair : Qlang.Solution_graph.t -> int list option
+
+(** [certain g] decides CERTAIN on the solution graph: no falsifying repair. *)
+val certain : Qlang.Solution_graph.t -> bool
+
+(** [certain_query q db] builds the solution graph and runs {!certain}. *)
+val certain_query : Qlang.Query.t -> Relational.Database.t -> bool
+
+(** [certain_sjf s db] decides CERTAIN(sjf(q)) over a two-relation database. *)
+val certain_sjf : Qlang.Sjf.t -> Relational.Database.t -> bool
+
+(** [certain_enum q db] decides CERTAIN by enumerating every repair.
+    @raise Invalid_argument if [db] has more than [2^20] repairs. *)
+val certain_enum : Qlang.Query.t -> Relational.Database.t -> bool

@@ -1,0 +1,26 @@
+module Repair = Relational.Repair
+
+type estimate = {
+  trials : int;
+  satisfying : int;
+  frequency : float;
+  counterexample : Repair.t option;
+}
+
+let estimate rng ~trials q db =
+  if trials < 0 then invalid_arg "Montecarlo.estimate: negative trial count";
+  let satisfying = ref 0 in
+  let counterexample = ref None in
+  for _ = 1 to trials do
+    let r = Repair.sample rng db in
+    if Qlang.Solutions.query_satisfies q r then incr satisfying
+    else if !counterexample = None then counterexample := Some r
+  done;
+  {
+    trials;
+    satisfying = !satisfying;
+    frequency = (if trials = 0 then 1.0 else float_of_int !satisfying /. float_of_int trials);
+    counterexample = !counterexample;
+  }
+
+let refute rng ~trials q db = (estimate rng ~trials q db).counterexample

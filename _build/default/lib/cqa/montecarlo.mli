@@ -1,0 +1,30 @@
+(** Monte-Carlo estimation of the fraction of repairs satisfying a query.
+
+    CERTAIN(q) asks whether {e all} repairs satisfy [q]; in data-quality
+    practice one often also wants to know {e how close} to certain an answer
+    is. Sampling repairs uniformly (one independent uniform choice per
+    block) gives an unbiased estimator of
+    [Pr_{r ~ U(repairs)} (r ⊨ q)], and a cheap one-sided certainty test:
+    any sampled falsifying repair disproves certainty. *)
+
+type estimate = {
+  trials : int;
+  satisfying : int;  (** Samples whose repair satisfied the query. *)
+  frequency : float;  (** [satisfying / trials] (1.0 when [trials = 0]). *)
+  counterexample : Relational.Repair.t option;
+      (** A sampled falsifying repair, if one was drawn. *)
+}
+
+(** [estimate rng ~trials q db] samples [trials] repairs. *)
+val estimate :
+  Random.State.t -> trials:int -> Qlang.Query.t -> Relational.Database.t -> estimate
+
+(** [refute rng ~trials q db] is a one-sided test: [Some repair] disproves
+    CERTAIN(q); [None] means all sampled repairs satisfied [q] (which
+    {e suggests} certainty but proves nothing). *)
+val refute :
+  Random.State.t ->
+  trials:int ->
+  Qlang.Query.t ->
+  Relational.Database.t ->
+  Relational.Repair.t option

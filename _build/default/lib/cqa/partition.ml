@@ -1,0 +1,45 @@
+module Solution_graph = Qlang.Solution_graph
+module Database = Relational.Database
+
+let block_components (g : Solution_graph.t) =
+  let n_blocks = Solution_graph.n_blocks g in
+  let parent = Array.init n_blocks (fun b -> b) in
+  let rec find b = if parent.(b) = b then b else find parent.(b) in
+  let union b1 b2 =
+    let r1 = find b1 and r2 = find b2 in
+    if r1 <> r2 then parent.(r1) <- r2
+  in
+  List.iter
+    (fun (i, j) -> union g.Solution_graph.block_of.(i) g.Solution_graph.block_of.(j))
+    g.Solution_graph.directed;
+  (* Renumber roots consecutively. *)
+  let ids = Array.make n_blocks (-1) in
+  let next = ref 0 in
+  let comp = Array.make n_blocks (-1) in
+  for b = 0 to n_blocks - 1 do
+    let r = find b in
+    if ids.(r) < 0 then begin
+      ids.(r) <- !next;
+      incr next
+    end;
+    comp.(b) <- ids.(r)
+  done;
+  (comp, !next)
+
+let split (q : Qlang.Query.t) db =
+  let g = Solution_graph.of_query q db in
+  let comp, n = block_components g in
+  if n = 0 then []
+  else begin
+    let buckets = Array.make n [] in
+    Array.iteri
+      (fun v f ->
+        let c = comp.(g.Solution_graph.block_of.(v)) in
+        buckets.(c) <- f :: buckets.(c))
+      g.Solution_graph.facts;
+    Array.to_list
+      (Array.map (fun facts -> Database.of_facts (Database.schemas db) facts) buckets)
+  end
+
+let certain_by_components solve q db =
+  List.exists solve (split q db)

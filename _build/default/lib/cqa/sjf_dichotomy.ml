@@ -1,0 +1,32 @@
+module Sjf = Qlang.Sjf
+module Atom = Qlang.Atom
+module Var_set = Qlang.Term.Var_set
+
+type verdict = Sjf_ptime | Sjf_conp_complete
+
+let pp_verdict ppf = function
+  | Sjf_ptime -> Format.pp_print_string ppf "PTIME (Cert_2 exact)"
+  | Sjf_conp_complete -> Format.pp_print_string ppf "coNP-complete"
+
+let sets (s : Sjf.t) =
+  let vars_a = Atom.vars s.Sjf.a and vars_b = Atom.vars s.Sjf.b in
+  let key_a = Atom.key_vars s.Sjf.s1 s.Sjf.a and key_b = Atom.key_vars s.Sjf.s2 s.Sjf.b in
+  (vars_a, vars_b, key_a, key_b)
+
+let condition1 s =
+  let vars_a, vars_b, key_a, key_b = sets s in
+  let shared = Var_set.inter vars_a vars_b in
+  (not (Var_set.subset shared key_a))
+  && (not (Var_set.subset shared key_b))
+  && (not (Var_set.subset key_a key_b))
+  && not (Var_set.subset key_b key_a)
+
+let condition2 s =
+  let vars_a, vars_b, key_a, key_b = sets s in
+  (not (Var_set.subset key_a vars_b)) || not (Var_set.subset key_b vars_a)
+
+let classify s =
+  if condition1 s && condition2 s then Sjf_conp_complete else Sjf_ptime
+
+let certain_ptime s db = Certk.run ~k:2 (Sjf.solution_graph s db)
+let certain_exact s db = Exact.certain_sjf s db

@@ -1,0 +1,43 @@
+(** The Kolaitis–Pema dichotomy for {e self-join-free} two-atom queries
+    (IPL 2012) — the result the paper's Theorem 3 reduces to.
+
+    For [q = R1(x̄) ∧ R2(ȳ)] over two distinct relations, CERTAIN(q) is
+    coNP-complete iff both:
+
+    + [vars(A) ∩ vars(B) ⊄ key(A)], [vars(A) ∩ vars(B) ⊄ key(B)],
+      [key(A) ⊄ key(B)] and [key(B) ⊄ key(A)]; and
+    + [key(A) ⊄ vars(B)] or [key(B) ⊄ vars(A)];
+
+    and in PTIME otherwise — in which case the greedy fixpoint [Cert_2]
+    computes it (Figueira et al., ICDT 2023, proved [Cert_k] captures every
+    PTIME self-join-free case with [k] the number of atoms). Our [Cert_k]
+    implementation runs on solution graphs and therefore serves the
+    self-join-free case unchanged.
+
+    This module lets one observe the paper's remark that the converse of
+    Proposition 2 fails: [sjf(q2)] is classified PTIME here while
+    CERTAIN(q2) is coNP-complete. *)
+
+type verdict =
+  | Sjf_ptime  (** [Cert_2] computes CERTAIN. *)
+  | Sjf_conp_complete
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** Condition (1) above (the paper's Theorem 3 condition (1), read over the
+    two relations). *)
+val condition1 : Qlang.Sjf.t -> bool
+
+(** Condition (2). *)
+val condition2 : Qlang.Sjf.t -> bool
+
+(** [classify s] applies the Kolaitis–Pema dichotomy. *)
+val classify : Qlang.Sjf.t -> verdict
+
+(** [certain_ptime s db] decides CERTAIN with [Cert_2] over the two-relation
+    solution graph — exact whenever [classify s = Sjf_ptime]. *)
+val certain_ptime : Qlang.Sjf.t -> Relational.Database.t -> bool
+
+(** [certain_exact s db] is the exponential baseline (backtracking falsifier
+    search), exact for every verdict. *)
+val certain_exact : Qlang.Sjf.t -> Relational.Database.t -> bool

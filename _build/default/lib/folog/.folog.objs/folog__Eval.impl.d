@@ -1,0 +1,1 @@
+lib/folog/eval.ml: Formula List Printf Structure

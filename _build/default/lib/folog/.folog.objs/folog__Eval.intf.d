@@ -1,0 +1,1 @@
+lib/folog/eval.mli: Formula Structure

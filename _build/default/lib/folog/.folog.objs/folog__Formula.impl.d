@@ -1,0 +1,1 @@
+lib/folog/formula.ml: Format List Set String

@@ -1,0 +1,1 @@
+lib/folog/structure.mli:

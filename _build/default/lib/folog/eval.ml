@@ -1,0 +1,41 @@
+type env = (Formula.var * int) list
+
+let lookup env x =
+  match List.assoc_opt x env with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Eval: unbound variable %s" x)
+
+let rec eval s env (f : Formula.t) =
+  match f with
+  | Formula.True -> true
+  | Formula.False -> false
+  | Formula.Atom (r, xs) -> Structure.mem s r (List.map (lookup env) xs)
+  | Formula.Eq (x, y) -> lookup env x = lookup env y
+  | Formula.Not f -> not (eval s env f)
+  | Formula.And (f, g) -> eval s env f && eval s env g
+  | Formula.Or (f, g) -> eval s env f || eval s env g
+  | Formula.Implies (f, g) -> (not (eval s env f)) || eval s env g
+  | Formula.Exists (x, f) ->
+      let n = Structure.size s in
+      let rec go i = i < n && (eval s ((x, i) :: env) f || go (i + 1)) in
+      go 0
+  | Formula.Forall (x, f) ->
+      let n = Structure.size s in
+      let rec go i = i >= n || (eval s ((x, i) :: env) f && go (i + 1)) in
+      go 0
+
+let holds s f = eval s [] f
+
+let select s f ~tuple_vars =
+  List.iter
+    (fun v ->
+      if not (List.mem v tuple_vars) then
+        invalid_arg (Printf.sprintf "Eval.select: free variable %s not selected" v))
+    (Formula.free_vars f);
+  let n = Structure.size s in
+  let rec enumerate env = function
+    | [] -> if eval s env f then [ List.map (fun v -> lookup env v) tuple_vars ] else []
+    | x :: rest ->
+        List.concat (List.init n (fun i -> enumerate ((x, i) :: env) rest))
+  in
+  enumerate [] tuple_vars

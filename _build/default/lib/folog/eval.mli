@@ -1,0 +1,19 @@
+(** Model checking: evaluate FO formulas over finite structures.
+
+    Straightforward recursive evaluation; quantifiers range over the whole
+    domain. Exponential only in quantifier depth, which is constant for the
+    fixed formulas used here. *)
+
+type env = (Formula.var * int) list
+
+(** [eval s env f] evaluates [f] under the assignment [env].
+    @raise Invalid_argument if a free variable is unbound or an atom's arity
+    mismatches its relation. *)
+val eval : Structure.t -> env -> Formula.t -> bool
+
+(** [holds s f] is [eval s [] f] — [f] must be a sentence. *)
+val holds : Structure.t -> Formula.t -> bool
+
+(** [select s f ~tuple_vars] lists the assignments of [tuple_vars] making
+    [f] true ([f]'s free variables must be among [tuple_vars]). *)
+val select : Structure.t -> Formula.t -> tuple_vars:Formula.var list -> int list list

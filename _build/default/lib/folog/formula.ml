@@ -1,0 +1,46 @@
+type var = string
+
+type t =
+  | True
+  | False
+  | Atom of string * var list
+  | Eq of var * var
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Exists of var * t
+  | Forall of var * t
+
+let conj = function [] -> True | f :: fs -> List.fold_left (fun a b -> And (a, b)) f fs
+let disj = function [] -> False | f :: fs -> List.fold_left (fun a b -> Or (a, b)) f fs
+
+module Vs = Set.Make (String)
+
+let free_vars formula =
+  let rec go bound = function
+    | True | False -> Vs.empty
+    | Atom (_, xs) -> Vs.diff (Vs.of_list xs) bound
+    | Eq (x, y) -> Vs.diff (Vs.of_list [ x; y ]) bound
+    | Not f -> go bound f
+    | And (f, g) | Or (f, g) | Implies (f, g) -> Vs.union (go bound f) (go bound g)
+    | Exists (x, f) | Forall (x, f) -> go (Vs.add x bound) f
+  in
+  Vs.elements (go Vs.empty formula)
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "\u{22A4}"
+  | False -> Format.pp_print_string ppf "\u{22A5}"
+  | Atom (r, xs) -> Format.fprintf ppf "%s(%s)" r (String.concat "," xs)
+  | Eq (x, y) -> Format.fprintf ppf "%s=%s" x y
+  | Not f -> Format.fprintf ppf "\u{00AC}%a" pp_atomic f
+  | And (f, g) -> Format.fprintf ppf "%a \u{2227} %a" pp_atomic f pp_atomic g
+  | Or (f, g) -> Format.fprintf ppf "%a \u{2228} %a" pp_atomic f pp_atomic g
+  | Implies (f, g) -> Format.fprintf ppf "%a \u{2192} %a" pp_atomic f pp_atomic g
+  | Exists (x, f) -> Format.fprintf ppf "\u{2203}%s.%a" x pp_atomic f
+  | Forall (x, f) -> Format.fprintf ppf "\u{2200}%s.%a" x pp_atomic f
+
+and pp_atomic ppf f =
+  match f with
+  | True | False | Atom _ | Eq _ | Not _ -> pp ppf f
+  | And _ | Or _ | Implies _ | Exists _ | Forall _ -> Format.fprintf ppf "(%a)" pp f

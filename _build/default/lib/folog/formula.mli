@@ -1,0 +1,31 @@
+(** First-order formulas over a relational vocabulary with equality.
+
+    Terms are variables only (constants are unnecessary over the finite
+    structures we evaluate on). This substrate exists because the paper
+    observes that the initial and inductive steps of the greedy fixpoint
+    algorithm [Cert_k] "can be expressed in FO": {!Cqa.Certk_fo} runs that
+    observation literally, iterating FO-defined updates to a fixpoint. *)
+
+type var = string
+
+type t =
+  | True
+  | False
+  | Atom of string * var list  (** [Atom (r, xs)]: relation [r] holds of [xs]. *)
+  | Eq of var * var
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Exists of var * t
+  | Forall of var * t
+
+(** [conj fs] and [disj fs] fold lists ([True]/[False] for empty lists). *)
+val conj : t list -> t
+
+val disj : t list -> t
+
+(** Free variables of a formula. *)
+val free_vars : t -> var list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+type relation = { arity : int; tuples : (int list, unit) Hashtbl.t }
+type t = { size : int; relations : (string, relation) Hashtbl.t }
+
+let create ~size =
+  if size < 0 then invalid_arg "Structure.create: negative size";
+  { size; relations = Hashtbl.create 8 }
+
+let size s = s.size
+
+let declare s name arity =
+  match Hashtbl.find_opt s.relations name with
+  | Some r when r.arity <> arity ->
+      invalid_arg (Printf.sprintf "Structure.declare: %s has arity %d" name r.arity)
+  | Some _ -> ()
+  | None -> Hashtbl.add s.relations name { arity; tuples = Hashtbl.create 16 }
+
+let add s name tuple =
+  (match Hashtbl.find_opt s.relations name with
+  | None -> declare s name (List.length tuple)
+  | Some r ->
+      if r.arity <> List.length tuple then
+        invalid_arg (Printf.sprintf "Structure.add: arity mismatch for %s" name));
+  List.iter
+    (fun e ->
+      if e < 0 || e >= s.size then invalid_arg "Structure.add: element out of range")
+    tuple;
+  Hashtbl.replace (Hashtbl.find s.relations name).tuples tuple ()
+
+let mem s name tuple =
+  match Hashtbl.find_opt s.relations name with
+  | None -> false
+  | Some r -> Hashtbl.mem r.tuples tuple
+
+let cardinal s name =
+  match Hashtbl.find_opt s.relations name with
+  | None -> 0
+  | Some r -> Hashtbl.length r.tuples
+
+let tuples s name =
+  match Hashtbl.find_opt s.relations name with
+  | None -> []
+  | Some r -> Hashtbl.fold (fun t () acc -> t :: acc) r.tuples []
+
+let copy s =
+  let fresh = { size = s.size; relations = Hashtbl.create 8 } in
+  Hashtbl.iter
+    (fun name r ->
+      Hashtbl.add fresh.relations name
+        { arity = r.arity; tuples = Hashtbl.copy r.tuples })
+    s.relations;
+  fresh

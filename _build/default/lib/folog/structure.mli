@@ -1,0 +1,29 @@
+(** Finite relational structures with elements [0 .. size - 1]. *)
+
+type t
+
+(** [create ~size] builds an empty structure.
+    @raise Invalid_argument if [size < 0]. *)
+val create : size:int -> t
+
+val size : t -> int
+
+(** [declare s name arity] registers an empty relation.
+    @raise Invalid_argument if [name] exists with a different arity. *)
+val declare : t -> string -> int -> unit
+
+(** [add s name tuple] inserts a tuple (declaring the relation if new).
+    @raise Invalid_argument on arity mismatch or out-of-range elements. *)
+val add : t -> string -> int list -> unit
+
+val mem : t -> string -> int list -> bool
+
+(** Number of tuples in a relation (0 if undeclared). *)
+val cardinal : t -> string -> int
+
+(** [tuples s name] lists a relation's tuples. *)
+val tuples : t -> string -> int list list
+
+(** [copy s] is an independent deep copy — used by inflationary fixpoints to
+    snapshot the previous stage. *)
+val copy : t -> t

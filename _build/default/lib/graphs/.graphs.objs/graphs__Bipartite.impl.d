@@ -1,0 +1,1 @@
+lib/graphs/bipartite.ml: Array Format Int List Printf String

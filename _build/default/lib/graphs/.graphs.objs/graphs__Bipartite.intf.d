@@ -1,0 +1,1 @@
+lib/graphs/bipartite.mli: Format

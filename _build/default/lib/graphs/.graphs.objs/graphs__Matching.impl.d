@@ -1,0 +1,1 @@
+lib/graphs/matching.ml: Array Bipartite List Queue

@@ -1,0 +1,1 @@
+lib/graphs/matching.mli: Bipartite

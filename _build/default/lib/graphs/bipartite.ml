@@ -1,0 +1,26 @@
+type t = { n_left : int; n_right : int; adj : int list array }
+
+let make ~n_left ~n_right edges =
+  if n_left < 0 || n_right < 0 then invalid_arg "Bipartite.make: negative size";
+  let adj = Array.make (max n_left 1) [] in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n_left || v < 0 || v >= n_right then
+        invalid_arg
+          (Printf.sprintf "Bipartite.make: edge (%d,%d) out of range" u v);
+      adj.(u) <- v :: adj.(u))
+    edges;
+  let adj = Array.init n_left (fun u -> List.sort_uniq Int.compare adj.(u)) in
+  { n_left; n_right; adj }
+
+let n_edges g = Array.fold_left (fun acc l -> acc + List.length l) 0 g.adj
+let mem_edge g u v = u >= 0 && u < g.n_left && List.mem v g.adj.(u)
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>bipartite %dx%d@," g.n_left g.n_right;
+  Array.iteri
+    (fun u vs ->
+      Format.fprintf ppf "%d -> [%s]@," u
+        (String.concat "," (List.map string_of_int vs)))
+    g.adj;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,21 @@
+(** Bipartite graphs with integer-indexed sides.
+
+    Side [U] has vertices [0 .. n_left - 1], side [V] has vertices
+    [0 .. n_right - 1]; edges go between the sides. This is the input to the
+    matching algorithms used by the [Matching(q)] certain-answer algorithm of
+    Section 10.1 (the paper cites Hopcroft–Karp [5]). *)
+
+type t = private {
+  n_left : int;
+  n_right : int;
+  adj : int list array;  (** [adj.(u)] lists the right-neighbours of [u]. *)
+}
+
+(** [make ~n_left ~n_right edges] builds a graph from an edge list.
+    Duplicate edges are collapsed.
+    @raise Invalid_argument on out-of-range endpoints or negative sizes. *)
+val make : n_left:int -> n_right:int -> (int * int) list -> t
+
+val n_edges : t -> int
+val mem_edge : t -> int -> int -> bool
+val pp : Format.formatter -> t -> unit

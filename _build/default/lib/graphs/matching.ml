@@ -1,0 +1,109 @@
+type t = { pair_left : int array; pair_right : int array; size : int }
+
+let infinity_dist = max_int
+
+let hopcroft_karp (g : Bipartite.t) =
+  let n = g.Bipartite.n_left and m = g.Bipartite.n_right in
+  let pair_left = Array.make (max n 1) (-1) in
+  let pair_right = Array.make (max m 1) (-1) in
+  let dist = Array.make (max n 1) infinity_dist in
+  let queue = Queue.create () in
+  (* BFS layering from free left vertices; returns true if an augmenting
+     path exists. *)
+  let bfs () =
+    Queue.clear queue;
+    for u = 0 to n - 1 do
+      if pair_left.(u) < 0 then begin
+        dist.(u) <- 0;
+        Queue.add u queue
+      end
+      else dist.(u) <- infinity_dist
+    done;
+    let found = ref false in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun v ->
+          let u' = pair_right.(v) in
+          if u' < 0 then found := true
+          else if dist.(u') = infinity_dist then begin
+            dist.(u') <- dist.(u) + 1;
+            Queue.add u' queue
+          end)
+        g.Bipartite.adj.(u)
+    done;
+    !found
+  in
+  let rec dfs u =
+    let rec try_edges = function
+      | [] ->
+          dist.(u) <- infinity_dist;
+          false
+      | v :: rest ->
+          let u' = pair_right.(v) in
+          if u' < 0 || (dist.(u') = dist.(u) + 1 && dfs u') then begin
+            pair_left.(u) <- v;
+            pair_right.(v) <- u;
+            true
+          end
+          else try_edges rest
+    in
+    try_edges g.Bipartite.adj.(u)
+  in
+  let size = ref 0 in
+  while bfs () do
+    for u = 0 to n - 1 do
+      if pair_left.(u) < 0 && dfs u then incr size
+    done
+  done;
+  { pair_left; pair_right; size = !size }
+
+let augmenting (g : Bipartite.t) =
+  let n = g.Bipartite.n_left and m = g.Bipartite.n_right in
+  let pair_left = Array.make (max n 1) (-1) in
+  let pair_right = Array.make (max m 1) (-1) in
+  let visited = Array.make (max m 1) false in
+  let rec try_augment u =
+    List.exists
+      (fun v ->
+        if visited.(v) then false
+        else begin
+          visited.(v) <- true;
+          if pair_right.(v) < 0 || try_augment pair_right.(v) then begin
+            pair_left.(u) <- v;
+            pair_right.(v) <- u;
+            true
+          end
+          else false
+        end)
+      g.Bipartite.adj.(u)
+  in
+  let size = ref 0 in
+  for u = 0 to n - 1 do
+    Array.fill visited 0 (max m 1) false;
+    if try_augment u then incr size
+  done;
+  { pair_left; pair_right; size = !size }
+
+let saturates_left (g : Bipartite.t) m =
+  let n = g.Bipartite.n_left in
+  m.size = n
+  &&
+  let rec go u = u >= n || (m.pair_left.(u) >= 0 && go (u + 1)) in
+  go 0
+
+let is_valid (g : Bipartite.t) m =
+  let n = g.Bipartite.n_left and mr = g.Bipartite.n_right in
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    let v = m.pair_left.(u) in
+    if v >= 0 then
+      if v >= mr || not (Bipartite.mem_edge g u v) || m.pair_right.(v) <> u then
+        ok := false
+  done;
+  for v = 0 to mr - 1 do
+    let u = m.pair_right.(v) in
+    if u >= 0 && (u >= n || m.pair_left.(u) <> v) then ok := false
+  done;
+  let count = Array.fold_left (fun acc v -> if v >= 0 then acc + 1 else acc) 0 m.pair_left in
+  !ok && count = m.size

@@ -1,0 +1,25 @@
+(** Maximum matching in bipartite graphs.
+
+    Two implementations with identical specifications: {!hopcroft_karp} in
+    [O(E sqrt V)] (the algorithm cited as [5] in the paper) and the textbook
+    augmenting-path algorithm {!augmenting} in [O(V E)], kept as an
+    independent oracle for tests. *)
+
+type t = {
+  pair_left : int array;  (** [pair_left.(u)] is the partner of [u], or -1. *)
+  pair_right : int array;  (** [pair_right.(v)] is the partner of [v], or -1. *)
+  size : int;  (** Number of matched pairs. *)
+}
+
+(** Maximum matching via Hopcroft–Karp. *)
+val hopcroft_karp : Bipartite.t -> t
+
+(** Maximum matching via repeated DFS augmenting paths. *)
+val augmenting : Bipartite.t -> t
+
+(** [saturates_left g m] holds iff every left vertex is matched. *)
+val saturates_left : Bipartite.t -> t -> bool
+
+(** [is_valid g m] checks that [m] is a matching of [g]: partners are
+    mutual, edges exist, no vertex is used twice. *)
+val is_valid : Bipartite.t -> t -> bool

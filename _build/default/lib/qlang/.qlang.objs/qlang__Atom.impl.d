@@ -1,0 +1,1 @@
+lib/qlang/atom.ml: Array Format Int List Printf Relational String Term

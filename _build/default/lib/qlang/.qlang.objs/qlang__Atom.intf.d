@@ -1,0 +1,1 @@
+lib/qlang/atom.mli: Format Relational Term

@@ -1,0 +1,1 @@
+lib/qlang/dot.ml: Array Buffer List Printf Relational Solution_graph String

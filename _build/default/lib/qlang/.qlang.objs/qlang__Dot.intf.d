@@ -1,0 +1,1 @@
+lib/qlang/dot.mli: Solution_graph

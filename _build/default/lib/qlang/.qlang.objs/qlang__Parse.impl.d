@@ -1,0 +1,1 @@
+lib/qlang/parse.ml: Atom Buffer List Printf Query Relational Result String Term

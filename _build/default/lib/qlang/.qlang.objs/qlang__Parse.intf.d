@@ -1,0 +1,1 @@
+lib/qlang/parse.mli: Query Relational

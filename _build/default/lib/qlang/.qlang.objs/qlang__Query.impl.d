@@ -1,0 +1,1 @@
+lib/qlang/query.ml: Atom Format List Relational Term

@@ -1,0 +1,1 @@
+lib/qlang/query.mli: Atom Format Relational Term

@@ -1,0 +1,1 @@
+lib/qlang/sjf.ml: Array Atom List Printf Query Relational Solution_graph Solutions String Term

@@ -1,0 +1,1 @@
+lib/qlang/sjf.mli: Atom Query Relational Solution_graph

@@ -1,0 +1,1 @@
+lib/qlang/solution_graph.ml: Array Format Int List Query Queue Relational Solutions String

@@ -1,0 +1,1 @@
+lib/qlang/solution_graph.mli: Atom Format Query Relational

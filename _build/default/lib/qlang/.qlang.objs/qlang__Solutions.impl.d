@@ -1,0 +1,1 @@
+lib/qlang/solutions.ml: List Option Query Relational Subst Unify

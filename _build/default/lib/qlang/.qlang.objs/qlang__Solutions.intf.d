@@ -1,0 +1,1 @@
+lib/qlang/solutions.mli: Atom Query Relational Subst

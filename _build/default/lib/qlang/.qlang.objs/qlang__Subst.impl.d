@@ -1,0 +1,1 @@
+lib/qlang/subst.ml: Array Atom Format Term

@@ -1,0 +1,1 @@
+lib/qlang/subst.mli: Atom Format Term

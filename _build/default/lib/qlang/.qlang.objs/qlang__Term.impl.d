@@ -1,0 +1,1 @@
+lib/qlang/term.ml: Format Map Relational Set String

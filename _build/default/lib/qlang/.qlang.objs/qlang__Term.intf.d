@@ -1,0 +1,1 @@
+lib/qlang/term.mli: Format Map Relational Set

@@ -1,0 +1,1 @@
+lib/qlang/unify.ml: Array Atom Printf Relational String Subst Term

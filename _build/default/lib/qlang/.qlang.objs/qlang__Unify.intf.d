@@ -1,0 +1,1 @@
+lib/qlang/unify.mli: Atom Relational Subst Term

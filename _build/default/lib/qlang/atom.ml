@@ -1,0 +1,132 @@
+module Schema = Relational.Schema
+module Fact = Relational.Fact
+
+type t = { rel : string; args : Term.t array }
+
+let of_array rel args =
+  if Array.length args = 0 then invalid_arg "Atom.of_array: empty argument list";
+  { rel; args = Array.copy args }
+
+let make rel terms = of_array rel (Array.of_list terms)
+let arity a = Array.length a.args
+
+let nth a i =
+  if i < 0 || i >= arity a then invalid_arg "Atom.nth: out of bounds";
+  a.args.(i)
+
+let vars a =
+  Array.fold_left
+    (fun acc t -> match t with Term.Var x -> Term.Var_set.add x acc | Term.Cst _ -> acc)
+    Term.Var_set.empty a.args
+
+let fits (s : Schema.t) a = String.equal s.Schema.name a.rel && s.Schema.arity = arity a
+
+let check_fits s a =
+  if not (fits s a) then
+    invalid_arg
+      (Format.asprintf "Atom: atom %s/%d does not match schema %a" a.rel (arity a)
+         Schema.pp s)
+
+let key_tuple s a =
+  check_fits s a;
+  List.map (fun i -> a.args.(i)) (Schema.key_positions s)
+
+let vars_of_positions a positions =
+  List.fold_left
+    (fun acc i ->
+      match a.args.(i) with
+      | Term.Var x -> Term.Var_set.add x acc
+      | Term.Cst _ -> acc)
+    Term.Var_set.empty positions
+
+let key_vars s a =
+  check_fits s a;
+  vars_of_positions a (Schema.key_positions s)
+
+let nonkey_vars s a =
+  check_fits s a;
+  vars_of_positions a (Schema.nonkey_positions s)
+
+let is_ground a = Array.for_all (fun t -> not (Term.is_var t)) a.args
+
+let to_fact a =
+  let values =
+    Array.map
+      (function
+        | Term.Cst v -> v
+        | Term.Var x ->
+            invalid_arg (Printf.sprintf "Atom.to_fact: free variable %s" x))
+      a.args
+  in
+  Fact.of_array a.rel values
+
+let of_fact (f : Fact.t) = { rel = f.Fact.rel; args = Array.map Term.cst f.Fact.tuple }
+
+let rename f a =
+  {
+    a with
+    args =
+      Array.map
+        (function Term.Var x -> Term.Var (f x) | Term.Cst _ as c -> c)
+        a.args;
+  }
+
+let with_rel rel a = { a with rel }
+
+let homomorphism ~from ~into =
+  if not (String.equal from.rel into.rel && arity from = arity into) then None
+  else
+    let exception Clash in
+    try
+      let h = ref Term.Var_map.empty in
+      Array.iteri
+        (fun i t ->
+          let target = into.args.(i) in
+          match t with
+          | Term.Cst v -> (
+              match target with
+              | Term.Cst w when Relational.Value.equal v w -> ()
+              | Term.Cst _ | Term.Var _ -> raise Clash)
+          | Term.Var x -> (
+              match Term.Var_map.find_opt x !h with
+              | None -> h := Term.Var_map.add x target !h
+              | Some t' -> if not (Term.equal t' target) then raise Clash))
+        from.args;
+      Some !h
+    with Clash -> None
+
+let compare a1 a2 =
+  let c = String.compare a1.rel a2.rel in
+  if c <> 0 then c
+  else
+    let c = Int.compare (arity a1) (arity a2) in
+    if c <> 0 then c
+    else
+      let rec go i =
+        if i >= arity a1 then 0
+        else
+          let c = Term.compare a1.args.(i) a2.args.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+
+let equal a1 a2 = compare a1 a2 = 0
+
+let pp ppf a =
+  Format.fprintf ppf "@[<h>%s(%a)@]" a.rel
+    (Format.pp_print_array ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ") Term.pp)
+    a.args
+
+let pp_with_key s ppf a =
+  check_fits s a;
+  let l = s.Schema.key_len in
+  Format.fprintf ppf "@[<h>%s(" a.rel;
+  Array.iteri
+    (fun i t ->
+      if i > 0 then Format.pp_print_string ppf " ";
+      if i = l && l < arity a then Format.pp_print_string ppf "| ";
+      Term.pp ppf t)
+    a.args;
+  Format.fprintf ppf ")@]"
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,67 @@
+(** Atoms [R(t1, ..., tk)] over a schema with primary key.
+
+    In the paper atoms carry only variables; we additionally allow constants,
+    which costs nothing and makes the library usable for concrete query
+    workloads. All the paper-level notions ([vars], [key], [key-bar], ...)
+    are exposed here. *)
+
+type t = private { rel : string; args : Term.t array }
+
+(** [make rel terms] builds an atom with a non-empty argument list.
+    @raise Invalid_argument on an empty argument list. *)
+val make : string -> Term.t list -> t
+
+val of_array : string -> Term.t array -> t
+val arity : t -> int
+
+(** [nth a i] is the term at position [i] (0-based). *)
+val nth : t -> int -> Term.t
+
+(** The set of variables of the atom — the paper's [vars(A)]. *)
+val vars : t -> Term.Var_set.t
+
+(** [fits schema a] checks relation name and arity against [schema]. *)
+val fits : Relational.Schema.t -> t -> bool
+
+(** [key_tuple schema a] is the tuple of terms in key positions — the paper's
+    [key-bar(A)].
+    @raise Invalid_argument if [a] does not fit [schema]. *)
+val key_tuple : Relational.Schema.t -> t -> Term.t list
+
+(** [key_vars schema a] is the set of {e variables} occurring in key positions
+    — the paper's [key(A)]. *)
+val key_vars : Relational.Schema.t -> t -> Term.Var_set.t
+
+(** [nonkey_vars schema a] is the set of variables in non-key positions. *)
+val nonkey_vars : Relational.Schema.t -> t -> Term.Var_set.t
+
+(** [is_ground a] holds when the atom has no variables. *)
+val is_ground : t -> bool
+
+(** [to_fact a] converts a ground atom to a fact.
+    @raise Invalid_argument if [a] has variables. *)
+val to_fact : t -> Relational.Fact.t
+
+(** [of_fact f] views a fact as a ground atom. *)
+val of_fact : Relational.Fact.t -> t
+
+(** [rename f a] applies [f] to every variable of [a]. *)
+val rename : (Term.var -> Term.var) -> t -> t
+
+(** [with_rel rel a] is [a] with its relation symbol replaced by [rel]. *)
+val with_rel : string -> t -> t
+
+(** [homomorphism ~from ~into] looks for a variable mapping [h] with
+    [h(from) = into], position-wise; constants must match exactly. Returns
+    the witnessing assignment. Both atoms must have the same relation symbol
+    and arity, otherwise [None]. *)
+val homomorphism : from:t -> into:t -> Term.t Term.Var_map.t option
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** Prints with the key/non-key separator bar, e.g. [R(x u | x y)]. *)
+val pp_with_key : Relational.Schema.t -> Format.formatter -> t -> unit
+
+val to_string : t -> string

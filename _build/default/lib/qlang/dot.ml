@@ -1,0 +1,43 @@
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c -> match c with '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let render ?(name = "solutions") ?(directed = false) ?(filled = fun _ -> false)
+    (g : Solution_graph.t) =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "%s %s {\n" (if directed then "digraph" else "graph") name;
+  add "  node [shape=box, fontsize=10];\n";
+  Array.iteri
+    (fun b members ->
+      add "  subgraph cluster_block_%d {\n    label=\"block %d\";\n    style=dashed;\n" b b;
+      Array.iter
+        (fun v ->
+          add "    f%d [label=\"%s\"%s%s];\n" v
+            (escape (Relational.Fact.to_string g.Solution_graph.facts.(v)))
+            (if g.Solution_graph.self.(v) then ", color=red" else "")
+            (if filled v then ", style=filled, fillcolor=lightblue" else ""))
+        members;
+      add "  }\n")
+    g.Solution_graph.blocks;
+  let edge = if directed then "->" else "--" in
+  if directed then
+    List.iter (fun (i, j) -> add "  f%d %s f%d;\n" i edge j) g.Solution_graph.directed
+  else begin
+    Array.iteri
+      (fun i neighbours ->
+        List.iter (fun j -> if i < j then add "  f%d %s f%d;\n" i edge j) neighbours)
+      g.Solution_graph.adj;
+    Array.iteri
+      (fun i self -> if self then add "  f%d %s f%d;\n" i edge i)
+      g.Solution_graph.self
+  end;
+  add "}\n";
+  Buffer.contents buf
+
+let solution_graph ?name ?directed g = render ?name ?directed g
+
+let highlight_repair ?name g repair =
+  render ?name ~filled:(fun v -> List.mem v repair) g

@@ -1,0 +1,16 @@
+(** Graphviz (DOT) export of solution graphs.
+
+    Facts are nodes grouped into clusters by block; undirected solution
+    edges, self-loops and (optionally) the directed solution orientation are
+    drawn. Feed the output to [dot -Tsvg] to inspect why a database is or is
+    not certain. *)
+
+(** [solution_graph ?name ?directed g] renders [g]. With [directed = true]
+    (default [false]) each solution [q(a b)] is drawn as an arrow [a -> b];
+    otherwise solutions are undirected edges. *)
+val solution_graph : ?name:string -> ?directed:bool -> Solution_graph.t -> string
+
+(** [highlight_repair g repair] renders [g] with the vertices of [repair]
+    (one per block) filled — a visual consistency check of a falsifying
+    repair. *)
+val highlight_repair : ?name:string -> Solution_graph.t -> int list -> string

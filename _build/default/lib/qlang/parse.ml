@@ -1,0 +1,247 @@
+module Schema = Relational.Schema
+module Fact = Relational.Fact
+module Database = Relational.Database
+module Value = Relational.Value
+
+let ( let* ) = Result.bind
+
+type token =
+  | Ident of string
+  | Lpar
+  | Rpar
+  | Bar
+  | Lbracket
+  | Rbracket
+  | Comma
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\'' || c = '-' || c = '<' || c = '>'
+
+let tokenize s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '(' -> go (i + 1) (Lpar :: acc)
+      | ')' -> go (i + 1) (Rpar :: acc)
+      | '|' -> go (i + 1) (Bar :: acc)
+      | '[' -> go (i + 1) (Lbracket :: acc)
+      | ']' -> go (i + 1) (Rbracket :: acc)
+      | ',' -> go (i + 1) (Comma :: acc)
+      | '&' when i + 1 < n && s.[i + 1] = '&' -> go (i + 2) acc
+      | '/' when i + 1 < n && s.[i + 1] = '\\' -> go (i + 2) acc
+      | '\xe2' when i + 2 < n && s.[i + 1] = '\x88' && s.[i + 2] = '\xa7' ->
+          (* UTF-8 for the conjunction sign *)
+          go (i + 3) acc
+      | c when is_ident_char c ->
+          let j = ref i in
+          while !j < n && is_ident_char s.[!j] do
+            incr j
+          done;
+          go !j (Ident (String.sub s i (!j - i)) :: acc)
+      | c -> Error (Printf.sprintf "unexpected character %C at offset %d" c i)
+  in
+  go 0 []
+
+let value_of_ident id =
+  match int_of_string_opt id with Some n -> Value.int n | None -> Value.str id
+
+let term_of_ident id =
+  match int_of_string_opt id with
+  | Some n -> Term.cst (Value.int n)
+  | None ->
+      let c = id.[0] in
+      if (c >= 'a' && c <= 'z') || c = '_' then Term.var id
+      else Term.cst (Value.str id)
+
+(* Parses [Name ( arg ... arg | arg ... arg )]; returns name, args, bar pos. *)
+let parse_tuple tokens =
+  match tokens with
+  | Ident name :: Lpar :: rest ->
+      let rec args acc bar i = function
+        | Rpar :: rest -> Ok ((name, List.rev acc, bar), rest)
+        | Bar :: rest ->
+            if bar = None then args acc (Some i) i rest
+            else Error "duplicate key separator '|'"
+        | Ident id :: rest -> args (id :: acc) bar (i + 1) rest
+        | Comma :: rest -> args acc bar i rest
+        | (Lpar | Lbracket | Rbracket) :: _ -> Error "malformed tuple"
+        | [] -> Error "unexpected end of input, expected ')'"
+      in
+      args [] None 0 rest
+  | _ -> Error "expected an atom of the form Name(...)"
+
+let query s =
+  let* tokens = tokenize s in
+  let* (name_a, args_a, bar_a), rest = parse_tuple tokens in
+  let* (name_b, args_b, bar_b), rest = parse_tuple rest in
+  let* () = if rest = [] then Ok () else Error "trailing input after second atom" in
+  let* () =
+    if String.equal name_a name_b then Ok ()
+    else Error "the two atoms must use the same relation symbol"
+  in
+  let arity = List.length args_a in
+  let* () =
+    if List.length args_b = arity then Ok ()
+    else Error "the two atoms must have the same arity"
+  in
+  let* () = if arity > 0 then Ok () else Error "atoms must have arity >= 1" in
+  let* key_len =
+    match (bar_a, bar_b) with
+    | Some l, Some l' when l = l' -> Ok l
+    | Some l, None | None, Some l -> Ok l
+    | None, None -> Ok arity
+    | Some l, Some l' ->
+        Error (Printf.sprintf "inconsistent key separators (%d vs %d)" l l')
+  in
+  let schema = Schema.make ~name:name_a ~arity ~key_len in
+  let atom name args = Atom.make name (List.map term_of_ident args) in
+  Query.make schema (atom name_a args_a) (atom name_b args_b)
+
+let query_exn s =
+  match query s with Ok q -> q | Error msg -> invalid_arg ("Parse.query: " ^ msg)
+
+let fact s =
+  let* tokens = tokenize s in
+  let* (name, args, bar), rest = parse_tuple tokens in
+  let* () = if rest = [] then Ok () else Error "trailing input after fact" in
+  let* () = if args <> [] then Ok () else Error "facts must have arity >= 1" in
+  Ok (Fact.make name (List.map value_of_ident args), bar)
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | None -> line
+  | Some i -> String.sub line 0 i
+
+let parse_schema_decl tokens =
+  match tokens with
+  | [ Ident name; Lbracket; Ident k; Comma; Ident l; Rbracket ] -> (
+      match (int_of_string_opt k, int_of_string_opt l) with
+      | Some arity, Some key_len -> Some (Schema.make ~name ~arity ~key_len)
+      | _, _ -> None)
+  | _ -> None
+
+let database s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map strip_comment
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let rec go schemas pending = function
+    | [] -> Ok (List.rev schemas, List.rev pending)
+    | line :: rest -> (
+        let* tokens = tokenize line in
+        match parse_schema_decl tokens with
+        | Some sc -> go (sc :: schemas) pending rest
+        | None ->
+            let* f, bar = fact line in
+            go schemas ((f, bar) :: pending) rest)
+  in
+  let* schemas, facts = go [] [] lines in
+  (* Infer schemas for relations without a declaration, using the bar. *)
+  let* schemas =
+    List.fold_left
+      (fun acc (f, bar) ->
+        let* acc = acc in
+        let rel = f.Fact.rel in
+        if List.exists (fun (sc : Schema.t) -> String.equal sc.Schema.name rel) acc
+        then Ok acc
+        else
+          match bar with
+          | Some key_len ->
+              Ok (Schema.make ~name:rel ~arity:(Fact.arity f) ~key_len :: acc)
+          | None ->
+              Error
+                (Printf.sprintf
+                   "no schema for relation %s: declare %s[k,l] or use a '|'" rel rel))
+      (Ok schemas) facts
+  in
+  let* () = if schemas <> [] then Ok () else Error "empty database file" in
+  try Ok (Database.of_facts schemas (List.map fst facts))
+  with Invalid_argument msg -> Error msg
+
+let database_exn s =
+  match database s with
+  | Ok db -> db
+  | Error msg -> invalid_arg ("Parse.database: " ^ msg)
+
+(* Minimal CSV: separator-split with support for double-quoted cells
+   (doubled quotes escape). *)
+let split_csv_line separator line =
+  let n = String.length line in
+  let cells = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    cells := Buffer.contents buf :: !cells;
+    Buffer.clear buf
+  in
+  let rec go i in_quotes =
+    if i >= n then begin
+      flush ();
+      Ok (List.rev !cells)
+    end
+    else
+      let c = line.[i] in
+      if in_quotes then
+        if c = '"' then
+          if i + 1 < n && line.[i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            go (i + 2) true
+          end
+          else go (i + 1) false
+        else begin
+          Buffer.add_char buf c;
+          go (i + 1) true
+        end
+      else if c = '"' && Buffer.length buf = 0 then go (i + 1) true
+      else if c = separator then begin
+        flush ();
+        go (i + 1) false
+      end
+      else begin
+        Buffer.add_char buf c;
+        go (i + 1) false
+      end
+  in
+  go 0 false
+
+let csv ?(separator = ',') ?(skip_header = false) ~schema s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map (fun l -> String.trim l)
+    |> List.filter (fun l -> l <> "")
+  in
+  let lines =
+    if skip_header then match lines with _ :: r -> r | [] -> [] else lines
+  in
+  let arity = schema.Schema.arity in
+  let* facts =
+    List.fold_left
+      (fun acc line ->
+        let* acc = acc in
+        let* cells = split_csv_line separator line in
+        if List.length cells <> arity then
+          Error
+            (Printf.sprintf "csv row %S has %d cells, expected %d" line
+               (List.length cells) arity)
+        else
+          let values =
+            List.map
+              (fun cell ->
+                let cell = String.trim cell in
+                match int_of_string_opt cell with
+                | Some n -> Value.int n
+                | None -> Value.str cell)
+              cells
+          in
+          Ok (Fact.make schema.Schema.name values :: acc))
+      (Ok []) lines
+  in
+  try Ok (Database.of_facts [ schema ] (List.rev facts))
+  with Invalid_argument msg -> Error msg

@@ -1,0 +1,53 @@
+(** Concrete syntax for queries, facts and databases.
+
+    Query syntax mirrors the paper's underlined-key notation using a bar:
+
+    {v R(x u | x y) R(u y | x z) v}
+
+    denotes [q2 = R(xu xy) ∧ R(uy xz)] over signature [\[4, 2\]]. The two
+    atoms may be separated by whitespace, [","], ["&&"] or ["/\\"]. Tokens
+    starting with a lowercase letter or [_] are variables; integers and
+    capitalised or quoted tokens are constants. The bar may be omitted when
+    all positions are key positions.
+
+    Fact and database syntax uses the same shape with values only:
+
+    {v
+    # blocks of R[2,1]
+    R(1 | a)
+    R(1 | b)
+    R(2 | a)
+    v}
+
+    A database file may start with schema declarations [R\[k,l\]]; otherwise
+    the schema is inferred from the first fact of each relation together with
+    the mandatory bar. *)
+
+(** [query s] parses a two-atom self-join query. *)
+val query : string -> (Query.t, string) result
+
+(** [query_exn s] is [query] raising [Invalid_argument]. *)
+val query_exn : string -> Query.t
+
+(** [fact s] parses a single fact such as [R(1 2 | a b)], returning the fact
+    and its inferred key length (position of the bar), if a bar is present. *)
+val fact : string -> (Relational.Fact.t * int option, string) result
+
+(** [database s] parses a database file: one fact per line, [#] comments,
+    optional [R\[k,l\]] schema declarations. *)
+val database : string -> (Relational.Database.t, string) result
+
+val database_exn : string -> Relational.Database.t
+
+(** [csv ~schema s] loads a single relation from CSV text: one row per fact,
+    [separator]-separated values (default [',']), columns in schema position
+    order. Numeric cells become integer values, other cells strings; cells
+    may be double-quoted. A first row that repeats the relation's column
+    count but matches no data shape is {e not} skipped — strip headers before
+    calling, or pass [skip_header:true]. *)
+val csv :
+  ?separator:char ->
+  ?skip_header:bool ->
+  schema:Relational.Schema.t ->
+  string ->
+  (Relational.Database.t, string) result

@@ -1,0 +1,65 @@
+module Schema = Relational.Schema
+
+type t = { schema : Schema.t; a : Atom.t; b : Atom.t }
+
+let make schema a b =
+  if not (Atom.fits schema a) then
+    Error (Format.asprintf "atom %a does not fit schema %a" Atom.pp a Schema.pp schema)
+  else if not (Atom.fits schema b) then
+    Error (Format.asprintf "atom %a does not fit schema %a" Atom.pp b Schema.pp schema)
+  else Ok { schema; a; b }
+
+let make_exn schema a b =
+  match make schema a b with Ok q -> q | Error msg -> invalid_arg ("Query.make: " ^ msg)
+
+let swap q = { q with a = q.b; b = q.a }
+let vars_a q = Atom.vars q.a
+let vars_b q = Atom.vars q.b
+let vars q = Term.Var_set.union (vars_a q) (vars_b q)
+let shared_vars q = Term.Var_set.inter (vars_a q) (vars_b q)
+let key_a q = Atom.key_vars q.schema q.a
+let key_b q = Atom.key_vars q.schema q.b
+
+type triviality = Hom_a_to_b | Hom_b_to_a | Equal_key_tuples
+
+(* Atom [from] is redundant iff a homomorphism sends it onto [into] while
+   fixing [into] pointwise — mapping the whole query into the atom [into].
+   Since [h(into) = into] positionally forces [h] to be the identity on
+   [vars(into)], it suffices to check that the positional map [from -> into]
+   fixes the shared variables. *)
+let redundant ~from ~into =
+  match Atom.homomorphism ~from ~into with
+  | None -> false
+  | Some h ->
+      let shared = Term.Var_set.inter (Atom.vars from) (Atom.vars into) in
+      Term.Var_set.for_all
+        (fun v ->
+          match Term.Var_map.find_opt v h with
+          | None -> true
+          | Some t -> Term.equal t (Term.Var v))
+        shared
+
+let triviality q =
+  if redundant ~from:q.a ~into:q.b then Some Hom_a_to_b
+  else if redundant ~from:q.b ~into:q.a then Some Hom_b_to_a
+  else if
+    List.for_all2 Term.equal (Atom.key_tuple q.schema q.a) (Atom.key_tuple q.schema q.b)
+  then Some Equal_key_tuples
+  else None
+
+let rename f q = { q with a = Atom.rename f q.a; b = Atom.rename f q.b }
+let equal q1 q2 = Schema.equal q1.schema q2.schema && Atom.equal q1.a q2.a && Atom.equal q1.b q2.b
+
+let compare q1 q2 =
+  let c = Schema.compare q1.schema q2.schema in
+  if c <> 0 then c
+  else
+    let c = Atom.compare q1.a q2.a in
+    if c <> 0 then c else Atom.compare q1.b q2.b
+
+let pp ppf q =
+  Format.fprintf ppf "@[<h>%a \u{2227} %a@]"
+    (Atom.pp_with_key q.schema) q.a
+    (Atom.pp_with_key q.schema) q.b
+
+let to_string q = Format.asprintf "%a" pp q

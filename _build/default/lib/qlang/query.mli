@@ -1,0 +1,61 @@
+(** Two-atom Boolean conjunctive queries with self-join: [q = A /\ B] where
+    both atoms use the same relation symbol. All variables are existentially
+    quantified, so a query is fully described by its two atoms and the schema.
+
+    The module also implements the paper's triviality analysis (Section 2):
+    [q] is equivalent to a one-atom query — and CERTAIN(q) is then trivially
+    in PTIME — iff there is a homomorphism between its atoms or the two key
+    tuples coincide. *)
+
+type t = private {
+  schema : Relational.Schema.t;
+  a : Atom.t;  (** The paper's atom [A]. *)
+  b : Atom.t;  (** The paper's atom [B]. *)
+}
+
+(** [make schema a b] validates that both atoms fit [schema]. *)
+val make : Relational.Schema.t -> Atom.t -> Atom.t -> (t, string) result
+
+(** [make_exn schema a b] is [make] raising [Invalid_argument] on error. *)
+val make_exn : Relational.Schema.t -> Atom.t -> Atom.t -> t
+
+(** [swap q] is the equivalent query [BA]. *)
+val swap : t -> t
+
+(** [vars q] is [vars(A) ∪ vars(B)]. *)
+val vars : t -> Term.Var_set.t
+
+(** [shared_vars q] is [vars(A) ∩ vars(B)]. *)
+val shared_vars : t -> Term.Var_set.t
+
+val vars_a : t -> Term.Var_set.t
+val vars_b : t -> Term.Var_set.t
+
+(** [key_a q] is the paper's [key(A)]: the variables in key positions of A. *)
+val key_a : t -> Term.Var_set.t
+
+val key_b : t -> Term.Var_set.t
+
+(** Why a query is equivalent to a one-atom query, when it is. *)
+type triviality =
+  | Hom_a_to_b  (** A homomorphism maps [A] into [B], so [q ≡ B]. *)
+  | Hom_b_to_a  (** A homomorphism maps [B] into [A], so [q ≡ A]. *)
+  | Equal_key_tuples
+      (** [key-bar(A) = key-bar(B)]: over consistent databases both atoms must
+          be matched by the same fact, so [q] is equivalent to a one-atom
+          query. *)
+
+(** [triviality q] detects equivalence to a one-atom query. [None] means [q]
+    is a genuine two-atom query, the paper's standing assumption. *)
+val triviality : t -> triviality option
+
+(** [rename f q] renames every variable in both atoms. *)
+val rename : (Term.var -> Term.var) -> t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Prints as [R(x u | x y) ∧ R(u y | x z)]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

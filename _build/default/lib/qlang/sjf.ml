@@ -1,0 +1,44 @@
+module Schema = Relational.Schema
+module Fact = Relational.Fact
+module Database = Relational.Database
+module Value = Relational.Value
+
+type t = { s1 : Schema.t; s2 : Schema.t; a : Atom.t; b : Atom.t }
+
+let of_query (q : Query.t) =
+  let s = q.Query.schema in
+  let name1 = s.Schema.name ^ "1" and name2 = s.Schema.name ^ "2" in
+  let s1 = Schema.make ~name:name1 ~arity:s.Schema.arity ~key_len:s.Schema.key_len in
+  let s2 = Schema.make ~name:name2 ~arity:s.Schema.arity ~key_len:s.Schema.key_len in
+  { s1; s2; a = Atom.with_rel name1 q.Query.a; b = Atom.with_rel name2 q.Query.b }
+
+let schemas s = [ s.s1; s.s2 ]
+let solution_graph s db = Solution_graph.of_atoms s.a s.b db
+let satisfies s facts = Solutions.satisfies s.a s.b facts
+
+let encode_term t =
+  match t with
+  | Term.Var x -> Value.str x
+  | Term.Cst v -> Value.tag "c" v
+
+let reduce (q : Query.t) db =
+  let s = (of_query q : t) in
+  let mu atom (f : Fact.t) =
+    let tuple =
+      Array.mapi
+        (fun i u -> Value.pair (encode_term (Atom.nth atom i)) u)
+        f.Fact.tuple
+    in
+    Fact.of_array q.Query.schema.Schema.name tuple
+  in
+  let images =
+    List.map
+      (fun (f : Fact.t) ->
+        if String.equal f.Fact.rel s.s1.Schema.name then mu q.Query.a f
+        else if String.equal f.Fact.rel s.s2.Schema.name then mu q.Query.b f
+        else
+          invalid_arg
+            (Printf.sprintf "Sjf.reduce: unexpected relation %s" f.Fact.rel))
+      (Database.facts db)
+  in
+  Database.of_facts [ q.Query.schema ] images

@@ -1,0 +1,36 @@
+(** The canonical self-join-free variant [sjf(q)] of a query, and the
+    reduction of Proposition 2.
+
+    [sjf(q)] is [q] with the relation symbol of [A] renamed to [R1] and that
+    of [B] renamed to [R2]. Proposition 2 gives a polynomial-time reduction
+    from CERTAIN(sjf(q)) to CERTAIN(q): every fact [Ri(u1 ... uk)] of a
+    two-relation database [D] is mapped to the [R]-fact whose position [j]
+    holds the pair [⟨z_j, u_j⟩], where [z_j] is the term at position [j] of
+    the corresponding atom. *)
+
+type t = private {
+  s1 : Relational.Schema.t;  (** Schema of [R1] (same arity/key as [R]). *)
+  s2 : Relational.Schema.t;  (** Schema of [R2]. *)
+  a : Atom.t;  (** [A] with relation renamed to [R1]. *)
+  b : Atom.t;  (** [B] with relation renamed to [R2]. *)
+}
+
+(** [of_query q] renames [R] to [R ^ "1"] in [A] and [R ^ "2"] in [B]. *)
+val of_query : Query.t -> t
+
+(** Schemas of the two fresh relations, for building input databases. *)
+val schemas : t -> Relational.Schema.t list
+
+(** [solution_graph s db] is the solution graph of [sjf(q)] over a database
+    with [R1]- and [R2]-facts. *)
+val solution_graph : t -> Relational.Database.t -> Solution_graph.t
+
+(** [satisfies s facts] decides [facts ⊨ sjf(q)]. *)
+val satisfies : t -> Relational.Fact.t list -> bool
+
+(** [reduce q db] is the Proposition 2 database [D' = μ(D)]: it maps the
+    two-relation database [db] (over [schemas (of_query q)]) to a database
+    over [q]'s single relation such that
+    [D ⊨ CERTAIN(sjf(q))] iff [D' ⊨ CERTAIN(q)].
+    @raise Invalid_argument if [db] contains facts of other relations. *)
+val reduce : Query.t -> Relational.Database.t -> Relational.Database.t

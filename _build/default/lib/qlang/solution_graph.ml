@@ -1,0 +1,113 @@
+module Fact = Relational.Fact
+module Database = Relational.Database
+module Block = Relational.Block
+
+type t = {
+  facts : Fact.t array;
+  block_of : int array;
+  blocks : int array array;
+  adj : int list array;
+  self : bool array;
+  directed : (int * int) list;
+}
+
+let of_atoms a b db =
+  let facts = Array.of_list (Database.facts db) in
+  let n = Array.length facts in
+  let index =
+    let m = ref Fact.Map.empty in
+    Array.iteri (fun i f -> m := Fact.Map.add f i !m) facts;
+    !m
+  in
+  let idx f = Fact.Map.find f index in
+  let block_of = Array.make n (-1) in
+  let blocks =
+    Database.blocks db
+    |> List.mapi (fun bi (blk : Block.t) ->
+           let members = List.map idx blk.Block.facts in
+           List.iter (fun i -> block_of.(i) <- bi) members;
+           Array.of_list members)
+    |> Array.of_list
+  in
+  let self = Array.make n false in
+  let adj_sets = Array.make n [] in
+  let directed =
+    Solutions.pairs a b db
+    |> List.map (fun (f, g) ->
+           let i = idx f and j = idx g in
+           if i = j then self.(i) <- true
+           else begin
+             adj_sets.(i) <- j :: adj_sets.(i);
+             adj_sets.(j) <- i :: adj_sets.(j)
+           end;
+           (i, j))
+  in
+  let adj = Array.map (List.sort_uniq Int.compare) adj_sets in
+  { facts; block_of; blocks; adj; self; directed }
+
+let of_query (q : Query.t) db = of_atoms q.Query.a q.Query.b db
+let n_facts g = Array.length g.facts
+let n_blocks g = Array.length g.blocks
+
+let index g f =
+  let n = n_facts g in
+  let rec go i =
+    if i >= n then raise Not_found
+    else if Fact.equal g.facts.(i) f then i
+    else go (i + 1)
+  in
+  go 0
+
+let edge g i j = i <> j && List.mem j g.adj.(i)
+
+let components g =
+  let n = n_facts g in
+  let comp = Array.make n (-1) in
+  let next = ref 0 in
+  let queue = Queue.create () in
+  for start = 0 to n - 1 do
+    if comp.(start) < 0 then begin
+      let c = !next in
+      incr next;
+      comp.(start) <- c;
+      Queue.add start queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        List.iter
+          (fun w ->
+            if comp.(w) < 0 then begin
+              comp.(w) <- c;
+              Queue.add w queue
+            end)
+          g.adj.(v)
+      done
+    end
+  done;
+  (comp, !next)
+
+let is_quasi_clique g ~member ~comp =
+  let vertices = ref [] in
+  Array.iteri (fun i c -> if c = comp then vertices := i :: !vertices) member;
+  let vs = !vertices in
+  List.for_all
+    (fun i ->
+      List.for_all
+        (fun j ->
+          i >= j || g.block_of.(i) = g.block_of.(j) || edge g i j)
+        vs)
+    vs
+
+let is_clique_database g =
+  let member, n = components g in
+  let rec go c = c >= n || (is_quasi_clique g ~member ~comp:c && go (c + 1)) in
+  go 0
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i f ->
+      Format.fprintf ppf "%d: %a%s -> [%s]@," i Fact.pp f
+        (if g.self.(i) then " (self)" else "")
+        (String.concat "," (List.map string_of_int g.adj.(i))))
+    g.facts;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,51 @@
+(** The solution graph [G(D, q)] of Section 10.1, enriched with block
+    structure.
+
+    Vertices are the facts of [D] (indexed [0 .. n-1]); there is an undirected
+    edge between distinct facts [a], [b] iff [D ⊨ q{ab}], and a self-loop on
+    [a] iff [D ⊨ q(aa)]. The structure also records the block partition and
+    the full directed solution list, and is the common input of all CERTAIN
+    solvers in the [cqa] library: both a genuine self-join query and its
+    self-join-free variant reduce to it. *)
+
+type t = private {
+  facts : Relational.Fact.t array;  (** Vertex [i] is [facts.(i)]. *)
+  block_of : int array;  (** Block id of each vertex. *)
+  blocks : int array array;  (** [blocks.(b)] lists the vertices of block [b]. *)
+  adj : int list array;  (** Sorted adjacency lists (symmetric, no self edges). *)
+  self : bool array;  (** [self.(i)] iff [q(a_i, a_i)]. *)
+  directed : (int * int) list;  (** All ordered solutions, including [(i, i)]. *)
+}
+
+(** [of_atoms a b db] builds the solution graph of [a ∧ b] over [db]. *)
+val of_atoms : Atom.t -> Atom.t -> Relational.Database.t -> t
+
+(** [of_query q db] is [of_atoms q.a q.b db]. *)
+val of_query : Query.t -> Relational.Database.t -> t
+
+val n_facts : t -> int
+val n_blocks : t -> int
+
+(** [index g f] is the vertex of fact [f].
+    @raise Not_found if [f] is not a vertex. *)
+val index : t -> Relational.Fact.t -> int
+
+(** [edge g i j] tests the undirected edge [q{ij}] (false when [i = j]; use
+    {!t.self} for self-loops). *)
+val edge : t -> int -> int -> bool
+
+(** Connected components (ignoring self-loops): [components g] assigns a
+    component id to every vertex, ids numbered [0 .. c-1] in order of first
+    appearance. *)
+val components : t -> int array * int
+
+(** [is_quasi_clique g comp member] decides whether the component of id
+    [comp] (w.r.t. the assignment [member]) is a quasi-clique: any two
+    non-key-equal facts in it are adjacent (Section 10.1). *)
+val is_quasi_clique : t -> member:int array -> comp:int -> bool
+
+(** [is_clique_database g] decides whether every connected component is a
+    quasi-clique — [db] is then a {e clique-database} for [q]. *)
+val is_clique_database : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+type var = string
+
+type t =
+  | Var of var
+  | Cst of Relational.Value.t
+
+let var x = Var x
+let cst v = Cst v
+let is_var = function Var _ -> true | Cst _ -> false
+
+let compare t1 t2 =
+  match (t1, t2) with
+  | Var x, Var y -> String.compare x y
+  | Var _, Cst _ -> -1
+  | Cst _, Var _ -> 1
+  | Cst v, Cst w -> Relational.Value.compare v w
+
+let equal t1 t2 = compare t1 t2 = 0
+
+let pp ppf = function
+  | Var x -> Format.pp_print_string ppf x
+  | Cst v -> Format.fprintf ppf "'%a'" Relational.Value.pp v
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Var_set = Set.Make (String)
+module Var_map = Map.Make (String)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

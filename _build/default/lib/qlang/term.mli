@@ -1,0 +1,25 @@
+(** Terms: variables or constants.
+
+    Atom positions hold terms. The symbolic tripath search of the core library
+    also uses terms as "symbolic elements" of candidate databases. *)
+
+type var = string
+
+type t =
+  | Var of var
+  | Cst of Relational.Value.t
+
+val var : string -> t
+val cst : Relational.Value.t -> t
+
+val is_var : t -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Var_set : Set.S with type elt = var
+module Var_map : Map.S with type key = var
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

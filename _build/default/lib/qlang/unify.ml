@@ -1,0 +1,38 @@
+let rec terms s t1 t2 =
+  let t1 = Subst.apply_term s t1 and t2 = Subst.apply_term s t2 in
+  match (t1, t2) with
+  | Term.Cst v, Term.Cst w -> if Relational.Value.equal v w then Some s else None
+  | Term.Var x, (Term.Var _ | Term.Cst _) ->
+      if Term.equal t1 t2 then Some s else Subst.extend x t2 s
+  | Term.Cst _, Term.Var _ -> terms s t2 t1
+
+let arrays s ts1 ts2 =
+  if Array.length ts1 <> Array.length ts2 then None
+  else
+    let rec go s i =
+      if i >= Array.length ts1 then Some s
+      else
+        match terms s ts1.(i) ts2.(i) with
+        | None -> None
+        | Some s' -> go s' (i + 1)
+    in
+    go s 0
+
+let atoms s a1 a2 =
+  if not (String.equal a1.Atom.rel a2.Atom.rel) then None
+  else arrays s a1.Atom.args a2.Atom.args
+
+let match_fact s a f = atoms s a (Atom.of_fact f)
+
+module Fresh = struct
+  type t = { prefix : string; mutable next : int }
+
+  let create ?(prefix = "_v") () = { prefix; next = 0 }
+
+  let name g =
+    let n = g.next in
+    g.next <- n + 1;
+    Printf.sprintf "%s%d" g.prefix n
+
+  let var g = Term.Var (name g)
+end

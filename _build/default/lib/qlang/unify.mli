@@ -1,0 +1,32 @@
+(** Syntactic unification of terms and atoms.
+
+    Terms here are flat (variables or constants), so unification is the
+    simple union-find-free variant: no occurs check is needed. Used by query
+    evaluation (matching atoms against facts) and by the symbolic tripath
+    search of the core library. *)
+
+(** [terms s t1 t2] unifies two terms under an existing substitution,
+    returning the extended most general unifier. *)
+val terms : Subst.t -> Term.t -> Term.t -> Subst.t option
+
+(** [arrays s ts1 ts2] unifies position-wise; the arrays must have equal
+    length, otherwise [None]. *)
+val arrays : Subst.t -> Term.t array -> Term.t array -> Subst.t option
+
+(** [atoms s a1 a2] unifies two atoms (same relation symbol and arity
+    required). *)
+val atoms : Subst.t -> Atom.t -> Atom.t -> Subst.t option
+
+(** [match_fact s a f] unifies atom [a] with the ground atom of fact [f]:
+    the result binds variables of [a] to constants. *)
+val match_fact : Subst.t -> Atom.t -> Relational.Fact.t -> Subst.t option
+
+(** A stateful generator of fresh variable names ["prefix0", "prefix1", ...].
+    Distinct generators with distinct prefixes never collide. *)
+module Fresh : sig
+  type t
+
+  val create : ?prefix:string -> unit -> t
+  val var : t -> Term.t
+  val name : t -> Term.var
+end

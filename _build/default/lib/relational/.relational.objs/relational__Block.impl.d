@@ -1,0 +1,1 @@
+lib/relational/block.ml: Fact Format List Map Option String Value

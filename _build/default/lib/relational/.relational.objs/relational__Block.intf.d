@@ -1,0 +1,1 @@
+lib/relational/block.mli: Fact Format Schema Value

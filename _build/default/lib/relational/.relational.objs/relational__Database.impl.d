@@ -1,0 +1,1 @@
+lib/relational/database.ml: Block Fact Format List Map Option Printf Schema String Value

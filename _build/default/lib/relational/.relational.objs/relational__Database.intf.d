@@ -1,0 +1,1 @@
+lib/relational/database.mli: Block Fact Format Schema Value

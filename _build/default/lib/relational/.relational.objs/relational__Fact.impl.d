@@ -1,0 +1,1 @@
+lib/relational/fact.ml: Array Format Hashtbl Int List Map Schema Set String Value

@@ -1,0 +1,1 @@
+lib/relational/fact.mli: Format Map Schema Set Value

@@ -1,0 +1,1 @@
+lib/relational/repair.ml: Array Block Database Fact List Random Seq

@@ -1,0 +1,1 @@
+lib/relational/repair.mli: Database Fact Random Seq

@@ -1,0 +1,1 @@
+lib/relational/value.ml: Format Hashtbl Map Set Stdlib String

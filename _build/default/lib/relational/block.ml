@@ -1,0 +1,46 @@
+type t = { rel : string; key : Value.t list; facts : Fact.t list }
+
+let make schema facts =
+  match facts with
+  | [] -> invalid_arg "Block.make: empty block"
+  | f0 :: rest ->
+      if not (List.for_all (Fact.key_equal schema f0) rest) then
+        invalid_arg "Block.make: facts are not key-equal";
+      let facts = List.sort_uniq Fact.compare facts in
+      { rel = f0.Fact.rel; key = Fact.key schema f0; facts }
+
+let size b = List.length b.facts
+let mem f b = List.exists (Fact.equal f) b.facts
+
+module Key_map = Map.Make (struct
+  type t = string * Value.t list
+
+  let compare (r1, k1) (r2, k2) =
+    let c = String.compare r1 r2 in
+    if c <> 0 then c else List.compare Value.compare k1 k2
+end)
+
+let group schema facts =
+  let by_key =
+    List.fold_left
+      (fun acc f ->
+        let k = (f.Fact.rel, Fact.key schema f) in
+        let existing = Option.value ~default:[] (Key_map.find_opt k acc) in
+        Key_map.add k (f :: existing) acc)
+      Key_map.empty facts
+  in
+  Key_map.fold (fun _ fs acc -> make schema fs :: acc) by_key []
+  |> List.rev
+
+let compare b1 b2 =
+  let c = String.compare b1.rel b2.rel in
+  if c <> 0 then c else List.compare Value.compare b1.key b2.key
+
+let equal b1 b2 = compare b1 b2 = 0
+
+let pp ppf b =
+  Format.fprintf ppf "@[<hov 2>{%a}@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Fact.pp)
+    b.facts

@@ -1,0 +1,27 @@
+(** Blocks of key-equal facts.
+
+    A block is a maximal set of key-equal facts of a database (Section 2 of
+    the paper). Every repair picks exactly one fact from every block. *)
+
+type t = private {
+  rel : string;  (** Relation symbol of the block's facts. *)
+  key : Value.t list;  (** The shared key tuple. *)
+  facts : Fact.t list;  (** Distinct facts, sorted by {!Fact.compare}. *)
+}
+
+(** [make schema facts] groups the non-empty list [facts] — which must all be
+    key-equal w.r.t. [schema] — into a block.
+    @raise Invalid_argument if [facts] is empty or the facts are not key-equal. *)
+val make : Schema.t -> Fact.t list -> t
+
+(** Number of facts in the block. *)
+val size : t -> int
+
+val mem : Fact.t -> t -> bool
+
+(** [group schema facts] partitions [facts] into blocks. *)
+val group : Schema.t -> Fact.t list -> t list
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,140 @@
+module String_map = Map.Make (String)
+
+module Key_map = Map.Make (struct
+  type t = string * Value.t list
+
+  let compare (r1, k1) (r2, k2) =
+    let c = String.compare r1 r2 in
+    if c <> 0 then c else List.compare Value.compare k1 k2
+end)
+
+type t = {
+  schemas : Schema.t String_map.t;
+  facts : Fact.Set.t;
+  by_key : Fact.Set.t Key_map.t;  (* index: (rel, key tuple) -> facts *)
+}
+
+let empty schemas =
+  if schemas = [] then invalid_arg "Database.empty: no schemas";
+  let map =
+    List.fold_left
+      (fun acc (s : Schema.t) ->
+        if String_map.mem s.Schema.name acc then
+          invalid_arg
+            (Printf.sprintf "Database.empty: duplicate relation %s" s.Schema.name)
+        else String_map.add s.Schema.name s acc)
+      String_map.empty schemas
+  in
+  { schemas = map; facts = Fact.Set.empty; by_key = Key_map.empty }
+
+let schema db rel =
+  match String_map.find_opt rel db.schemas with
+  | Some s -> s
+  | None -> raise Not_found
+
+let schema_of db (f : Fact.t) = schema db f.Fact.rel
+
+let fact_key db (f : Fact.t) =
+  let s =
+    match String_map.find_opt f.Fact.rel db.schemas with
+    | Some s -> s
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Database: undeclared relation %s" f.Fact.rel)
+  in
+  if Schema.(s.arity) <> Fact.arity f then
+    invalid_arg
+      (Format.asprintf "Database: fact %a has wrong arity for schema %a" Fact.pp
+         f Schema.pp s);
+  (f.Fact.rel, Fact.key s f)
+
+let add db f =
+  let k = fact_key db f in
+  if Fact.Set.mem f db.facts then db
+  else
+    let bucket = Option.value ~default:Fact.Set.empty (Key_map.find_opt k db.by_key) in
+    {
+      db with
+      facts = Fact.Set.add f db.facts;
+      by_key = Key_map.add k (Fact.Set.add f bucket) db.by_key;
+    }
+
+let remove db f =
+  if not (Fact.Set.mem f db.facts) then db
+  else
+    let k = fact_key db f in
+    let bucket = Option.value ~default:Fact.Set.empty (Key_map.find_opt k db.by_key) in
+    let bucket = Fact.Set.remove f bucket in
+    {
+      db with
+      facts = Fact.Set.remove f db.facts;
+      by_key =
+        (if Fact.Set.is_empty bucket then Key_map.remove k db.by_key
+         else Key_map.add k bucket db.by_key);
+    }
+
+let of_facts schemas facts = List.fold_left add (empty schemas) facts
+let mem db f = Fact.Set.mem f db.facts
+let size db = Fact.Set.cardinal db.facts
+let is_empty db = Fact.Set.is_empty db.facts
+let facts db = Fact.Set.elements db.facts
+let fact_set db = db.facts
+let schemas db = List.map snd (String_map.bindings db.schemas)
+
+let blocks db =
+  Key_map.fold
+    (fun (rel, _) fs acc ->
+      let s = schema db rel in
+      Block.make s (Fact.Set.elements fs) :: acc)
+    db.by_key []
+  |> List.rev
+
+let block_of db f =
+  match Key_map.find_opt (fact_key db f) db.by_key with
+  | None -> []
+  | Some fs -> Fact.Set.elements fs
+
+let siblings db f = List.filter (fun g -> not (Fact.equal f g)) (block_of db f)
+
+let is_consistent db =
+  Key_map.for_all (fun _ fs -> Fact.Set.cardinal fs <= 1) db.by_key
+
+let key_equal db f g =
+  String.equal f.Fact.rel g.Fact.rel
+  &&
+  match String_map.find_opt f.Fact.rel db.schemas with
+  | None -> false
+  | Some s -> Fact.arity f = Schema.(s.arity) && Fact.key_equal s f g
+
+let union d1 d2 =
+  let schemas =
+    String_map.union
+      (fun name s1 s2 ->
+        if Schema.equal s1 s2 then Some s1
+        else
+          invalid_arg
+            (Printf.sprintf "Database.union: conflicting schemas for %s" name))
+      d1.schemas d2.schemas
+  in
+  let base = { schemas; facts = Fact.Set.empty; by_key = Key_map.empty } in
+  Fact.Set.fold (fun f db -> add db f) (Fact.Set.union d1.facts d2.facts) base
+
+let filter p db =
+  let keep = Fact.Set.filter p db.facts in
+  Fact.Set.fold
+    (fun f acc -> add acc f)
+    keep
+    { db with facts = Fact.Set.empty; by_key = Key_map.empty }
+
+let adom db =
+  Fact.Set.fold (fun f acc -> Value.Set.union (Fact.adom f) acc) db.facts
+    Value.Set.empty
+
+let equal d1 d2 =
+  Fact.Set.equal d1.facts d2.facts
+  && String_map.equal Schema.equal d1.schemas d2.schemas
+
+let pp ppf db =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Fact.pp)
+    (facts db)

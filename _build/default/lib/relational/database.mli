@@ -1,0 +1,72 @@
+(** In-memory databases: finite sets of facts over declared schemas.
+
+    Databases may be inconsistent (contain distinct key-equal facts); that is
+    the whole point of the library. A database may span several relations —
+    the self-join-free reduction of Proposition 2 needs databases over two
+    relation symbols [R1] and [R2]. *)
+
+type t
+
+(** [empty schemas] is the empty database over the given relations.
+    @raise Invalid_argument on duplicate relation names or empty schema list. *)
+val empty : Schema.t list -> t
+
+(** [add db f] adds fact [f]. Adding an already-present fact is a no-op.
+    @raise Invalid_argument if [f]'s relation is undeclared or its arity is
+    wrong. *)
+val add : t -> Fact.t -> t
+
+val remove : t -> Fact.t -> t
+
+(** [of_facts schemas facts] is [List.fold_left add (empty schemas) facts]. *)
+val of_facts : Schema.t list -> Fact.t list -> t
+
+val mem : t -> Fact.t -> bool
+
+(** Number of facts. *)
+val size : t -> int
+
+val is_empty : t -> bool
+val facts : t -> Fact.t list
+val fact_set : t -> Fact.Set.t
+val schemas : t -> Schema.t list
+
+(** [schema db rel] is the schema of relation [rel].
+    @raise Not_found if undeclared. *)
+val schema : t -> string -> Schema.t
+
+(** [schema_of db f] is the schema governing fact [f].
+    @raise Not_found if [f]'s relation is undeclared. *)
+val schema_of : t -> Fact.t -> Schema.t
+
+(** All blocks of the database, over all relations. *)
+val blocks : t -> Block.t list
+
+(** [block_of db f] is the block of [f] in [db] (whether or not [f] is in
+    [db]: the block of facts of [db] key-equal to [f], which may be empty and
+    is then returned as [None]). *)
+val block_of : t -> Fact.t -> Fact.t list
+
+(** [siblings db f] are the facts of [db] key-equal to [f], excluding [f]. *)
+val siblings : t -> Fact.t -> Fact.t list
+
+(** A database is consistent iff no block has two distinct facts. *)
+val is_consistent : t -> bool
+
+(** [key_equal db f g] is [f ~ g] w.r.t. the schema of their relation. Facts
+    over different relations are never key-equal. *)
+val key_equal : t -> Fact.t -> Fact.t -> bool
+
+(** [union d1 d2] merges two databases.
+    @raise Invalid_argument if they declare conflicting schemas for the same
+    relation name. *)
+val union : t -> t -> t
+
+(** [filter p db] keeps the facts satisfying [p]. *)
+val filter : (Fact.t -> bool) -> t -> t
+
+(** Set of all elements occurring in the database (active domain). *)
+val adom : t -> Value.Set.t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+(** Ground facts [R(v1, ..., vk)].
+
+    A fact stores its relation symbol and a tuple of {!Value.t}. Key-related
+    operations take the {!Schema.t} as argument; the {!Database} module keeps
+    facts and schemas consistent. *)
+
+type t = private { rel : string; tuple : Value.t array }
+
+(** [make rel values] builds a fact. The tuple must be non-empty.
+    @raise Invalid_argument on an empty tuple. *)
+val make : string -> Value.t list -> t
+
+(** [of_array rel values] is [make] on an array (the array is copied). *)
+val of_array : string -> Value.t array -> t
+
+val arity : t -> int
+
+(** [nth f i] is the element at position [i] (0-based).
+    @raise Invalid_argument if out of bounds. *)
+val nth : t -> int -> Value.t
+
+(** [key schema f] is the tuple of key-position elements, in order.
+    @raise Invalid_argument if [f] does not belong to [schema]. *)
+val key : Schema.t -> t -> Value.t list
+
+(** [key_set schema f] is the {e set} of elements occurring in key positions —
+    the paper's [key(a)]. *)
+val key_set : Schema.t -> t -> Value.Set.t
+
+(** The set of all elements of the fact — the paper's [adom(a)]. *)
+val adom : t -> Value.Set.t
+
+(** [key_equal schema f g] holds iff [f ~ g]: same relation and same key tuple. *)
+val key_equal : Schema.t -> t -> t -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+(** [pp_with_key schema ppf f] prints the fact as [R(k1 k2 | v1 v2)], with a
+    bar separating key from non-key positions. *)
+val pp_with_key : Schema.t -> Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,56 @@
+type t = Fact.t list
+
+let count db =
+  let rec go acc = function
+    | [] -> Some acc
+    | b :: rest ->
+        let m = Block.size b in
+        if m > 0 && acc > max_int / m then None else go (acc * m) rest
+  in
+  go 1 (Database.blocks db)
+
+let enumerate db =
+  let blocks = Database.blocks db in
+  let rec product = function
+    | [] -> Seq.return []
+    | (b : Block.t) :: rest ->
+        let tails = product rest in
+        Seq.concat_map
+          (fun f -> Seq.map (fun tail -> f :: tail) tails)
+          (List.to_seq b.Block.facts)
+  in
+  Seq.map (List.sort Fact.compare) (product blocks)
+
+let is_repair db r =
+  let sorted = List.sort Fact.compare r in
+  List.for_all (Database.mem db) r
+  && List.length (List.sort_uniq Fact.compare r) = List.length r
+  && List.length sorted = List.length (Database.blocks db)
+  && List.for_all
+       (fun (b : Block.t) -> List.exists (fun f -> Block.mem f b) r)
+       (Database.blocks db)
+
+let for_all db p = Seq.for_all p (enumerate db)
+let exists db p = Seq.exists p (enumerate db)
+
+let find db p =
+  Seq.fold_left
+    (fun acc r -> match acc with Some _ -> acc | None -> if p r then Some r else None)
+    None (enumerate db)
+
+let sample rng db =
+  Database.blocks db
+  |> List.map (fun (b : Block.t) ->
+         let fs = Array.of_list b.Block.facts in
+         fs.(Random.State.int rng (Array.length fs)))
+  |> List.sort Fact.compare
+
+let replace db r ~old_fact ~new_fact =
+  if not (List.exists (Fact.equal old_fact) r) then
+    invalid_arg "Repair.replace: old fact not in repair";
+  if not (Database.key_equal db old_fact new_fact) then
+    invalid_arg "Repair.replace: facts are not key-equal";
+  List.map (fun f -> if Fact.equal f old_fact then new_fact else f) r
+  |> List.sort Fact.compare
+
+let to_database db r = Database.of_facts (Database.schemas db) r

@@ -1,0 +1,44 @@
+(** Repairs of an inconsistent database.
+
+    A repair is a subset-maximal consistent subset of a database: it picks
+    exactly one fact from every block. A database with blocks of sizes
+    [m1, ..., mp] has exactly [m1 * ... * mp] repairs, which is exponential in
+    general; this module provides lazy enumeration, counting, sampling and
+    quantification with early exit. *)
+
+type t = Fact.t list
+(** A repair as a list of facts, one per block, sorted by {!Fact.compare}. *)
+
+(** [count db] is the number of repairs of [db]. Returns [None] on overflow
+    beyond [max_int]. The empty database has exactly one (empty) repair. *)
+val count : Database.t -> int option
+
+(** Lazy enumeration of all repairs. *)
+val enumerate : Database.t -> t Seq.t
+
+(** [is_repair db r] checks that [r] is a repair of [db]: consistent, subset
+    of [db], and containing one fact from every block. *)
+val is_repair : Database.t -> t -> bool
+
+(** [for_all db p] holds iff every repair satisfies [p]. Early exit on the
+    first counterexample. *)
+val for_all : Database.t -> (t -> bool) -> bool
+
+(** [exists db p] holds iff some repair satisfies [p]. Early exit. *)
+val exists : Database.t -> (t -> bool) -> bool
+
+(** [find db p] returns the first enumerated repair satisfying [p], if any. *)
+val find : Database.t -> (t -> bool) -> t option
+
+(** [sample rng db] draws a repair uniformly at random. *)
+val sample : Random.State.t -> Database.t -> t
+
+(** [replace db r ~old_fact ~new_fact] is the paper's [r\[a -> a'\]]: the
+    repair obtained by replacing [old_fact] by the key-equal [new_fact].
+    @raise Invalid_argument if [old_fact] is not in [r] or the two facts are
+    not key-equal in [db]. *)
+val replace : Database.t -> t -> old_fact:Fact.t -> new_fact:Fact.t -> t
+
+(** [to_database db r] views a repair as a consistent database over the same
+    schemas. *)
+val to_database : Database.t -> t -> Database.t

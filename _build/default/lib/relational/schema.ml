@@ -1,0 +1,24 @@
+type t = { name : string; arity : int; key_len : int }
+
+let make ~name ~arity ~key_len =
+  if name = "" then invalid_arg "Schema.make: empty relation name";
+  if arity < 1 then invalid_arg "Schema.make: arity must be >= 1";
+  if key_len < 0 || key_len > arity then
+    invalid_arg "Schema.make: key_len must be within [0, arity]";
+  { name; arity; key_len }
+
+let rec range i j = if i >= j then [] else i :: range (i + 1) j
+let key_positions s = range 0 s.key_len
+let nonkey_positions s = range s.key_len s.arity
+
+let equal s1 s2 =
+  String.equal s1.name s2.name && s1.arity = s2.arity && s1.key_len = s2.key_len
+
+let compare s1 s2 =
+  let c = String.compare s1.name s2.name in
+  if c <> 0 then c
+  else
+    let c = Int.compare s1.arity s2.arity in
+    if c <> 0 then c else Int.compare s1.key_len s2.key_len
+
+let pp ppf s = Format.fprintf ppf "%s[%d,%d]" s.name s.arity s.key_len

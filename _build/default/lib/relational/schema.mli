@@ -1,0 +1,26 @@
+(** Relation schemas with primary-key constraints.
+
+    A schema is a relation symbol [R] with signature [\[k, l\]] in the paper's
+    notation: [k >= 1] is the arity and the first [l] positions ([0 <= l <= k])
+    form the primary key. *)
+
+type t = private {
+  name : string;  (** Relation symbol. *)
+  arity : int;  (** Number of positions, [k >= 1]. *)
+  key_len : int;  (** Number of leading key positions, [0 <= key_len <= arity]. *)
+}
+
+(** [make ~name ~arity ~key_len] builds a schema.
+    @raise Invalid_argument if [arity < 1], [key_len < 0], [key_len > arity]
+    or [name] is empty. *)
+val make : name:string -> arity:int -> key_len:int -> t
+
+(** Key positions [0 .. key_len - 1]. *)
+val key_positions : t -> int list
+
+(** Non-key positions [key_len .. arity - 1]. *)
+val nonkey_positions : t -> int list
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

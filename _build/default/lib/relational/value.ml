@@ -1,0 +1,45 @@
+type t =
+  | Int of int
+  | Str of string
+  | Pair of t * t
+
+let int n = Int n
+let str s = Str s
+let pair a b = Pair (a, b)
+let triple a b c = Pair (a, Pair (b, c))
+let tag label v = Pair (Str label, v)
+
+let rec compare v1 v2 =
+  match (v1, v2) with
+  | Int a, Int b -> Stdlib.compare a b
+  | Int _, (Str _ | Pair _) -> -1
+  | Str _, Int _ -> 1
+  | Str a, Str b -> String.compare a b
+  | Str _, Pair _ -> -1
+  | Pair _, (Int _ | Str _) -> 1
+  | Pair (a1, b1), Pair (a2, b2) ->
+      let c = compare a1 a2 in
+      if c <> 0 then c else compare b1 b2
+
+let equal v1 v2 = compare v1 v2 = 0
+
+let rec hash = function
+  | Int n -> Hashtbl.hash (0, n)
+  | Str s -> Hashtbl.hash (1, s)
+  | Pair (a, b) -> Hashtbl.hash (2, hash a, hash b)
+
+let rec pp ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Str s -> Format.pp_print_string ppf s
+  | Pair (a, b) -> Format.fprintf ppf "@[<h>\u{27E8}%a,%a\u{27E9}@]" pp a pp b
+
+let to_string v = Format.asprintf "%a" pp v
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

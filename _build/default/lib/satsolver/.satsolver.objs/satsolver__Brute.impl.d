@@ -1,0 +1,1 @@
+lib/satsolver/brute.ml: Array Cnf Option Printf

@@ -1,0 +1,1 @@
+lib/satsolver/brute.mli: Cnf

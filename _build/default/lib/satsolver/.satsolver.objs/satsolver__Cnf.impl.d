@@ -1,0 +1,1 @@
+lib/satsolver/cnf.ml: Array Format List Printf String

@@ -1,0 +1,1 @@
+lib/satsolver/cnf.mli: Format

@@ -1,0 +1,1 @@
+lib/satsolver/dpll.ml: Array Cnf Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/satsolver/dpll.mli: Cnf

@@ -1,0 +1,1 @@
+lib/satsolver/threesat.ml: Array Cnf Hashtbl Int List Option Random Set

@@ -1,0 +1,1 @@
+lib/satsolver/threesat.mli: Cnf Random

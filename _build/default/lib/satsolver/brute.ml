@@ -1,0 +1,39 @@
+let max_vars = 25
+
+let check (f : Cnf.t) =
+  if f.Cnf.n_vars > max_vars then
+    invalid_arg
+      (Printf.sprintf "Brute: refusing %d > %d variables" f.Cnf.n_vars max_vars)
+
+let fold f init formula =
+  check formula;
+  let n = formula.Cnf.n_vars in
+  let assignment = Array.make (n + 1) false in
+  let rec go acc mask =
+    if mask >= 1 lsl n then acc
+    else begin
+      for v = 1 to n do
+        assignment.(v) <- mask land (1 lsl (v - 1)) <> 0
+      done;
+      go (f acc assignment) (mask + 1)
+    end
+  in
+  go init 0
+
+exception Found of bool array
+
+let find_model formula =
+  try
+    fold
+      (fun () assignment ->
+        if Cnf.eval formula assignment then raise (Found (Array.copy assignment)))
+      () formula;
+    None
+  with Found model -> Some model
+
+let is_sat formula = Option.is_some (find_model formula)
+
+let count_models formula =
+  fold
+    (fun acc assignment -> if Cnf.eval formula assignment then acc + 1 else acc)
+    0 formula

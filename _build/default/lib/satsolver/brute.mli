@@ -1,0 +1,17 @@
+(** Exhaustive SAT baseline.
+
+    Tries all [2^n] assignments; used as an independent oracle to validate
+    {!Dpll} in tests. Guarded against accidental blow-ups. *)
+
+(** [is_sat f] decides satisfiability by enumeration.
+    @raise Invalid_argument if [f] has more than [max_vars] variables. *)
+val is_sat : Cnf.t -> bool
+
+(** [find_model f] returns a model if one exists. Same guard as {!is_sat}. *)
+val find_model : Cnf.t -> bool array option
+
+(** [count_models f] counts the satisfying assignments. Same guard. *)
+val count_models : Cnf.t -> int
+
+(** The enumeration guard (25). *)
+val max_vars : int

@@ -1,0 +1,91 @@
+type result = Sat of bool array | Unsat
+
+(* Clauses are simplified eagerly: satisfied clauses are dropped, false
+   literals removed. The working state is the clause list plus the partial
+   assignment. *)
+
+type state = { clauses : int list list; assignment : (int * bool) list }
+
+exception Conflict
+
+let assign lit state =
+  let v = abs lit and value = lit > 0 in
+  let clauses =
+    List.filter_map
+      (fun clause ->
+        if List.mem lit clause then None
+        else
+          match List.filter (fun l -> l <> -lit) clause with
+          | [] -> raise Conflict
+          | simplified -> Some simplified)
+      state.clauses
+  in
+  { clauses; assignment = (v, value) :: state.assignment }
+
+let find_unit state =
+  List.find_map (function [ l ] -> Some l | _ -> None) state.clauses
+
+let find_pure state =
+  let pos = Hashtbl.create 16 and neg = Hashtbl.create 16 in
+  List.iter
+    (List.iter (fun l ->
+         if l > 0 then Hashtbl.replace pos l () else Hashtbl.replace neg (-l) ()))
+    state.clauses;
+  Hashtbl.fold
+    (fun v () acc ->
+      match acc with
+      | Some _ -> acc
+      | None -> if Hashtbl.mem neg v then None else Some v)
+    pos None
+  |> function
+  | Some v -> Some v
+  | None ->
+      Hashtbl.fold
+        (fun v () acc ->
+          match acc with
+          | Some _ -> acc
+          | None -> if Hashtbl.mem pos v then None else Some (-v))
+        neg None
+
+let choose_branch state =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (List.iter (fun l ->
+         let c = Option.value ~default:0 (Hashtbl.find_opt counts l) in
+         Hashtbl.replace counts l (c + 1)))
+    state.clauses;
+  let best = ref None in
+  Hashtbl.iter
+    (fun l c ->
+      match !best with
+      | Some (_, c') when c' >= c -> ()
+      | Some _ | None -> best := Some (l, c))
+    counts;
+  Option.map fst !best
+
+let rec search state =
+  match find_unit state with
+  | Some l -> ( try search (assign l state) with Conflict -> None)
+  | None -> (
+      match find_pure state with
+      | Some l -> ( try search (assign l state) with Conflict -> None)
+      | None -> (
+          match choose_branch state with
+          | None -> Some state.assignment (* no clauses left: satisfied *)
+          | Some l -> (
+              match try search (assign l state) with Conflict -> None with
+              | Some model -> Some model
+              | None -> (
+                  try search (assign (-l) state) with Conflict -> None))))
+
+let solve (f : Cnf.t) =
+  let state = { clauses = f.Cnf.clauses; assignment = [] } in
+  match search state with
+  | None -> Unsat
+  | Some partial ->
+      let model = Array.make (f.Cnf.n_vars + 1) false in
+      List.iter (fun (v, value) -> model.(v) <- value) partial;
+      assert (Cnf.eval f model);
+      Sat model
+
+let is_sat f = match solve f with Sat _ -> true | Unsat -> false

@@ -1,0 +1,14 @@
+(** A DPLL SAT solver: unit propagation, pure-literal elimination and
+    branching on a most-frequent literal.
+
+    Complete and sound; adequate for the gadget experiments of Theorem 12
+    (small formulas, checked against {!Brute}). *)
+
+type result =
+  | Sat of bool array  (** A model; index 0 is unused. *)
+  | Unsat
+
+val solve : Cnf.t -> result
+
+(** [is_sat f] is [true] iff [f] is satisfiable. *)
+val is_sat : Cnf.t -> bool

@@ -1,0 +1,170 @@
+type normalized = Decided of bool | Formula of Cnf.t
+
+module Int_set = Set.Make (Int)
+
+let dedup_clause clause = List.sort_uniq Int.compare clause
+let is_tautology clause = List.exists (fun l -> List.mem (-l) clause) clause
+
+exception Empty_clause
+
+(* Assign literal [l] true in the clause list. *)
+let assign l clauses =
+  List.filter_map
+    (fun clause ->
+      if List.mem l clause then None
+      else
+        match List.filter (fun x -> x <> -l) clause with
+        | [] -> raise Empty_clause
+        | c -> Some c)
+    clauses
+
+(* Unit propagation + pure literal elimination to fixpoint. *)
+let simplify clauses =
+  let rec go clauses =
+    match List.find_map (function [ l ] -> Some l | _ -> None) clauses with
+    | Some l -> go (assign l clauses)
+    | None ->
+        let pos, neg =
+          List.fold_left
+            (List.fold_left (fun (pos, neg) l ->
+                 if l > 0 then (Int_set.add l pos, neg)
+                 else (pos, Int_set.add (-l) neg)))
+            (Int_set.empty, Int_set.empty) clauses
+        in
+        let pure_pos = Int_set.diff pos neg and pure_neg = Int_set.diff neg pos in
+        if Int_set.is_empty pure_pos && Int_set.is_empty pure_neg then clauses
+        else
+          let clauses = Int_set.fold (fun v cs -> assign v cs) pure_pos clauses in
+          let clauses = Int_set.fold (fun v cs -> assign (-v) cs) pure_neg clauses in
+          go clauses
+  in
+  go clauses
+
+(* Split clauses with more than 3 literals using fresh chaining variables:
+   (l1 .. lm) becomes (l1 l2 y1)(neg y1 l3 y2)...(neg y_j l_{m-1} lm). *)
+let split_long next_var clauses =
+  let fresh () =
+    let v = !next_var in
+    incr next_var;
+    v
+  in
+  List.concat_map
+    (fun clause ->
+      let rec go acc = function
+        | l1 :: l2 :: l3 :: (_ :: _ as rest) ->
+            let y = fresh () in
+            go ([ l1; l2; y ] :: acc) ((-y) :: l3 :: rest)
+        | short -> List.rev (short :: acc)
+      in
+      match clause with
+      | [ _ ] | [ _; _ ] | [ _; _; _ ] -> [ clause ]
+      | _ -> go [] clause)
+    clauses
+
+(* Limit every variable to at most 3 occurrences via the standard cyclic
+   implication chain: replace the i-th occurrence of v by a fresh v_i and add
+   clauses (neg v_1 v_2) ... (neg v_m v_1), forcing all copies equal. *)
+let limit_occurrences next_var clauses =
+  let occ = Hashtbl.create 16 in
+  List.iter
+    (List.iter (fun l ->
+         let v = abs l in
+         Hashtbl.replace occ v (1 + Option.value ~default:0 (Hashtbl.find_opt occ v))))
+    clauses;
+  let heavy = Hashtbl.fold (fun v c acc -> if c > 3 then v :: acc else acc) occ [] in
+  let chains = ref [] in
+  let clauses = ref clauses in
+  List.iter
+    (fun v ->
+      let copies = ref [] in
+      let counter = ref 0 in
+      clauses :=
+        List.map
+          (List.map (fun l ->
+               if abs l <> v then l
+               else begin
+                 let fresh = !next_var in
+                 incr next_var;
+                 copies := fresh :: !copies;
+                 incr counter;
+                 if l > 0 then fresh else -fresh
+               end))
+          !clauses;
+      match List.rev !copies with
+      | [] | [ _ ] -> ()
+      | first :: _ as all ->
+          let rec link = function
+            | a :: (b :: _ as rest) ->
+                chains := [ -a; b ] :: !chains;
+                link rest
+            | [ last ] -> chains := [ -last; first ] :: !chains
+            | [] -> ()
+          in
+          link all)
+    heavy;
+  !clauses @ List.rev !chains
+
+let max_var clauses =
+  List.fold_left (List.fold_left (fun m l -> max m (abs l))) 0 clauses
+
+let normalize (f : Cnf.t) =
+  let clauses =
+    f.Cnf.clauses |> List.map dedup_clause
+    |> List.filter (fun c -> not (is_tautology c))
+  in
+  match simplify clauses with
+  | exception Empty_clause -> Decided false
+  | [] -> Decided true
+  | clauses ->
+      let next_var = ref (max_var clauses + 1) in
+      let clauses = split_long next_var clauses in
+      let clauses = limit_occurrences next_var clauses in
+      Formula (Cnf.make ~n_vars:(max_var clauses) clauses)
+
+let in_gadget_shape (f : Cnf.t) =
+  let pol = Cnf.polarities f in
+  let vars_used = Hashtbl.create 16 in
+  List.iter
+    (List.iter (fun l -> Hashtbl.replace vars_used (abs l) ()))
+    f.Cnf.clauses;
+  let clause_ok clause =
+    let n = List.length clause in
+    let vars = List.map abs clause in
+    n >= 2 && n <= 3 && List.length (List.sort_uniq Int.compare vars) = n
+  in
+  let var_ok v =
+    let pos, neg = pol.(v) in
+    pos >= 1 && neg >= 1 && pos + neg <= 3
+  in
+  List.for_all clause_ok f.Cnf.clauses
+  && Hashtbl.fold (fun v () acc -> acc && var_ok v) vars_used true
+
+let chain ~sat n =
+  if n < 4 then invalid_arg "Threesat.chain: need at least 4 chain variables";
+  let y = n + 1 and z = n + 2 in
+  let cycle =
+    List.init n (fun i ->
+        let x = i + 1 in
+        let x' = if x = n then 1 else x + 1 in
+        [ -x; x' ])
+  in
+  let force_true = [ [ 1; y ]; [ 2; -y ] ] in
+  let tail =
+    if sat then [ [ -(n - 1); z ]; [ n; -z ] ] else [ [ -(n - 1); z ]; [ -n; -z ] ]
+  in
+  Cnf.make ~n_vars:(n + 2) (cycle @ force_true @ tail)
+
+let random rng ~n_vars ~n_clauses =
+  if n_vars < 3 then invalid_arg "Threesat.random: need at least 3 variables";
+  let clause () =
+    let rec distinct acc =
+      if List.length acc = 3 then acc
+      else
+        let v = 1 + Random.State.int rng n_vars in
+        if List.mem v acc then distinct acc else distinct (v :: acc)
+    in
+    List.map
+      (fun v -> if Random.State.bool rng then v else -v)
+      (distinct [])
+  in
+  Cnf.make ~n_vars (List.init n_clauses (fun _ -> clause ()))

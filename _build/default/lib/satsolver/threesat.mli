@@ -1,0 +1,36 @@
+(** Normalisation to the 3-SAT fragment used by the Theorem 12 reduction,
+    and random formula generation.
+
+    The reduction of Section 9 consumes 3-SAT formulas in which every
+    variable occurs at most three times, at least once positively and at
+    least once negatively, every clause has between two and three literals,
+    and no clause repeats a variable. [normalize] brings an arbitrary CNF
+    into this shape while preserving satisfiability (it may instead decide
+    the formula outright when simplification leaves nothing to encode). *)
+
+type normalized =
+  | Decided of bool  (** Simplification already settled satisfiability. *)
+  | Formula of Cnf.t  (** An equisatisfiable formula in gadget shape. *)
+
+(** [normalize f] applies: tautology/duplicate removal, unit propagation,
+    pure-literal elimination, clause splitting to at most 3 literals, and the
+    occurrence-chain construction limiting every variable to 3 occurrences. *)
+val normalize : Cnf.t -> normalized
+
+(** [in_gadget_shape f] checks all the invariants listed above; [normalize]
+    always produces formulas satisfying it (when not [Decided]). *)
+val in_gadget_shape : Cnf.t -> bool
+
+(** [random rng ~n_vars ~n_clauses] draws a uniform random 3-CNF with
+    exactly three distinct variables per clause.
+    @raise Invalid_argument if [n_vars < 3]. *)
+val random : Random.State.t -> n_vars:int -> n_clauses:int -> Cnf.t
+
+(** [chain ~sat n] is a deterministic gadget-shaped family for scaling
+    experiments: an implication cycle [x1 -> x2 -> ... -> xn -> x1] (forcing
+    all [xi] equal) plus clauses forcing the chain true — and, when
+    [sat = false], also false, making the formula unsatisfiable. All
+    variables occur 2–3 times with both polarities and every clause has two
+    distinct variables.
+    @raise Invalid_argument if [n < 4]. *)
+val chain : sat:bool -> int -> Cnf.t

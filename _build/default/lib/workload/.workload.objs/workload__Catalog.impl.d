@@ -1,0 +1,1 @@
+lib/workload/catalog.ml: Core Format List Qlang Relational String

@@ -1,0 +1,1 @@
+lib/workload/catalog.mli: Core Format Qlang

@@ -1,0 +1,1 @@
+lib/workload/designs.ml: Catalog List Qlang Random Relational

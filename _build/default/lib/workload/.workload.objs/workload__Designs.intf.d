@@ -1,0 +1,1 @@
+lib/workload/designs.mli: Random Relational

@@ -1,0 +1,1 @@
+lib/workload/randdb.ml: Array Core Hashtbl List Qlang Random Relational Satsolver

@@ -1,0 +1,1 @@
+lib/workload/randdb.mli: Core Qlang Random Relational Satsolver

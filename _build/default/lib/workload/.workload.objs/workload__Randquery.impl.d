@@ -1,0 +1,1 @@
+lib/workload/randquery.ml: List Printf Qlang Random Relational

@@ -1,0 +1,1 @@
+lib/workload/randquery.mli: Qlang Random

@@ -1,0 +1,174 @@
+module Query = Qlang.Query
+module Value = Relational.Value
+module Fact = Relational.Fact
+
+type expected =
+  | Exp_trivial
+  | Exp_conp_sjf
+  | Exp_ptime_cert2
+  | Exp_ptime_no_tripath
+  | Exp_conp_fork
+  | Exp_ptime_triangle
+
+let pp_expected ppf e =
+  Format.pp_print_string ppf
+    (match e with
+    | Exp_trivial -> "PTIME (trivial)"
+    | Exp_conp_sjf -> "coNP-complete (Thm 3)"
+    | Exp_ptime_cert2 -> "PTIME (Thm 4, Cert_2)"
+    | Exp_ptime_no_tripath -> "PTIME (Thm 9, no tripath)"
+    | Exp_conp_fork -> "coNP-complete (Thm 12, fork-tripath)"
+    | Exp_ptime_triangle -> "PTIME (Thm 18, triangle only)")
+
+type entry = {
+  name : string;
+  description : string;
+  query : Query.t;
+  expected : expected;
+}
+
+let q = Qlang.Parse.query_exn
+let q1 = q "R(x u | x v) R(v y | u y)"
+let q2 = q "R(x u | x y) R(u y | x z)"
+let q3 = q "R(x | y) R(y | z)"
+let q4 = q "R(x x | y) R(x y | y)"
+let q5 = q "R(x | y x) R(y | x u)"
+let q6 = q "R(x | y z) R(z | x y)"
+
+let q7 =
+  q
+    "R(x1 x2 x3 | y1 y1 y2 y3 z1 z2 z3 z4 z4 z4 z4) R(x3 x1 x2 | y3 y1 y1 y2 \
+     z2 z3 z4 z1 z2 z3 z4)"
+
+let all =
+  [
+    {
+      name = "q1";
+      description = "Theorem 3 example: shared variables outside both keys";
+      query = q1;
+      expected = Exp_conp_sjf;
+    };
+    {
+      name = "q2";
+      description = "fork-tripath example (Figures 1b/1c); sjf(q2) is PTIME";
+      query = q2;
+      expected = Exp_conp_fork;
+    };
+    {
+      name = "q3";
+      description = "path-shaped query, shared variable is key(B)";
+      query = q3;
+      expected = Exp_ptime_cert2;
+    };
+    {
+      name = "q4";
+      description = "key(A) included in key(B)";
+      query = q4;
+      expected = Exp_ptime_cert2;
+    };
+    {
+      name = "q5";
+      description = "2way-determined with no tripath";
+      query = q5;
+      expected = Exp_ptime_no_tripath;
+    };
+    {
+      name = "q6";
+      description = "clique-query; triangle-tripaths only; Cert_k alone fails";
+      query = q6;
+      expected = Exp_ptime_triangle;
+    };
+    {
+      name = "q7";
+      description =
+        "arity-14 example as transcribed (equal key variable sets, so \
+         Theorem 4 applies; see the transcription caveat)";
+      query = q7;
+      expected = Exp_ptime_cert2;
+    };
+    (* Additional coverage beyond the paper's numbered examples. *)
+    {
+      name = "swap";
+      description = "mutual references R(x|y) R(y|x): 2way-determined, no tripath";
+      query = q "R(x | y) R(y | x)";
+      expected = Exp_ptime_no_tripath;
+    };
+    {
+      name = "triv-hom";
+      description = "homomorphic atoms: q is equivalent to one atom";
+      query = q "R(x | y) R(u | v)";
+      expected = Exp_trivial;
+    };
+    {
+      name = "triv-key";
+      description = "equal key tuples: equivalent to a one-atom query";
+      query = q "R(x y | x z) R(x y | z y)";
+      expected = Exp_trivial;
+    };
+    {
+      name = "sjf-hard-2";
+      description = "another Theorem 3 query: key variables escape the other atom";
+      query = q "R(x | y u) R(y | u u)";
+      expected = Exp_conp_sjf;
+    };
+    {
+      name = "cert2-shared-key";
+      description = "all shared variables inside key(B)";
+      query = q "R(x y | u x) R(u y | v v)";
+      expected = Exp_ptime_cert2;
+    };
+    {
+      name = "triangle-2";
+      description = "a 3-cycle variant of q6 with swapped non-key positions";
+      query = q "R(x | z y) R(z | y x)";
+      expected = Exp_ptime_triangle;
+    };
+    {
+      name = "fork-2";
+      description = "a fork-tripath query with arity 5";
+      query = q "R(x u | x y z) R(u y | x z z)";
+      expected = Exp_conp_fork;
+    };
+    (* Discovered by the exhaustive [4,1] atlas (experiment E12): of its
+       2152 canonical queries, 12 are triangle-only and 66 fork-hard. *)
+    {
+      name = "triangle-41";
+      description = "a triangle-only query of signature [4,1], found by the atlas";
+      query = q "R(x | y z u) R(z | y u x)";
+      expected = Exp_ptime_triangle;
+    };
+    {
+      name = "fork-41";
+      description = "a fork-tripath query of signature [4,1], found by the atlas";
+      query = q "R(x | y z u) R(z | v w x)";
+      expected = Exp_conp_fork;
+    };
+  ]
+
+let find name = List.find (fun e -> String.equal e.name name) all
+
+(* The nice fork-tripath for q2 discovered by Tripath_search.find_nice;
+   re-verified by the test suite (Tripath.niceness must accept it). *)
+let q2_nice_fork_tripath =
+  let v i = Value.tag "\u{03B8}" (Value.int i) in
+  let fact a b c d = Fact.make "R" [ v a; v b; v c; v d ] in
+  let inner (a1, a2, a3, a4) (b1, b2, b3, b4) =
+    { Core.Tripath.fa = fact a1 a2 a3 a4; fb = fact b1 b2 b3 b4 }
+  in
+  {
+    Core.Tripath.query = q2;
+    root = fact 17 15 17 2;
+    spine = [ inner (15, 2, 15, 4) (15, 2, 17, 18) ];
+    center = inner (2, 4, 2, 2) (2, 4, 15, 16);
+    arm1 =
+      [
+        inner (2, 2, 2, 10) (2, 2, 2, 4);
+        inner (2, 10, 12, 13) (2, 10, 2, 11);
+        inner (12, 2, 12, 7) (12, 2, 12, 10);
+        inner (2, 7, 2, 8) (2, 7, 12, 14);
+      ];
+    leaf1 = fact 7 8 2 9;
+    arm2 =
+      [ inner (4, 2, 4, 0) (4, 2, 2, 5); inner (2, 0, 2, 1) (2, 0, 4, 6) ];
+    leaf2 = fact 0 1 2 3;
+  }

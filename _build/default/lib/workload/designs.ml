@@ -1,0 +1,30 @@
+module Fact = Relational.Fact
+module Value = Relational.Value
+module Database = Relational.Database
+
+let triple_facts (a, b, c) =
+  let v = Value.int in
+  [
+    Fact.make "R" [ v a; v b; v c ];
+    Fact.make "R" [ v c; v a; v b ];
+    Fact.make "R" [ v b; v c; v a ];
+  ]
+
+let db_of_triples triples =
+  Database.of_facts
+    [ Catalog.q6.Qlang.Query.schema ]
+    (List.concat_map triple_facts triples)
+
+let fano_lines =
+  [ (1, 2, 3); (1, 4, 5); (1, 6, 7); (2, 4, 6); (2, 5, 7); (3, 4, 7); (3, 5, 6) ]
+
+let fano_minus i =
+  if i < 0 || i > 6 then invalid_arg "Designs.fano_minus: line index in [0, 6]";
+  db_of_triples (List.filteri (fun j _ -> j <> i) fano_lines)
+
+let two_orientations = db_of_triples [ (1, 2, 3); (1, 3, 2) ]
+
+let rotation_system rng ~n_keys ~n_triples =
+  if n_keys < 1 then invalid_arg "Designs.rotation_system: need at least one key";
+  let key () = 1 + Random.State.int rng n_keys in
+  db_of_triples (List.init n_triples (fun _ -> (key (), key (), key ())))

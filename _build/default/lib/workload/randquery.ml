@@ -1,0 +1,23 @@
+module Query = Qlang.Query
+module Atom = Qlang.Atom
+module Term = Qlang.Term
+module Schema = Relational.Schema
+
+let random rng ~arity ~key_len ~n_vars =
+  if n_vars < 1 then invalid_arg "Randquery.random: need at least one variable";
+  let schema = Schema.make ~name:"R" ~arity ~key_len in
+  let atom () =
+    Atom.make "R"
+      (List.init arity (fun _ ->
+           Term.var (Printf.sprintf "v%d" (Random.State.int rng n_vars))))
+  in
+  Query.make_exn schema (atom ()) (atom ())
+
+let random_nontrivial rng ~arity ~key_len ~n_vars ~attempts =
+  let rec go n =
+    if n = 0 then None
+    else
+      let q = random rng ~arity ~key_len ~n_vars in
+      if Query.triviality q = None then Some q else go (n - 1)
+  in
+  go attempts

@@ -1,0 +1,25 @@
+(** Random two-atom query generation, for fuzzing the whole pipeline.
+
+    Queries are drawn as uniform random variable patterns (one variable
+    index per position, from a pool whose size controls how much the
+    positions coincide). Combined with {!Randdb}, this yields the strongest
+    end-to-end test in the repository: classify a random query, then check
+    that the algorithm designated by the dichotomy agrees with the exact
+    solver on random databases. *)
+
+(** [random rng ~arity ~key_len ~n_vars] draws a query over the signature
+    [\[arity, key_len\]] with variables chosen among [n_vars] names.
+    @raise Invalid_argument on invalid signatures or [n_vars < 1]. *)
+val random :
+  Random.State.t -> arity:int -> key_len:int -> n_vars:int -> Qlang.Query.t
+
+(** [random_nontrivial rng ~arity ~key_len ~n_vars ~attempts] retries until
+    the query is not equivalent to a one-atom query; [None] after
+    [attempts] failures. *)
+val random_nontrivial :
+  Random.State.t ->
+  arity:int ->
+  key_len:int ->
+  n_vars:int ->
+  attempts:int ->
+  Qlang.Query.t option

@@ -1,0 +1,1 @@
+test/test_answers.ml: Alcotest Core Cqa List QCheck2 QCheck_alcotest Qlang Random Relational Workload

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Core Cqa Format Int List Option Qlang Random Relational String Workload

@@ -1,0 +1,1 @@
+test/test_cqa.ml: Alcotest Array Cqa Graphs List QCheck2 QCheck_alcotest Qlang Random Relational Workload

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Core Cqa Format List Option QCheck2 QCheck_alcotest Qlang Random Relational Satsolver String Workload

@@ -1,0 +1,1 @@
+test/test_fo.ml: Alcotest Core Cqa Folog List QCheck2 QCheck_alcotest Qlang Random Relational Workload

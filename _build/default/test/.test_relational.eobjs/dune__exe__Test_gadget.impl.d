@@ -1,0 +1,1 @@
+test/test_gadget.ml: Alcotest Core Cqa Format Lazy List Qlang Random Relational Satsolver Workload

@@ -1,0 +1,1 @@
+test/test_graphs.ml: Alcotest Graphs List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Core Cqa List Qlang Random Workload

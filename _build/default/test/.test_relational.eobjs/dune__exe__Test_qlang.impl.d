@@ -1,0 +1,1 @@
+test/test_qlang.ml: Alcotest Array List Option Printf QCheck2 QCheck_alcotest Qlang Random Relational Workload

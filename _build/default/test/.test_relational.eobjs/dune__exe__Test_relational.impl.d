@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest List QCheck2 QCheck_alcotest Random Relational Seq

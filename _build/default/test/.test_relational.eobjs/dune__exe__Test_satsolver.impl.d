@@ -1,0 +1,1 @@
+test/test_satsolver.ml: Alcotest Array List QCheck2 QCheck_alcotest Random Satsolver

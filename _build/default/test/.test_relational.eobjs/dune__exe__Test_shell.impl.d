@@ -1,0 +1,1 @@
+test/test_shell.ml: Alcotest Core Filename Fun List Out_channel String Sys

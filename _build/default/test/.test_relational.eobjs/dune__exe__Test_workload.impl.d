@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest List Option Qlang Random Relational String Workload

@@ -1,0 +1,366 @@
+(* Tests for the core library: syntactic classification, tripath
+   verification and search, the dichotomy classifier and the solver
+   front-end. *)
+
+module Parse = Qlang.Parse
+module Query = Qlang.Query
+module Fact = Relational.Fact
+module Value = Relational.Value
+module Database = Relational.Database
+module Syntactic = Core.Syntactic
+module Tripath = Core.Tripath
+module Search = Core.Tripath_search
+module Dichotomy = Core.Dichotomy
+module Solver = Core.Solver
+
+let q1 = Workload.Catalog.q1
+let q2 = Workload.Catalog.q2
+let q3 = Workload.Catalog.q3
+let q4 = Workload.Catalog.q4
+let q5 = Workload.Catalog.q5
+let q6 = Workload.Catalog.q6
+let q7 = Workload.Catalog.q7
+let vi = Value.int
+let fact vs = Fact.make "R" (List.map vi vs)
+
+(* Cheaper search options for tests that only need the paper's examples. *)
+let fast = { Search.default_options with Search.max_spine = 2; max_arm = 3; max_merges = 1 }
+
+(* ------------------------------------------------------------------ *)
+(* Syntactic tests *)
+
+let test_thm3_conditions () =
+  Alcotest.(check bool) "q1 cond1" true (Syntactic.thm3_condition1 q1);
+  Alcotest.(check bool) "q1 cond2" true (Syntactic.thm3_condition2 q1);
+  Alcotest.(check bool) "q1 hard" true (Syntactic.thm3_conp_hard q1);
+  Alcotest.(check bool) "q2 cond1" true (Syntactic.thm3_condition1 q2);
+  Alcotest.(check bool) "q2 cond2 fails" false (Syntactic.thm3_condition2 q2);
+  Alcotest.(check bool) "q2 not thm3-hard" false (Syntactic.thm3_conp_hard q2)
+
+let test_thm4 () =
+  Alcotest.(check bool) "q3" true (Syntactic.thm4_ptime q3);
+  Alcotest.(check bool) "q4" true (Syntactic.thm4_ptime q4);
+  Alcotest.(check bool) "q7 (as transcribed)" true (Syntactic.thm4_ptime q7);
+  Alcotest.(check bool) "q2 not thm4" false (Syntactic.thm4_ptime q2)
+
+let test_two_way_determined () =
+  List.iter
+    (fun (q, expected, name) ->
+      Alcotest.(check bool) name expected (Syntactic.two_way_determined q))
+    [
+      (q1, false, "q1");
+      (q2, true, "q2");
+      (q3, false, "q3");
+      (q5, true, "q5");
+      (q6, true, "q6");
+    ]
+
+let test_zigzag_semantic () =
+  (* Lemma 5: q3 satisfies the zig-zag property on every database. *)
+  let rng = Random.State.make [| 5 |] in
+  for _ = 1 to 30 do
+    let db = Workload.Randdb.random_for_query rng q3 ~n_facts:12 ~domain:3 in
+    Alcotest.(check bool) "zig-zag for q3" true (Syntactic.zigzag_holds q3 db)
+  done
+
+let test_lemma7_semantic () =
+  (* Lemma 7 holds for 2way-determined queries on every database. *)
+  let rng = Random.State.make [| 6 |] in
+  for _ = 1 to 30 do
+    let db = Workload.Randdb.random_for_query rng q6 ~n_facts:12 ~domain:3 in
+    Alcotest.(check bool) "lemma 7 for q6" true (Syntactic.lemma7_holds q6 db);
+    let db5 = Workload.Randdb.random_for_query rng q5 ~n_facts:12 ~domain:3 in
+    Alcotest.(check bool) "lemma 7 for q5" true (Syntactic.lemma7_holds q5 db5)
+  done
+
+let test_lemma6_semantic () =
+  (* Lemma 6: for zig-zag queries (q3 qualifies by Lemma 5), in every
+     database, every repair r with a solution q(ab) has {a} ∈ Δ_2(q, D) or
+     admits another repair with strictly fewer solutions. *)
+  let rng = Random.State.make [| 66 |] in
+  let sols repair =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b ->
+            if Qlang.Solutions.query_solution_pair q3 a b then Some (a, b) else None)
+          repair)
+      repair
+  in
+  let subset_strict s1 s2 =
+    List.for_all (fun x -> List.mem x s2) s1 && List.length s1 < List.length s2
+  in
+  for _ = 1 to 25 do
+    let db = Workload.Randdb.random_for_query rng q3 ~n_facts:8 ~domain:3 in
+    let g = Qlang.Solution_graph.of_query q3 db in
+    let minimal = Cqa.Certk.derived ~k:2 g in
+    let singleton_in_delta a =
+      let ia = Qlang.Solution_graph.index g a in
+      List.exists (function [] -> true | [ v ] -> v = ia | _ -> false) minimal
+    in
+    let repairs = List.of_seq (Relational.Repair.enumerate db) in
+    List.iter
+      (fun r ->
+        List.iter
+          (fun (a, _) ->
+            let ok =
+              singleton_in_delta a
+              || List.exists (fun s -> subset_strict (sols s) (sols r)) repairs
+            in
+            Alcotest.(check bool) "Lemma 6" true ok)
+          (sols r))
+      repairs
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Tripath verification *)
+
+let test_hardcoded_tripath_is_nice_fork () =
+  match Tripath.niceness Workload.Catalog.q2_nice_fork_tripath with
+  | Ok (Tripath.Fork, _) -> ()
+  | Ok (Tripath.Triangle, _) -> Alcotest.fail "expected a fork"
+  | Error errs -> Alcotest.fail (String.concat "; " errs)
+
+let test_tripath_check_rejects_broken () =
+  (* Corrupt the hardcoded tripath: replace the root with a fact that does
+     not form a solution with its child. *)
+  let tp = Workload.Catalog.q2_nice_fork_tripath in
+  let broken = { tp with Tripath.root = fact [ 100; 101; 102; 103 ] } in
+  match Tripath.check broken with
+  | Ok _ -> Alcotest.fail "corrupted tripath accepted"
+  | Error _ -> ()
+
+let test_tripath_check_rejects_shared_block_keys () =
+  let tp = Workload.Catalog.q2_nice_fork_tripath in
+  (* Make the root key-equal to the leaf2 block. *)
+  let broken = { tp with Tripath.root = tp.Tripath.leaf2 } in
+  match Tripath.check broken with
+  | Ok _ -> Alcotest.fail "duplicate block keys accepted"
+  | Error _ -> ()
+
+let test_tripath_database_blocks () =
+  let tp = Workload.Catalog.q2_nice_fork_tripath in
+  let db = Tripath.database tp in
+  Alcotest.(check int) "block count" (Tripath.n_blocks tp) (List.length (Database.blocks db));
+  (* Root and leaves are singleton blocks; all others have two facts. *)
+  let sizes = List.map Relational.Block.size (Database.blocks db) |> List.sort Int.compare in
+  Alcotest.(check (list int)) "block sizes" [ 1; 1; 1; 2; 2; 2; 2; 2; 2; 2; 2 ] sizes
+
+let test_g_set_cases () =
+  (* For the q2 center d = R(a a | a b), e = R(a b | a a), f = R(b a | a c):
+     key(d) = {a} ⊆ key(e) = {a,b}, key(f) = {a,b} ⊆ key(e), and
+     key(d) ⊆ key(f), so g(e) = key(d) = {a}. *)
+  let a = vi 0 and b = vi 1 and c = vi 2 in
+  let d = Fact.make "R" [ a; a; a; b ] in
+  let e = Fact.make "R" [ a; b; a; a ] in
+  let f = Fact.make "R" [ b; a; a; c ] in
+  let g = Tripath.g_set q2 ~d ~e ~f in
+  Alcotest.(check bool) "g = {a}" true (Value.Set.equal g (Value.Set.singleton a))
+
+let test_g_set_incomparable () =
+  (* key(d) and key(f) both inside key(e) but incomparable: g(e) = key(e). *)
+  let q = Parse.query_exn "R(x y | z) R(y z | w)" in
+  (* synthetic: key(e) = {1,2}; key(d) = {1}; key(f) = {2} *)
+  let e = Fact.make "R" [ vi 1; vi 2; vi 9 ] in
+  let d = Fact.make "R" [ vi 1; vi 1; vi 9 ] and f = Fact.make "R" [ vi 2; vi 2; vi 8 ] in
+  let g = Tripath.g_set q ~d ~e ~f in
+  Alcotest.(check bool) "g = key(e)" true
+    (Value.Set.equal g (Value.Set.of_list [ vi 1; vi 2 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Tripath search *)
+
+let test_search_q2_fork () =
+  match Search.find_fork ~opts:fast q2 with
+  | Search.Found (tp, Tripath.Fork) -> (
+      match Tripath.check tp with
+      | Ok Tripath.Fork -> ()
+      | Ok Tripath.Triangle -> Alcotest.fail "kind mismatch"
+      | Error errs -> Alcotest.fail (String.concat "; " errs))
+  | Search.Found (_, Tripath.Triangle) -> Alcotest.fail "wanted a fork"
+  | Search.Not_found -> Alcotest.fail "q2 admits a fork-tripath"
+
+let test_search_q5_none () =
+  (match Search.find_any ~opts:fast q5 with
+  | Search.Not_found -> ()
+  | Search.Found _ -> Alcotest.fail "q5 admits no tripath")
+
+let test_search_q6_triangle_only () =
+  (match Search.find_triangle ~opts:fast q6 with
+  | Search.Found (_, Tripath.Triangle) -> ()
+  | Search.Found (_, Tripath.Fork) -> Alcotest.fail "kind mismatch"
+  | Search.Not_found -> Alcotest.fail "q6 admits a triangle-tripath");
+  match Search.find_fork ~opts:fast q6 with
+  | Search.Not_found -> ()
+  | Search.Found _ -> Alcotest.fail "q6 admits no fork-tripath"
+
+let test_search_results_verified () =
+  (* Whatever the search returns passes the independent verifier. *)
+  List.iter
+    (fun q ->
+      match Search.find_any ~opts:fast q with
+      | Search.Not_found -> ()
+      | Search.Found (tp, kind) -> (
+          match Tripath.check tp with
+          | Ok kind' -> Alcotest.(check bool) "kind consistent" true (kind = kind')
+          | Error errs -> Alcotest.fail (String.concat "; " errs)))
+    [ q2; q5; q6; Workload.Catalog.(find "fork-2").Workload.Catalog.query ]
+
+let test_search_budget_respected () =
+  (* A tiny budget must terminate quickly with Not_found, never diverge. *)
+  let opts = { Search.default_options with Search.max_candidates = 10 } in
+  match Search.find_any ~opts q5 with
+  | Search.Not_found -> ()
+  | Search.Found _ -> Alcotest.fail "budget 10 cannot find a tripath for q5"
+
+(* ------------------------------------------------------------------ *)
+(* Dichotomy *)
+
+let test_classify_catalog () =
+  List.iter
+    (fun (e : Workload.Catalog.entry) ->
+      let r = Dichotomy.classify e.Workload.Catalog.query in
+      let matches =
+        match (e.Workload.Catalog.expected, r.Dichotomy.verdict) with
+        | Workload.Catalog.Exp_trivial, Dichotomy.Ptime (Dichotomy.Trivial _) -> true
+        | Workload.Catalog.Exp_conp_sjf, Dichotomy.Conp_complete Dichotomy.Sjf_hard -> true
+        | Workload.Catalog.Exp_ptime_cert2, Dichotomy.Ptime Dichotomy.Cert2 -> true
+        | Workload.Catalog.Exp_ptime_no_tripath, Dichotomy.Ptime Dichotomy.Certk_no_tripath -> true
+        | Workload.Catalog.Exp_conp_fork, Dichotomy.Conp_complete (Dichotomy.Fork_tripath _) -> true
+        | Workload.Catalog.Exp_ptime_triangle, Dichotomy.Ptime (Dichotomy.Combined_triangle _) -> true
+        | ( ( Workload.Catalog.Exp_trivial | Workload.Catalog.Exp_conp_sjf
+            | Workload.Catalog.Exp_ptime_cert2 | Workload.Catalog.Exp_ptime_no_tripath
+            | Workload.Catalog.Exp_conp_fork | Workload.Catalog.Exp_ptime_triangle ),
+            _ ) ->
+            false
+      in
+      if not matches then
+        Alcotest.failf "%s: expected %s, got %s" e.Workload.Catalog.name
+          (Format.asprintf "%a" Workload.Catalog.pp_expected e.Workload.Catalog.expected)
+          (Dichotomy.verdict_summary r.Dichotomy.verdict))
+    Workload.Catalog.all
+
+let test_classify_witnesses_verified () =
+  (* The classifier's tripath witnesses must pass the verifier. *)
+  let r = Dichotomy.classify q2 in
+  (match r.Dichotomy.verdict with
+  | Dichotomy.Conp_complete (Dichotomy.Fork_tripath tp) -> (
+      match Tripath.check tp with
+      | Ok Tripath.Fork -> ()
+      | Ok Tripath.Triangle | Error _ -> Alcotest.fail "bad fork witness")
+  | _ -> Alcotest.fail "q2 should be fork-hard");
+  let r6 = Dichotomy.classify q6 in
+  match r6.Dichotomy.verdict with
+  | Dichotomy.Ptime (Dichotomy.Combined_triangle tp) -> (
+      match Tripath.check tp with
+      | Ok Tripath.Triangle -> ()
+      | Ok Tripath.Fork | Error _ -> Alcotest.fail "bad triangle witness")
+  | _ -> Alcotest.fail "q6 should be triangle-only"
+
+(* ------------------------------------------------------------------ *)
+(* Solver front-end *)
+
+let test_conjunction_atom () =
+  let q = Parse.query_exn "R(x y | x z) R(x y | z y)" in
+  match Solver.conjunction_atom q with
+  | None -> Alcotest.fail "conjunction exists"
+  | Some c ->
+      (* One assignment must match both atoms: A = (x,y,x,z), B = (x,y,z,y).
+         Position 2 carries x in A and z in B, position 3 carries z in A and
+         y in B — so x, y, z are all forced equal through the positions and
+         a matching fact must be constant. *)
+      let ok_fact = Fact.make "R" [ vi 1; vi 1; vi 1; vi 1 ] in
+      let bad_fact = Fact.make "R" [ vi 1; vi 2; vi 1; vi 2 ] in
+      Alcotest.(check bool) "matches the constant fact" true
+        (Option.is_some (Qlang.Unify.match_fact Qlang.Subst.empty c ok_fact));
+      Alcotest.(check bool) "rejects the almost-matching fact" false
+        (Option.is_some (Qlang.Unify.match_fact Qlang.Subst.empty c bad_fact));
+      (* Semantic cross-check: ok_fact alone satisfies q, bad_fact does not. *)
+      Alcotest.(check bool) "ok_fact satisfies q" true
+        (Qlang.Solutions.query_satisfies q [ ok_fact ]);
+      Alcotest.(check bool) "bad_fact does not satisfy q" false
+        (Qlang.Solutions.query_satisfies q [ bad_fact ])
+
+let test_conjunction_atom_conflict () =
+  let q = Parse.query_exn "R(x | 1) R(x | 2)" in
+  Alcotest.(check bool) "conflicting constants" true (Solver.conjunction_atom q = None)
+
+let test_certain_one_atom () =
+  let q = q3 in
+  let atom = q.Query.a in
+  let db = Database.of_facts [ q.Query.schema ] [ fact [ 1; 2 ]; fact [ 1; 3 ] ] in
+  Alcotest.(check bool) "block of matches" true (Solver.certain_one_atom atom db);
+  let atom_c = Qlang.Atom.make "R" [ Qlang.Term.var "x"; Qlang.Term.cst (vi 2) ] in
+  Alcotest.(check bool) "constant restricts" false (Solver.certain_one_atom atom_c db)
+
+let test_solver_dispatch () =
+  (* The solver picks the algorithm designated by the verdict and answers
+     consistently with the exact solver. *)
+  let rng = Random.State.make [| 99 |] in
+  List.iter
+    (fun q ->
+      let report = Dichotomy.classify ~opts:fast q in
+      for _ = 1 to 10 do
+        let db = Workload.Randdb.random_for_query rng q ~n_facts:10 ~domain:3 in
+        let answer, _alg = Solver.certain report db in
+        Alcotest.(check bool)
+          (Format.asprintf "solver agrees with exact on %a" Query.pp q)
+          (Cqa.Exact.certain_query q db) answer
+      done)
+    [ q3; q5; q6; q2 ]
+
+let test_solver_trivial_queries () =
+  let q = Parse.query_exn "R(x | y) R(u | v)" in
+  let report = Dichotomy.classify q in
+  let db = Database.of_facts [ q.Query.schema ] [ fact [ 1; 2 ] ] in
+  let answer, alg = Solver.certain report db in
+  Alcotest.(check bool) "trivial query certain on nonempty db" true answer;
+  (match alg with
+  | Solver.Alg_one_atom -> ()
+  | _ -> Alcotest.fail "expected the one-atom algorithm");
+  let empty = Database.of_facts [ q.Query.schema ] [] in
+  Alcotest.(check bool) "not certain on empty db" false (fst (Solver.certain report empty))
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "syntactic",
+        [
+          Alcotest.test_case "thm3 conditions" `Quick test_thm3_conditions;
+          Alcotest.test_case "thm4" `Quick test_thm4;
+          Alcotest.test_case "2way-determined" `Quick test_two_way_determined;
+          Alcotest.test_case "zig-zag semantic" `Quick test_zigzag_semantic;
+          Alcotest.test_case "lemma 6 semantic" `Quick test_lemma6_semantic;
+          Alcotest.test_case "lemma 7 semantic" `Quick test_lemma7_semantic;
+        ] );
+      ( "tripath",
+        [
+          Alcotest.test_case "hardcoded nice fork" `Quick test_hardcoded_tripath_is_nice_fork;
+          Alcotest.test_case "rejects broken" `Quick test_tripath_check_rejects_broken;
+          Alcotest.test_case "rejects shared keys" `Quick test_tripath_check_rejects_shared_block_keys;
+          Alcotest.test_case "database blocks" `Quick test_tripath_database_blocks;
+          Alcotest.test_case "g(e) subset case" `Quick test_g_set_cases;
+          Alcotest.test_case "g(e) incomparable case" `Quick test_g_set_incomparable;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "q2 fork" `Quick test_search_q2_fork;
+          Alcotest.test_case "q5 none" `Slow test_search_q5_none;
+          Alcotest.test_case "q6 triangle only" `Slow test_search_q6_triangle_only;
+          Alcotest.test_case "results verified" `Slow test_search_results_verified;
+          Alcotest.test_case "budget respected" `Quick test_search_budget_respected;
+        ] );
+      ( "dichotomy",
+        [
+          Alcotest.test_case "catalog" `Slow test_classify_catalog;
+          Alcotest.test_case "witnesses verified" `Slow test_classify_witnesses_verified;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "conjunction atom" `Quick test_conjunction_atom;
+          Alcotest.test_case "conjunction conflict" `Quick test_conjunction_atom_conflict;
+          Alcotest.test_case "one-atom certain" `Quick test_certain_one_atom;
+          Alcotest.test_case "dispatch" `Slow test_solver_dispatch;
+          Alcotest.test_case "trivial queries" `Quick test_solver_trivial_queries;
+        ] );
+    ]

@@ -1,0 +1,199 @@
+(* Tests for the first-order substrate (formulas, structures, evaluation),
+   the FO implementation of Cert_2, and the Kolaitis-Pema self-join-free
+   dichotomy. *)
+
+module F = Folog.Formula
+module S = Folog.Structure
+module E = Folog.Eval
+module Fact = Relational.Fact
+module Value = Relational.Value
+module Database = Relational.Database
+module Query = Qlang.Query
+module Sjf = Qlang.Sjf
+
+let vi = Value.int
+let fact vs = Fact.make "R" (List.map vi vs)
+let q3 = Workload.Catalog.q3
+let q6 = Workload.Catalog.q6
+let db_of (q : Query.t) facts = Database.of_facts [ q.Query.schema ] facts
+
+(* ------------------------------------------------------------------ *)
+(* folog *)
+
+let sample_structure () =
+  let s = S.create ~size:3 in
+  S.add s "E" [ 0; 1 ];
+  S.add s "E" [ 1; 2 ];
+  s
+
+let test_structure_basics () =
+  let s = sample_structure () in
+  Alcotest.(check bool) "mem" true (S.mem s "E" [ 0; 1 ]);
+  Alcotest.(check bool) "not mem" false (S.mem s "E" [ 2; 0 ]);
+  Alcotest.(check int) "cardinal" 2 (S.cardinal s "E");
+  Alcotest.(check int) "undeclared" 0 (S.cardinal s "F");
+  Alcotest.(check bool) "arity mismatch" true
+    (try
+       S.add s "E" [ 0 ];
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "out of range" true
+    (try
+       S.add s "E" [ 0; 5 ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_structure_copy_independent () =
+  let s = sample_structure () in
+  let s' = S.copy s in
+  S.add s' "E" [ 2; 0 ];
+  Alcotest.(check bool) "copy extended" true (S.mem s' "E" [ 2; 0 ]);
+  Alcotest.(check bool) "original untouched" false (S.mem s "E" [ 2; 0 ])
+
+let test_eval_quantifiers () =
+  let s = sample_structure () in
+  (* Every element has an outgoing or incoming edge. *)
+  let f =
+    F.Forall
+      ( "x",
+        F.Exists
+          ("y", F.Or (F.Atom ("E", [ "x"; "y" ]), F.Atom ("E", [ "y"; "x" ]))) )
+  in
+  Alcotest.(check bool) "connectivity-ish" true (E.holds s f);
+  (* There is a universal source: false. *)
+  let g = F.Exists ("x", F.Forall ("y", F.Atom ("E", [ "x"; "y" ]))) in
+  Alcotest.(check bool) "no universal source" false (E.holds s g);
+  (* Equality and implication. *)
+  let h = F.Forall ("x", F.Forall ("y", F.Implies (F.Atom ("E", [ "x"; "y" ]), F.Not (F.Eq ("x", "y"))))) in
+  Alcotest.(check bool) "irreflexive" true (E.holds s h)
+
+let test_eval_select () =
+  let s = sample_structure () in
+  let f = F.Exists ("y", F.Atom ("E", [ "x"; "y" ])) in
+  let sources = E.select s f ~tuple_vars:[ "x" ] in
+  Alcotest.(check int) "two sources" 2 (List.length sources)
+
+let test_eval_unbound () =
+  let s = sample_structure () in
+  Alcotest.(check bool) "unbound variable" true
+    (try
+       ignore (E.holds s (F.Atom ("E", [ "x"; "y" ])));
+       false
+     with Invalid_argument _ -> true)
+
+let test_formula_free_vars () =
+  let f = F.Exists ("y", F.And (F.Atom ("E", [ "x"; "y" ]), F.Eq ("y", "z"))) in
+  Alcotest.(check (list string)) "free vars" [ "x"; "z" ] (F.free_vars f)
+
+(* ------------------------------------------------------------------ *)
+(* Cert_2 as an FO fixpoint *)
+
+let test_certk_fo_simple () =
+  let g q facts = Qlang.Solution_graph.of_query q (db_of q facts) in
+  Alcotest.(check bool) "certain" true
+    (Cqa.Certk_fo.run (g q3 [ fact [ 1; 2 ]; fact [ 2; 3 ] ]));
+  Alcotest.(check bool) "not certain" false
+    (Cqa.Certk_fo.run (g q3 [ fact [ 1; 2 ]; fact [ 1; 9 ]; fact [ 2; 3 ] ]))
+
+let test_certk_fo_fano () =
+  let g = Qlang.Solution_graph.of_query q6 (Workload.Designs.fano_minus 0) in
+  Alcotest.(check bool) "Cert_2 FO fails on Fano witness" false (Cqa.Certk_fo.run g);
+  let g2 = Qlang.Solution_graph.of_query q6 Workload.Designs.two_orientations in
+  Alcotest.(check bool) "Cert_2 FO solves the 2-triple instance" true (Cqa.Certk_fo.run g2)
+
+let prop_certk_fo_equals_certk_q3 =
+  QCheck2.Test.make ~name:"FO Cert_2 = antichain Cert_2 (q3)" ~count:120
+    QCheck2.Gen.(
+      let* n = int_range 0 8 in
+      let* ks = list_size (return n) (int_range 0 3) in
+      let* vs = list_size (return n) (int_range 0 3) in
+      return (List.map2 (fun k v -> fact [ k; v ]) ks vs))
+    (fun facts ->
+      let g = Qlang.Solution_graph.of_query q3 (db_of q3 facts) in
+      Cqa.Certk_fo.run g = Cqa.Certk.run ~k:2 g)
+
+let prop_certk_fo_equals_naive_q6 =
+  QCheck2.Test.make ~name:"FO Cert_2 = naive Cert_2 (q6)" ~count:60
+    QCheck2.Gen.(
+      let* n = int_range 0 6 in
+      let* ts = list_size (return n) (triple (int_range 0 2) (int_range 0 2) (int_range 0 2)) in
+      return (List.map (fun (a, b, c) -> fact [ a; b; c ]) ts))
+    (fun facts ->
+      let g = Qlang.Solution_graph.of_query q6 (db_of q6 facts) in
+      Cqa.Certk_fo.run g = Cqa.Certk_naive.run ~k:2 g)
+
+(* ------------------------------------------------------------------ *)
+(* Kolaitis-Pema self-join-free dichotomy *)
+
+let test_sjf_classify_paper_examples () =
+  (* sjf(q1) is coNP-complete (Theorem 3's source), sjf(q2) is PTIME even
+     though q2 itself is coNP-complete — the paper's point about the
+     converse of Proposition 2. *)
+  (match Cqa.Sjf_dichotomy.classify (Sjf.of_query Workload.Catalog.q1) with
+  | Cqa.Sjf_dichotomy.Sjf_conp_complete -> ()
+  | Cqa.Sjf_dichotomy.Sjf_ptime -> Alcotest.fail "sjf(q1) must be hard");
+  match Cqa.Sjf_dichotomy.classify (Sjf.of_query Workload.Catalog.q2) with
+  | Cqa.Sjf_dichotomy.Sjf_ptime -> ()
+  | Cqa.Sjf_dichotomy.Sjf_conp_complete -> Alcotest.fail "sjf(q2) must be PTIME"
+
+let test_sjf_classify_consistency_with_thm3 () =
+  (* Our classifier marks q coNP-hard by Theorem 3 exactly when sjf(q) is
+     hard by Kolaitis-Pema. *)
+  List.iter
+    (fun (e : Workload.Catalog.entry) ->
+      let q = e.Workload.Catalog.query in
+      if Qlang.Query.triviality q = None then
+        let sjf_hard =
+          Cqa.Sjf_dichotomy.classify (Sjf.of_query q) = Cqa.Sjf_dichotomy.Sjf_conp_complete
+        in
+        Alcotest.(check bool)
+          (e.Workload.Catalog.name ^ " Thm3 consistency")
+          sjf_hard
+          (Core.Syntactic.thm3_conp_hard q))
+    Workload.Catalog.all
+
+let test_sjf_ptime_solved_by_cert2 () =
+  (* Fuzz: for random queries whose sjf variant is PTIME, Cert_2 on the
+     two-relation database equals the exact solver. *)
+  let rng = Random.State.make [| 60 |] in
+  let checked = ref 0 in
+  while !checked < 25 do
+    let q = Workload.Randquery.random rng ~arity:3 ~key_len:1 ~n_vars:4 in
+    let s = Sjf.of_query q in
+    if Cqa.Sjf_dichotomy.classify s = Cqa.Sjf_dichotomy.Sjf_ptime then begin
+      incr checked;
+      for _ = 1 to 5 do
+        let db = Workload.Randdb.random_sjf rng s ~n_facts:10 ~domain:3 in
+        Alcotest.(check bool) "Cert_2 exact on PTIME sjf query"
+          (Cqa.Sjf_dichotomy.certain_exact s db)
+          (Cqa.Sjf_dichotomy.certain_ptime s db)
+      done
+    end
+  done
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "fo"
+    [
+      ( "folog",
+        [
+          Alcotest.test_case "structure basics" `Quick test_structure_basics;
+          Alcotest.test_case "copy independent" `Quick test_structure_copy_independent;
+          Alcotest.test_case "quantifiers" `Quick test_eval_quantifiers;
+          Alcotest.test_case "select" `Quick test_eval_select;
+          Alcotest.test_case "unbound variable" `Quick test_eval_unbound;
+          Alcotest.test_case "free vars" `Quick test_formula_free_vars;
+        ] );
+      ( "certk-fo",
+        [
+          Alcotest.test_case "simple" `Quick test_certk_fo_simple;
+          Alcotest.test_case "fano family" `Quick test_certk_fo_fano;
+        ]
+        @ qt [ prop_certk_fo_equals_certk_q3; prop_certk_fo_equals_naive_q6 ] );
+      ( "sjf-dichotomy",
+        [
+          Alcotest.test_case "paper examples" `Quick test_sjf_classify_paper_examples;
+          Alcotest.test_case "Thm3 consistency" `Quick test_sjf_classify_consistency_with_thm3;
+          Alcotest.test_case "PTIME side via Cert_2" `Slow test_sjf_ptime_solved_by_cert2;
+        ] );
+    ]

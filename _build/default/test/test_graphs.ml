@@ -1,0 +1,109 @@
+(* Tests for the bipartite graph and matching substrate: Hopcroft-Karp is
+   checked against the naive augmenting-path oracle on random graphs. *)
+
+module Bipartite = Graphs.Bipartite
+module Matching = Graphs.Matching
+
+let test_make_validates () =
+  Alcotest.(check bool) "out of range" true
+    (try
+       ignore (Bipartite.make ~n_left:2 ~n_right:2 [ (2, 0) ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative size" true
+    (try
+       ignore (Bipartite.make ~n_left:(-1) ~n_right:0 []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_duplicate_edges_collapse () =
+  let g = Bipartite.make ~n_left:1 ~n_right:1 [ (0, 0); (0, 0) ] in
+  Alcotest.(check int) "one edge" 1 (Bipartite.n_edges g)
+
+let test_perfect_matching () =
+  (* A 3x3 cycle-ish graph with a perfect matching. *)
+  let g = Bipartite.make ~n_left:3 ~n_right:3 [ (0, 0); (0, 1); (1, 1); (1, 2); (2, 2); (2, 0) ] in
+  let m = Matching.hopcroft_karp g in
+  Alcotest.(check int) "size 3" 3 m.Matching.size;
+  Alcotest.(check bool) "saturates" true (Matching.saturates_left g m);
+  Alcotest.(check bool) "valid" true (Matching.is_valid g m)
+
+let test_no_perfect_matching () =
+  (* Two left vertices compete for a single right vertex. *)
+  let g = Bipartite.make ~n_left:2 ~n_right:2 [ (0, 0); (1, 0) ] in
+  let m = Matching.hopcroft_karp g in
+  Alcotest.(check int) "size 1" 1 m.Matching.size;
+  Alcotest.(check bool) "not saturating" false (Matching.saturates_left g m)
+
+let test_empty_graph () =
+  let g = Bipartite.make ~n_left:0 ~n_right:0 [] in
+  let m = Matching.hopcroft_karp g in
+  Alcotest.(check int) "empty matching" 0 m.Matching.size;
+  Alcotest.(check bool) "vacuously saturating" true (Matching.saturates_left g m)
+
+let test_isolated_left_vertex () =
+  let g = Bipartite.make ~n_left:2 ~n_right:1 [ (0, 0) ] in
+  let m = Matching.hopcroft_karp g in
+  Alcotest.(check bool) "cannot saturate" false (Matching.saturates_left g m)
+
+(* Hall's theorem witness: a K_{3,3} minus a perfect matching still has a
+   perfect matching. *)
+let test_k33_minus_diagonal () =
+  let edges =
+    List.concat_map (fun u -> List.filter_map (fun v -> if u = v then None else Some (u, v)) [ 0; 1; 2 ]) [ 0; 1; 2 ]
+  in
+  let g = Bipartite.make ~n_left:3 ~n_right:3 edges in
+  Alcotest.(check int) "perfect" 3 (Matching.hopcroft_karp g).Matching.size
+
+let random_graph_gen =
+  QCheck2.Gen.(
+    let* n_left = int_range 0 8 in
+    let* n_right = int_range 1 8 in
+    let* density = int_range 0 100 in
+    let* bits = list_size (return (n_left * n_right)) (int_range 0 99) in
+    let edges =
+      List.concat
+        (List.mapi
+           (fun idx b ->
+             if b < density then [ (idx / n_right, idx mod n_right) ] else [])
+           bits)
+    in
+    return (Bipartite.make ~n_left ~n_right edges))
+
+let prop_hk_equals_augmenting =
+  QCheck2.Test.make ~name:"Hopcroft-Karp size = augmenting-path size" ~count:300
+    random_graph_gen (fun g ->
+      let m1 = Matching.hopcroft_karp g and m2 = Matching.augmenting g in
+      m1.Matching.size = m2.Matching.size)
+
+let prop_matchings_valid =
+  QCheck2.Test.make ~name:"computed matchings are valid" ~count:300 random_graph_gen
+    (fun g ->
+      Matching.is_valid g (Matching.hopcroft_karp g)
+      && Matching.is_valid g (Matching.augmenting g))
+
+let prop_matching_bounded =
+  QCheck2.Test.make ~name:"matching size bounded by both sides" ~count:300
+    random_graph_gen (fun g ->
+      let m = Matching.hopcroft_karp g in
+      m.Matching.size <= g.Bipartite.n_left && m.Matching.size <= g.Bipartite.n_right)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "graphs"
+    [
+      ( "bipartite",
+        [
+          Alcotest.test_case "validation" `Quick test_make_validates;
+          Alcotest.test_case "duplicate edges" `Quick test_duplicate_edges_collapse;
+        ] );
+      ( "matching",
+        [
+          Alcotest.test_case "perfect matching" `Quick test_perfect_matching;
+          Alcotest.test_case "no perfect matching" `Quick test_no_perfect_matching;
+          Alcotest.test_case "empty graph" `Quick test_empty_graph;
+          Alcotest.test_case "isolated vertex" `Quick test_isolated_left_vertex;
+          Alcotest.test_case "K33 minus diagonal" `Quick test_k33_minus_diagonal;
+        ]
+        @ qt [ prop_hk_equals_augmenting; prop_matchings_valid; prop_matching_bounded ] );
+    ]

@@ -1,0 +1,410 @@
+(* Tests for the query language layer: terms, atoms, unification, queries,
+   solutions, solution graphs, the sjf translation and the parser. *)
+
+module Value = Relational.Value
+module Schema = Relational.Schema
+module Fact = Relational.Fact
+module Database = Relational.Database
+module Term = Qlang.Term
+module Atom = Qlang.Atom
+module Subst = Qlang.Subst
+module Unify = Qlang.Unify
+module Query = Qlang.Query
+module Solutions = Qlang.Solutions
+module Solution_graph = Qlang.Solution_graph
+module Parse = Qlang.Parse
+
+let vi = Value.int
+let v = Term.var
+let c n = Term.cst (vi n)
+let schema2 = Schema.make ~name:"R" ~arity:2 ~key_len:1
+let fact vs = Fact.make "R" (List.map vi vs)
+
+(* ------------------------------------------------------------------ *)
+(* Atom *)
+
+let test_atom_vars () =
+  let a = Atom.make "R" [ v "x"; v "y"; v "x"; c 3 ] in
+  Alcotest.(check int) "two variables" 2 (Term.Var_set.cardinal (Atom.vars a));
+  Alcotest.(check bool) "ground" false (Atom.is_ground a);
+  Alcotest.(check bool) "ground atom" true (Atom.is_ground (Atom.make "R" [ c 1 ]))
+
+let test_atom_key_vars () =
+  let s = Schema.make ~name:"R" ~arity:4 ~key_len:2 in
+  let a = Atom.make "R" [ v "x"; v "u"; v "x"; v "y" ] in
+  Alcotest.(check bool) "key vars" true
+    (Term.Var_set.equal (Atom.key_vars s a) (Term.Var_set.of_list [ "x"; "u" ]));
+  Alcotest.(check bool) "nonkey vars" true
+    (Term.Var_set.equal (Atom.nonkey_vars s a) (Term.Var_set.of_list [ "x"; "y" ]))
+
+let test_atom_fact_roundtrip () =
+  let f = fact [ 4; 7 ] in
+  Alcotest.(check bool) "roundtrip" true (Fact.equal f (Atom.to_fact (Atom.of_fact f)))
+
+let test_atom_homomorphism () =
+  let a = Atom.make "R" [ v "x"; v "x"; v "y" ] in
+  let b = Atom.make "R" [ v "u"; v "u"; c 3 ] in
+  Alcotest.(check bool) "hom exists" true (Option.is_some (Atom.homomorphism ~from:a ~into:b));
+  Alcotest.(check bool) "no hom back" true (Option.is_none (Atom.homomorphism ~from:b ~into:a));
+  let diag = Atom.make "R" [ v "u"; v "w"; v "z" ] in
+  Alcotest.(check bool) "hom from linear atom" true
+    (Option.is_some (Atom.homomorphism ~from:diag ~into:a))
+
+(* ------------------------------------------------------------------ *)
+(* Subst / Unify *)
+
+let test_subst_idempotent () =
+  let s = Subst.empty in
+  let s = Option.get (Subst.extend "x" (v "y") s) in
+  let s = Option.get (Subst.extend "y" (c 5) s) in
+  (* x was bound to y; binding y must rewrite x's image. *)
+  Alcotest.(check bool) "x resolves to 5" true (Term.equal (Subst.apply_term s (v "x")) (c 5));
+  Alcotest.(check bool) "rebinding consistent" true
+    (Option.is_some (Subst.extend "x" (c 5) s));
+  Alcotest.(check bool) "rebinding conflicting" true
+    (Option.is_none (Subst.extend "x" (c 6) s))
+
+let test_unify_terms () =
+  Alcotest.(check bool) "var-var" true (Option.is_some (Unify.terms Subst.empty (v "x") (v "y")));
+  Alcotest.(check bool) "var-cst" true (Option.is_some (Unify.terms Subst.empty (v "x") (c 1)));
+  Alcotest.(check bool) "cst clash" true (Option.is_none (Unify.terms Subst.empty (c 1) (c 2)));
+  Alcotest.(check bool) "cst same" true (Option.is_some (Unify.terms Subst.empty (c 1) (c 1)))
+
+let test_unify_atoms () =
+  let a = Atom.make "R" [ v "x"; v "x" ] in
+  let b = Atom.make "R" [ c 1; v "z" ] in
+  (match Unify.atoms Subst.empty a b with
+  | None -> Alcotest.fail "should unify"
+  | Some s ->
+      Alcotest.(check bool) "z bound to 1" true
+        (Term.equal (Subst.apply_term s (v "z")) (c 1)));
+  let b' = Atom.make "R" [ c 1; c 2 ] in
+  Alcotest.(check bool) "repeated var clash" true
+    (Option.is_none (Unify.atoms Subst.empty a b'))
+
+let test_unify_different_relations () =
+  let a = Atom.make "R" [ v "x" ] and b = Atom.make "S" [ v "x" ] in
+  Alcotest.(check bool) "different relations" true (Option.is_none (Unify.atoms Subst.empty a b))
+
+let prop_unify_is_unifier =
+  let gen =
+    QCheck2.Gen.(
+      let term = oneof [ map (fun i -> v (Printf.sprintf "x%d" i)) (int_range 0 3); map c (int_range 0 2) ] in
+      pair (list_size (return 3) term) (list_size (return 3) term))
+  in
+  QCheck2.Test.make ~name:"unification result equalises the atoms" ~count:500 gen
+    (fun (ts1, ts2) ->
+      let a = Atom.make "R" ts1 and b = Atom.make "R" ts2 in
+      match Unify.atoms Subst.empty a b with
+      | None -> true
+      | Some s -> Atom.equal (Subst.apply_atom s a) (Subst.apply_atom s b))
+
+let prop_match_fact_grounds =
+  let gen =
+    QCheck2.Gen.(
+      let term = oneof [ map (fun i -> v (Printf.sprintf "x%d" i)) (int_range 0 2); map c (int_range 0 2) ] in
+      pair (list_size (return 3) term) (list_size (return 3) (int_range 0 2)))
+  in
+  QCheck2.Test.make ~name:"match_fact instantiates the atom to the fact" ~count:500 gen
+    (fun (ts, vs) ->
+      let a = Atom.make "R" ts in
+      let f = fact vs in
+      match Unify.match_fact Subst.empty a f with
+      | None -> true
+      | Some s -> Fact.equal (Atom.to_fact (Subst.apply_atom s a)) f)
+
+(* ------------------------------------------------------------------ *)
+(* Query and triviality *)
+
+let test_query_accessors () =
+  let q = Parse.query_exn "R(x u | x y) R(u y | x z)" in
+  Alcotest.(check bool) "key_a" true
+    (Term.Var_set.equal (Query.key_a q) (Term.Var_set.of_list [ "x"; "u" ]));
+  Alcotest.(check bool) "key_b" true
+    (Term.Var_set.equal (Query.key_b q) (Term.Var_set.of_list [ "u"; "y" ]));
+  Alcotest.(check bool) "shared" true
+    (Term.Var_set.equal (Query.shared_vars q) (Term.Var_set.of_list [ "x"; "u"; "y" ]));
+  let q' = Query.swap q in
+  Alcotest.(check bool) "swap exchanges atoms" true (Atom.equal q'.Query.a q.Query.b)
+
+let test_triviality_hom () =
+  (* Disjoint atoms: one maps onto the other with no shared variables. *)
+  let q = Parse.query_exn "R(x | y) R(u | v)" in
+  Alcotest.(check bool) "trivial" true (Option.is_some (Query.triviality q))
+
+let test_triviality_requires_fixing_shared () =
+  (* q2 has an atom-level hom B -> A but it moves shared variables, so q2 is
+     NOT one-atom equivalent (it is in fact coNP-complete). *)
+  let q2 = Parse.query_exn "R(x u | x y) R(u y | x z)" in
+  Alcotest.(check bool) "q2 not trivial" true (Option.is_none (Query.triviality q2));
+  let q3 = Parse.query_exn "R(x | y) R(y | z)" in
+  Alcotest.(check bool) "q3 not trivial" true (Option.is_none (Query.triviality q3))
+
+let test_triviality_equal_keys () =
+  let q = Parse.query_exn "R(x y | x z) R(x y | z y)" in
+  (match Query.triviality q with
+  | Some Query.Equal_key_tuples -> ()
+  | Some _ | None -> Alcotest.fail "expected Equal_key_tuples")
+
+(* ------------------------------------------------------------------ *)
+(* Solutions *)
+
+let q3 = Parse.query_exn "R(x | y) R(y | z)"
+
+let test_solutions_q3 () =
+  let db = Database.of_facts [ schema2 ] [ fact [ 1; 2 ]; fact [ 2; 3 ]; fact [ 5; 5 ] ] in
+  let pairs = Solutions.query_pairs q3 db in
+  (* (1->2, 2->3) and the self-loop (5->5, 5->5). *)
+  Alcotest.(check int) "two solutions" 2 (List.length pairs);
+  Alcotest.(check bool) "directed pair" true
+    (Solutions.query_solution_pair q3 (fact [ 1; 2 ]) (fact [ 2; 3 ]));
+  Alcotest.(check bool) "not reversed" false
+    (Solutions.query_solution_pair q3 (fact [ 2; 3 ]) (fact [ 1; 2 ]));
+  Alcotest.(check bool) "symmetric closure" true
+    (Solutions.query_solution_pair_sym q3 (fact [ 2; 3 ]) (fact [ 1; 2 ]));
+  Alcotest.(check bool) "self solution" true
+    (Solutions.query_solution_pair q3 (fact [ 5; 5 ]) (fact [ 5; 5 ]))
+
+let test_satisfies () =
+  Alcotest.(check bool) "satisfied" true
+    (Solutions.query_satisfies q3 [ fact [ 1; 2 ]; fact [ 2; 3 ] ]);
+  Alcotest.(check bool) "not satisfied" false
+    (Solutions.query_satisfies q3 [ fact [ 1; 2 ]; fact [ 3; 4 ] ]);
+  Alcotest.(check bool) "empty set" false (Solutions.query_satisfies q3 [])
+
+let prop_solutions_sound =
+  let gen =
+    QCheck2.Gen.(
+      let* n = int_range 0 10 in
+      let* ks = list_size (return n) (int_range 0 3) in
+      let* vs = list_size (return n) (int_range 0 3) in
+      return (List.map2 (fun k v' -> fact [ k; v' ]) ks vs))
+  in
+  QCheck2.Test.make ~name:"solution pairs are sound and complete" ~count:200 gen
+    (fun facts ->
+      let db = Database.of_facts [ schema2 ] facts in
+      let pairs = Solutions.query_pairs q3 db in
+      List.for_all (fun (f, g) -> Solutions.query_solution_pair q3 f g) pairs
+      && Solutions.query_satisfies q3 (Database.facts db) = (pairs <> []))
+
+(* ------------------------------------------------------------------ *)
+(* Solution graph *)
+
+let test_solution_graph_structure () =
+  let db =
+    Database.of_facts [ schema2 ]
+      [ fact [ 1; 2 ]; fact [ 1; 3 ]; fact [ 2; 3 ]; fact [ 9; 9 ] ]
+  in
+  let g = Solution_graph.of_query q3 db in
+  Alcotest.(check int) "vertices" 4 (Solution_graph.n_facts g);
+  Alcotest.(check int) "blocks" 3 (Solution_graph.n_blocks g);
+  let i12 = Solution_graph.index g (fact [ 1; 2 ]) in
+  let i23 = Solution_graph.index g (fact [ 2; 3 ]) in
+  let i99 = Solution_graph.index g (fact [ 9; 9 ]) in
+  Alcotest.(check bool) "edge 12-23" true (Solution_graph.edge g i12 i23);
+  Alcotest.(check bool) "self loop on 99" true g.Solution_graph.self.(i99);
+  Alcotest.(check bool) "no edge 12-99" false (Solution_graph.edge g i12 i99)
+
+let test_components_and_cliques () =
+  let db =
+    Database.of_facts [ schema2 ]
+      [ fact [ 1; 2 ]; fact [ 2; 1 ]; fact [ 5; 6 ]; fact [ 7; 8 ] ]
+  in
+  let g = Solution_graph.of_query q3 db in
+  let member, n = Solution_graph.components g in
+  Alcotest.(check int) "three components" 3 n;
+  let i1 = Solution_graph.index g (fact [ 1; 2 ]) in
+  let i2 = Solution_graph.index g (fact [ 2; 1 ]) in
+  Alcotest.(check bool) "same component" true (member.(i1) = member.(i2));
+  Alcotest.(check bool) "clique database" true (Solution_graph.is_clique_database g)
+
+let test_not_clique_database () =
+  (* A path 1->2->3->4: facts (1,2) and (3,4) are in the same component but
+     not adjacent and not key-equal. *)
+  let db = Database.of_facts [ schema2 ] [ fact [ 1; 2 ]; fact [ 2; 3 ]; fact [ 3; 4 ] ] in
+  let g = Solution_graph.of_query q3 db in
+  Alcotest.(check bool) "not clique" false (Solution_graph.is_clique_database g)
+
+(* ------------------------------------------------------------------ *)
+(* Sjf *)
+
+let test_sjf_structure () =
+  let q2 = Parse.query_exn "R(x u | x y) R(u y | x z)" in
+  let s = Qlang.Sjf.of_query q2 in
+  Alcotest.(check string) "r1 name" "R1" s.Qlang.Sjf.s1.Schema.name;
+  Alcotest.(check string) "r2 name" "R2" s.Qlang.Sjf.s2.Schema.name;
+  Alcotest.(check int) "same arity" 4 s.Qlang.Sjf.s1.Schema.arity
+
+let test_sjf_reduce_blocks () =
+  (* The reduction maps blocks to blocks: key-equal facts stay key-equal and
+     R1/R2 facts land in disjoint blocks. *)
+  let q2 = Parse.query_exn "R(x u | x y) R(u y | x z)" in
+  let s = Qlang.Sjf.of_query q2 in
+  let f1 = Fact.make "R1" [ vi 1; vi 2; vi 3; vi 4 ] in
+  let f2 = Fact.make "R1" [ vi 1; vi 2; vi 5; vi 6 ] in
+  let f3 = Fact.make "R2" [ vi 1; vi 2; vi 3; vi 4 ] in
+  let db = Database.of_facts (Qlang.Sjf.schemas s) [ f1; f2; f3 ] in
+  let db' = Qlang.Sjf.reduce q2 db in
+  Alcotest.(check int) "three facts" 3 (Database.size db');
+  Alcotest.(check int) "two blocks" 2 (List.length (Database.blocks db'))
+
+let test_sjf_rejects_foreign_relations () =
+  let q2 = Parse.query_exn "R(x u | x y) R(u y | x z)" in
+  let s3 = Schema.make ~name:"S" ~arity:4 ~key_len:2 in
+  let db = Database.of_facts [ s3 ] [ Fact.make "S" [ vi 1; vi 2; vi 3; vi 4 ] ] in
+  Alcotest.(check bool) "foreign relation rejected" true
+    (try
+       ignore (Qlang.Sjf.reduce q2 db);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Parse *)
+
+let test_parse_roundtrip () =
+  List.iter
+    (fun src ->
+      let q = Parse.query_exn src in
+      let q' = Parse.query_exn (Query.to_string q) in
+      Alcotest.(check bool) ("roundtrip " ^ src) true (Query.equal q q'))
+    [ "R(x | y) R(y | z)"; "R(x u | x y) R(u y | x z)"; "R(x y) R(y x)" ]
+
+let prop_parse_roundtrip_random =
+  (* Random variable-pattern queries survive printing and reparsing. *)
+  QCheck2.Test.make ~name:"print/parse roundtrip on random queries" ~count:300
+    QCheck2.Gen.(
+      let* arity = int_range 1 5 in
+      let* key_len = int_range 0 arity in
+      let* seed = int_range 0 10_000 in
+      return (arity, key_len, seed))
+    (fun (arity, key_len, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let q = Workload.Randquery.random rng ~arity ~key_len ~n_vars:(arity + 2) in
+      match Parse.query (Query.to_string q) with
+      | Error _ ->
+          (* key_len = arity prints without a bar, which reparses with the
+             full-key convention; anything else must reparse. *)
+          false
+      | Ok q' -> Query.equal q q')
+
+let test_parse_errors () =
+  let bad s =
+    match Parse.query s with Ok _ -> Alcotest.failf "should reject %s" s | Error _ -> ()
+  in
+  bad "R(x | y) S(y | z)";
+  bad "R(x | y) R(y z | u)";
+  bad "R(x | y)";
+  bad "R(x | y) R(y | z) R(z | w)";
+  bad "R() R()"
+
+let test_parse_constants () =
+  let q = Parse.query_exn "R(x | 5) R(5 | x)" in
+  Alcotest.(check bool) "constant parsed" true (Term.equal (Atom.nth q.Query.a 1) (c 5))
+
+let test_parse_database () =
+  let src = "# comment\nR[2,1]\nR(1 2)\nR(1 3)\nR(2 2)\n" in
+  match Parse.database src with
+  | Error msg -> Alcotest.fail msg
+  | Ok db ->
+      Alcotest.(check int) "three facts" 3 (Database.size db);
+      Alcotest.(check int) "two blocks" 2 (List.length (Database.blocks db))
+
+let test_parse_database_infer_schema () =
+  match Parse.database "R(1 | a)\nR(1 | b)\n" with
+  | Error msg -> Alcotest.fail msg
+  | Ok db ->
+      Alcotest.(check int) "one block" 1 (List.length (Database.blocks db));
+      Alcotest.(check bool) "inconsistent" false (Database.is_consistent db)
+
+let test_parse_csv () =
+  let schema = Schema.make ~name:"Emp" ~arity:3 ~key_len:1 in
+  let src = "e1,alice,10\ne1,alice,20\ne2,\"bob, jr\",30\n" in
+  match Parse.csv ~schema src with
+  | Error msg -> Alcotest.fail msg
+  | Ok db ->
+      Alcotest.(check int) "three facts" 3 (Database.size db);
+      Alcotest.(check int) "two blocks" 2 (List.length (Database.blocks db));
+      Alcotest.(check bool) "quoted cell with comma" true
+        (Database.mem db
+           (Fact.make "Emp" [ Value.str "e2"; Value.str "bob, jr"; vi 30 ]))
+
+let test_parse_csv_header_and_errors () =
+  let schema = Schema.make ~name:"Emp" ~arity:2 ~key_len:1 in
+  (match Parse.csv ~schema ~skip_header:true "id,name\n1,a\n2,b\n" with
+  | Error msg -> Alcotest.fail msg
+  | Ok db -> Alcotest.(check int) "header skipped" 2 (Database.size db));
+  (match Parse.csv ~schema "1,a,EXTRA\n" with
+  | Ok _ -> Alcotest.fail "arity mismatch accepted"
+  | Error _ -> ());
+  match Parse.csv ~schema ~separator:';' "1;a\n" with
+  | Error msg -> Alcotest.fail msg
+  | Ok db -> Alcotest.(check int) "custom separator" 1 (Database.size db)
+
+let test_parse_database_errors () =
+  (match Parse.database "R(1 2)\n" with
+  | Ok _ -> Alcotest.fail "schema should be required"
+  | Error _ -> ());
+  match Parse.database "" with
+  | Ok _ -> Alcotest.fail "empty file rejected"
+  | Error _ -> ()
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "qlang"
+    [
+      ( "atom",
+        [
+          Alcotest.test_case "vars" `Quick test_atom_vars;
+          Alcotest.test_case "key vars" `Quick test_atom_key_vars;
+          Alcotest.test_case "fact roundtrip" `Quick test_atom_fact_roundtrip;
+          Alcotest.test_case "homomorphism" `Quick test_atom_homomorphism;
+        ] );
+      ( "unify",
+        [
+          Alcotest.test_case "subst idempotent" `Quick test_subst_idempotent;
+          Alcotest.test_case "terms" `Quick test_unify_terms;
+          Alcotest.test_case "atoms" `Quick test_unify_atoms;
+          Alcotest.test_case "relations" `Quick test_unify_different_relations;
+        ]
+        @ qt [ prop_unify_is_unifier; prop_match_fact_grounds ] );
+      ( "query",
+        [
+          Alcotest.test_case "accessors" `Quick test_query_accessors;
+          Alcotest.test_case "trivial hom" `Quick test_triviality_hom;
+          Alcotest.test_case "shared vars block hom" `Quick
+            test_triviality_requires_fixing_shared;
+          Alcotest.test_case "equal key tuples" `Quick test_triviality_equal_keys;
+        ] );
+      ( "solutions",
+        [
+          Alcotest.test_case "q3 pairs" `Quick test_solutions_q3;
+          Alcotest.test_case "satisfies" `Quick test_satisfies;
+        ]
+        @ qt [ prop_solutions_sound ] );
+      ( "solution graph",
+        [
+          Alcotest.test_case "structure" `Quick test_solution_graph_structure;
+          Alcotest.test_case "components/cliques" `Quick test_components_and_cliques;
+          Alcotest.test_case "non-clique db" `Quick test_not_clique_database;
+        ] );
+      ( "sjf",
+        [
+          Alcotest.test_case "structure" `Quick test_sjf_structure;
+          Alcotest.test_case "reduce blocks" `Quick test_sjf_reduce_blocks;
+          Alcotest.test_case "foreign relations" `Quick test_sjf_rejects_foreign_relations;
+        ] );
+      ( "parse",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "constants" `Quick test_parse_constants;
+          Alcotest.test_case "database" `Quick test_parse_database;
+          Alcotest.test_case "schema inference" `Quick test_parse_database_infer_schema;
+          Alcotest.test_case "database errors" `Quick test_parse_database_errors;
+          Alcotest.test_case "csv" `Quick test_parse_csv;
+          Alcotest.test_case "csv header/errors" `Quick test_parse_csv_header_and_errors;
+        ]
+        @ qt [ prop_parse_roundtrip_random ]
+        @ [
+        ] );
+    ]

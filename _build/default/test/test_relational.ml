@@ -1,0 +1,271 @@
+(* Unit and property tests for the relational substrate: values, schemas,
+   facts, blocks, databases and repairs. *)
+
+module Value = Relational.Value
+module Schema = Relational.Schema
+module Fact = Relational.Fact
+module Block = Relational.Block
+module Database = Relational.Database
+module Repair = Relational.Repair
+
+let schema_r2 = Schema.make ~name:"R" ~arity:2 ~key_len:1
+let schema_r3 = Schema.make ~name:"R" ~arity:3 ~key_len:2
+let vi = Value.int
+let fact vs = Fact.make "R" (List.map vi vs)
+let db2 facts = Database.of_facts [ schema_r2 ] (List.map fact facts)
+
+(* ------------------------------------------------------------------ *)
+(* Value *)
+
+let test_value_order () =
+  Alcotest.(check bool) "int < str" true (Value.compare (vi 5) (Value.str "a") < 0);
+  Alcotest.(check bool) "str < pair" true
+    (Value.compare (Value.str "z") (Value.pair (vi 0) (vi 0)) < 0);
+  Alcotest.(check bool)
+    "pair lexicographic" true
+    (Value.compare (Value.pair (vi 1) (vi 9)) (Value.pair (vi 2) (vi 0)) < 0);
+  Alcotest.(check bool) "equal reflexive" true (Value.equal (Value.triple (vi 1) (vi 2) (vi 3)) (Value.triple (vi 1) (vi 2) (vi 3)))
+
+let test_value_tag_disjoint () =
+  Alcotest.(check bool) "tags keep families apart" false
+    (Value.equal (Value.tag "x" (vi 1)) (Value.tag "y" (vi 1)))
+
+let value_gen =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      if n <= 0 then oneof [ map Value.int small_int; map Value.str (string_size (return 3)) ]
+      else
+        frequency
+          [
+            (2, map Value.int small_int);
+            (2, map Value.str (string_size (return 3)));
+            (1, map2 Value.pair (self (n / 2)) (self (n / 2)));
+          ])
+
+let prop_value_compare_total =
+  QCheck2.Test.make ~name:"Value.compare is antisymmetric and consistent with equal"
+    ~count:300
+    QCheck2.Gen.(pair value_gen value_gen)
+    (fun (v, w) ->
+      let c = Value.compare v w and c' = Value.compare w v in
+      (c = 0) = (c' = 0) && (c > 0) = (c' < 0) && Value.equal v w = (c = 0))
+
+let prop_value_hash_equal =
+  QCheck2.Test.make ~name:"equal values have equal hashes" ~count:300
+    QCheck2.Gen.(pair value_gen value_gen)
+    (fun (v, w) -> (not (Value.equal v w)) || Value.hash v = Value.hash w)
+
+(* ------------------------------------------------------------------ *)
+(* Schema *)
+
+let test_schema_validation () =
+  Alcotest.check_raises "empty name" (Invalid_argument "Schema.make: empty relation name")
+    (fun () -> ignore (Schema.make ~name:"" ~arity:2 ~key_len:1));
+  Alcotest.check_raises "zero arity"
+    (Invalid_argument "Schema.make: arity must be >= 1") (fun () ->
+      ignore (Schema.make ~name:"R" ~arity:0 ~key_len:0));
+  Alcotest.check_raises "key too long"
+    (Invalid_argument "Schema.make: key_len must be within [0, arity]") (fun () ->
+      ignore (Schema.make ~name:"R" ~arity:2 ~key_len:3))
+
+let test_schema_positions () =
+  Alcotest.(check (list int)) "key positions" [ 0; 1 ] (Schema.key_positions schema_r3);
+  Alcotest.(check (list int)) "nonkey positions" [ 2 ] (Schema.nonkey_positions schema_r3)
+
+(* ------------------------------------------------------------------ *)
+(* Fact *)
+
+let test_fact_key () =
+  let f = Fact.make "R" [ vi 1; vi 2; vi 3 ] in
+  Alcotest.(check bool) "key tuple" true
+    (List.for_all2 Value.equal (Fact.key schema_r3 f) [ vi 1; vi 2 ]);
+  Alcotest.(check int) "key set size" 2 (Value.Set.cardinal (Fact.key_set schema_r3 f));
+  Alcotest.(check int) "adom size" 3 (Value.Set.cardinal (Fact.adom f))
+
+let test_fact_key_equal () =
+  let f = fact [ 1; 2 ] and g = fact [ 1; 3 ] and h = fact [ 2; 2 ] in
+  Alcotest.(check bool) "same key" true (Fact.key_equal schema_r2 f g);
+  Alcotest.(check bool) "different key" false (Fact.key_equal schema_r2 f h);
+  Alcotest.(check bool) "key-equal is not equal" false (Fact.equal f g)
+
+let test_fact_schema_mismatch () =
+  let f = fact [ 1; 2 ] in
+  Alcotest.(check bool) "wrong arity rejected" true
+    (try
+       ignore (Fact.key schema_r3 f);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Block and Database *)
+
+let test_blocks_partition () =
+  let db = db2 [ [ 1; 1 ]; [ 1; 2 ]; [ 2; 1 ]; [ 2; 2 ]; [ 3; 1 ] ] in
+  let blocks = Database.blocks db in
+  Alcotest.(check int) "three blocks" 3 (List.length blocks);
+  Alcotest.(check int) "facts preserved" 5
+    (List.fold_left (fun acc b -> acc + Block.size b) 0 blocks)
+
+let test_block_make_rejects_mixed () =
+  Alcotest.(check bool) "non-key-equal facts rejected" true
+    (try
+       ignore (Block.make schema_r2 [ fact [ 1; 1 ]; fact [ 2; 1 ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_database_consistency () =
+  Alcotest.(check bool) "consistent" true
+    (Database.is_consistent (db2 [ [ 1; 1 ]; [ 2; 1 ] ]));
+  Alcotest.(check bool) "inconsistent" false
+    (Database.is_consistent (db2 [ [ 1; 1 ]; [ 1; 2 ] ]))
+
+let test_database_add_remove () =
+  let db = db2 [ [ 1; 1 ] ] in
+  let db = Database.add db (fact [ 1; 1 ]) in
+  Alcotest.(check int) "idempotent add" 1 (Database.size db);
+  let db = Database.remove db (fact [ 1; 1 ]) in
+  Alcotest.(check bool) "empty after remove" true (Database.is_empty db);
+  Alcotest.(check int) "no blocks" 0 (List.length (Database.blocks db))
+
+let test_database_rejects_unknown_relation () =
+  let db = db2 [] in
+  Alcotest.(check bool) "unknown relation" true
+    (try
+       ignore (Database.add db (Fact.make "S" [ vi 0 ]));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "wrong arity" true
+    (try
+       ignore (Database.add db (Fact.make "R" [ vi 0; vi 1; vi 2 ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_database_union_conflict () =
+  let s1 = Schema.make ~name:"R" ~arity:2 ~key_len:1 in
+  let s2 = Schema.make ~name:"R" ~arity:2 ~key_len:2 in
+  let d1 = Database.empty [ s1 ] and d2 = Database.empty [ s2 ] in
+  Alcotest.(check bool) "conflicting schemas" true
+    (try
+       ignore (Database.union d1 d2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_siblings () =
+  let db = db2 [ [ 1; 1 ]; [ 1; 2 ]; [ 1; 3 ]; [ 2; 1 ] ] in
+  Alcotest.(check int) "two siblings" 2 (List.length (Database.siblings db (fact [ 1; 1 ])))
+
+(* ------------------------------------------------------------------ *)
+(* Repair *)
+
+let test_repair_count () =
+  let db = db2 [ [ 1; 1 ]; [ 1; 2 ]; [ 2; 1 ]; [ 2; 2 ]; [ 2; 3 ]; [ 3; 9 ] ] in
+  Alcotest.(check (option int)) "2*3*1 repairs" (Some 6) (Repair.count db);
+  Alcotest.(check int) "enumeration agrees" 6 (List.length (List.of_seq (Repair.enumerate db)))
+
+let test_repair_empty_db () =
+  let db = db2 [] in
+  Alcotest.(check (option int)) "one empty repair" (Some 1) (Repair.count db);
+  Alcotest.(check int) "enumerates the empty repair" 1
+    (List.length (List.of_seq (Repair.enumerate db)))
+
+let test_repair_properties () =
+  let db = db2 [ [ 1; 1 ]; [ 1; 2 ]; [ 2; 1 ]; [ 2; 2 ] ] in
+  Seq.iter
+    (fun r ->
+      Alcotest.(check bool) "is_repair" true (Repair.is_repair db r);
+      Alcotest.(check bool) "consistent" true
+        (Database.is_consistent (Repair.to_database db r)))
+    (Repair.enumerate db)
+
+let test_repair_replace () =
+  let db = db2 [ [ 1; 1 ]; [ 1; 2 ]; [ 2; 1 ] ] in
+  let r = [ fact [ 1; 1 ]; fact [ 2; 1 ] ] in
+  let r' = Repair.replace db r ~old_fact:(fact [ 1; 1 ]) ~new_fact:(fact [ 1; 2 ]) in
+  Alcotest.(check bool) "still a repair" true (Repair.is_repair db r');
+  Alcotest.(check bool) "contains replacement" true
+    (List.exists (Fact.equal (fact [ 1; 2 ])) r');
+  Alcotest.check_raises "not key-equal"
+    (Invalid_argument "Repair.replace: facts are not key-equal") (fun () ->
+      ignore (Repair.replace db r ~old_fact:(fact [ 2; 1 ]) ~new_fact:(fact [ 1; 2 ])))
+
+let test_repair_sample_valid () =
+  let rng = Random.State.make [| 7 |] in
+  let db = db2 [ [ 1; 1 ]; [ 1; 2 ]; [ 2; 1 ]; [ 2; 2 ]; [ 3; 0 ] ] in
+  for _ = 1 to 20 do
+    Alcotest.(check bool) "sampled repair valid" true
+      (Repair.is_repair db (Repair.sample rng db))
+  done
+
+let random_db_gen =
+  QCheck2.Gen.(
+    let* n = int_range 0 12 in
+    let* keys = list_size (return n) (int_range 0 3) in
+    let* vals = list_size (return n) (int_range 0 3) in
+    return (db2 (List.map2 (fun k v -> [ k; v ]) keys vals)))
+
+let prop_repair_count_product =
+  QCheck2.Test.make ~name:"number of repairs = product of block sizes" ~count:200
+    random_db_gen (fun db ->
+      let expected =
+        List.fold_left (fun acc b -> acc * Block.size b) 1 (Database.blocks db)
+      in
+      Repair.count db = Some expected
+      && List.length (List.of_seq (Repair.enumerate db)) = expected)
+
+let prop_repairs_maximal =
+  QCheck2.Test.make ~name:"repairs are maximal consistent subsets" ~count:100
+    random_db_gen (fun db ->
+      Repair.for_all db (fun r ->
+          Repair.is_repair db r
+          && List.for_all
+               (fun f ->
+                 List.exists (Fact.equal f) r
+                 || not
+                      (Database.is_consistent
+                         (Repair.to_database db (f :: r))))
+               (Database.facts db)))
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "relational"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "ordering" `Quick test_value_order;
+          Alcotest.test_case "tag disjoint" `Quick test_value_tag_disjoint;
+        ]
+        @ qt [ prop_value_compare_total; prop_value_hash_equal ] );
+      ( "schema",
+        [
+          Alcotest.test_case "validation" `Quick test_schema_validation;
+          Alcotest.test_case "positions" `Quick test_schema_positions;
+        ] );
+      ( "fact",
+        [
+          Alcotest.test_case "key" `Quick test_fact_key;
+          Alcotest.test_case "key_equal" `Quick test_fact_key_equal;
+          Alcotest.test_case "schema mismatch" `Quick test_fact_schema_mismatch;
+        ] );
+      ( "blocks",
+        [
+          Alcotest.test_case "partition" `Quick test_blocks_partition;
+          Alcotest.test_case "mixed keys rejected" `Quick test_block_make_rejects_mixed;
+        ] );
+      ( "database",
+        [
+          Alcotest.test_case "consistency" `Quick test_database_consistency;
+          Alcotest.test_case "add/remove" `Quick test_database_add_remove;
+          Alcotest.test_case "unknown relation" `Quick test_database_rejects_unknown_relation;
+          Alcotest.test_case "union conflict" `Quick test_database_union_conflict;
+          Alcotest.test_case "siblings" `Quick test_siblings;
+        ] );
+      ( "repair",
+        [
+          Alcotest.test_case "count" `Quick test_repair_count;
+          Alcotest.test_case "empty db" `Quick test_repair_empty_db;
+          Alcotest.test_case "properties" `Quick test_repair_properties;
+          Alcotest.test_case "replace" `Quick test_repair_replace;
+          Alcotest.test_case "sample" `Quick test_repair_sample_valid;
+        ]
+        @ qt [ prop_repair_count_product; prop_repairs_maximal ] );
+    ]

@@ -1,0 +1,120 @@
+(* Tests for the interactive shell's command engine. *)
+
+module Shell = Core.Shell
+
+let run commands =
+  List.fold_left
+    (fun (state, outputs) line ->
+      let state, out = Shell.exec state line in
+      (state, out :: outputs))
+    (Shell.initial, []) commands
+  |> fun (state, outputs) -> (state, List.rev outputs)
+
+let last outputs = List.nth outputs (List.length outputs - 1)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_requires_query () =
+  let _, outputs = run [ "certain" ] in
+  Alcotest.(check bool) "prompts for query" true (contains (last outputs) "no query set")
+
+let test_query_classifies () =
+  let _, outputs = run [ "query R(x | y) R(y | z)" ] in
+  Alcotest.(check bool) "prints verdict" true (contains (last outputs) "Theorem 4")
+
+let test_bad_inputs_reported () =
+  let _, outputs =
+    run [ "query R(x | y) S(y | z)"; "query R(x | y) R(y | z)"; "add R(1 2 3)"; "nonsense" ]
+  in
+  (match outputs with
+  | [ bad_query; _; bad_fact; unknown ] ->
+      Alcotest.(check bool) "bad query" true (contains bad_query "bad query");
+      Alcotest.(check bool) "bad fact" true (contains bad_fact "does not fit");
+      Alcotest.(check bool) "unknown command" true (contains unknown "unknown command")
+  | _ -> Alcotest.fail "unexpected output count");
+  ()
+
+let test_full_session () =
+  let _, outputs =
+    run
+      [
+        "query R(x | y) R(y | z)";
+        "add R(1 2)";
+        "add R(1 9)";
+        "add R(2 3)";
+        "certain";
+        "explain";
+        "del R(1 9)";
+        "certain";
+        "explain";
+        "answers x,z";
+        "blocks";
+      ]
+  in
+  let nth i = List.nth outputs i in
+  Alcotest.(check bool) "not certain with the conflict" true (contains (nth 4) "CERTAIN: false");
+  Alcotest.(check bool) "falsifying repair shown" true (contains (nth 5) "falsifying repair");
+  Alcotest.(check bool) "certain after deletion" true (contains (nth 7) "CERTAIN: true");
+  Alcotest.(check bool) "certificate shown" true (contains (nth 8) "derivation");
+  Alcotest.(check bool) "answer tuple" true (contains (nth 9) "certain: true");
+  Alcotest.(check bool) "no conflict left" false (contains (nth 10) "conflict")
+
+let test_estimate_and_dot () =
+  let _, outputs =
+    run
+      [
+        "query R(x | y) R(y | z)";
+        "add R(1 2)";
+        "add R(2 3)";
+        "estimate 50";
+        "dot";
+      ]
+  in
+  Alcotest.(check bool) "estimate reports frequency" true
+    (contains (List.nth outputs 3) "frequency 1.000");
+  Alcotest.(check bool) "dot output" true (contains (List.nth outputs 4) "graph")
+
+let test_help_and_empty () =
+  let _, outputs = run [ ""; "help" ] in
+  Alcotest.(check string) "empty line silent" "" (List.nth outputs 0);
+  Alcotest.(check bool) "help lists commands" true (contains (List.nth outputs 1) "certain")
+
+let test_load () =
+  let path = Filename.temp_file "cqa_shell" ".facts" in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc "R[2,1]\nR(1 2)\nR(2 3)\n");
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let _, outputs = run [ "query R(x | y) R(y | z)"; "load " ^ path; "certain" ] in
+      Alcotest.(check bool) "loaded" true (contains (List.nth outputs 1) "loaded 2 facts");
+      Alcotest.(check bool) "certain" true (contains (List.nth outputs 2) "CERTAIN: true"))
+
+let test_load_rejects_foreign_relation () =
+  let path = Filename.temp_file "cqa_shell" ".facts" in
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc "S[2,1]\nS(1 2)\n");
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let _, outputs = run [ "query R(x | y) R(y | z)"; "load " ^ path ] in
+      Alcotest.(check bool) "rejected" true
+        (contains (List.nth outputs 1) "other relations"))
+
+let () =
+  Alcotest.run "shell"
+    [
+      ( "shell",
+        [
+          Alcotest.test_case "requires query" `Quick test_requires_query;
+          Alcotest.test_case "query classifies" `Quick test_query_classifies;
+          Alcotest.test_case "bad inputs" `Quick test_bad_inputs_reported;
+          Alcotest.test_case "full session" `Quick test_full_session;
+          Alcotest.test_case "estimate and dot" `Quick test_estimate_and_dot;
+          Alcotest.test_case "help and empty" `Quick test_help_and_empty;
+          Alcotest.test_case "load" `Quick test_load;
+          Alcotest.test_case "foreign relation" `Quick test_load_rejects_foreign_relation;
+        ] );
+    ]

@@ -1,0 +1,99 @@
+(* Tests for the workload library: catalogue integrity and the random
+   database generators. *)
+
+module Catalog = Workload.Catalog
+module Randdb = Workload.Randdb
+module Database = Relational.Database
+module Query = Qlang.Query
+module Schema = Relational.Schema
+
+let test_catalog_names_unique () =
+  let names = List.map (fun (e : Catalog.entry) -> e.Catalog.name) Catalog.all in
+  Alcotest.(check int) "unique names"
+    (List.length names)
+    (List.length (List.sort_uniq String.compare names))
+
+let test_catalog_queries_well_formed () =
+  List.iter
+    (fun (e : Catalog.entry) ->
+      let q = e.Catalog.query in
+      Alcotest.(check bool)
+        (e.Catalog.name ^ " atoms fit schema")
+        true
+        (Qlang.Atom.fits q.Query.schema q.Query.a
+        && Qlang.Atom.fits q.Query.schema q.Query.b))
+    Catalog.all
+
+let test_catalog_find () =
+  let e = Catalog.find "q2" in
+  Alcotest.(check bool) "q2 retrieved" true (Query.equal e.Catalog.query Catalog.q2);
+  Alcotest.(check bool) "unknown name" true
+    (try
+       ignore (Catalog.find "nope");
+       false
+     with Not_found -> true)
+
+let test_catalog_non_trivial () =
+  (* Every non-"triv" entry must be a genuine two-atom query. *)
+  List.iter
+    (fun (e : Catalog.entry) ->
+      let trivial = Option.is_some (Query.triviality e.Catalog.query) in
+      let expected_trivial = e.Catalog.expected = Catalog.Exp_trivial in
+      Alcotest.(check bool) (e.Catalog.name ^ " triviality") expected_trivial trivial)
+    Catalog.all
+
+let test_random_db_deterministic () =
+  let mk () =
+    Randdb.random (Random.State.make [| 1; 2 |])
+      (Schema.make ~name:"R" ~arity:2 ~key_len:1)
+      ~n_facts:20 ~domain:4
+  in
+  Alcotest.(check bool) "same seed, same database" true (Database.equal (mk ()) (mk ()))
+
+let test_random_db_schema () =
+  let rng = Random.State.make [| 3 |] in
+  let db = Randdb.random_for_query rng Catalog.q6 ~n_facts:30 ~domain:4 in
+  List.iter
+    (fun f ->
+      Alcotest.(check int) "arity" 3 (Relational.Fact.arity f);
+      Alcotest.(check string) "relation" "R" f.Relational.Fact.rel)
+    (Database.facts db)
+
+let test_random_db_has_solutions_sometimes () =
+  (* The planted generator should produce solution-rich instances. *)
+  let rng = Random.State.make [| 4 |] in
+  let hits = ref 0 in
+  for _ = 1 to 20 do
+    let db = Randdb.random_for_query rng Catalog.q3 ~n_facts:20 ~domain:3 in
+    if Qlang.Solutions.query_pairs Catalog.q3 db <> [] then incr hits
+  done;
+  Alcotest.(check bool) "solutions appear" true (!hits > 10)
+
+let test_random_sjf_two_relations () =
+  let rng = Random.State.make [| 5 |] in
+  let s = Qlang.Sjf.of_query Catalog.q2 in
+  let db = Randdb.random_sjf rng s ~n_facts:20 ~domain:3 in
+  let rels =
+    List.map (fun (f : Relational.Fact.t) -> f.Relational.Fact.rel) (Database.facts db)
+    |> List.sort_uniq String.compare
+  in
+  Alcotest.(check (list string)) "both relations populated" [ "R1"; "R2" ] rels
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "catalog",
+        [
+          Alcotest.test_case "names unique" `Quick test_catalog_names_unique;
+          Alcotest.test_case "well-formed" `Quick test_catalog_queries_well_formed;
+          Alcotest.test_case "find" `Quick test_catalog_find;
+          Alcotest.test_case "triviality labels" `Quick test_catalog_non_trivial;
+        ] );
+      ( "randdb",
+        [
+          Alcotest.test_case "deterministic" `Quick test_random_db_deterministic;
+          Alcotest.test_case "schema conformance" `Quick test_random_db_schema;
+          Alcotest.test_case "solution-rich" `Quick test_random_db_has_solutions_sometimes;
+          Alcotest.test_case "sjf relations" `Quick test_random_sjf_two_relations;
+        ] );
+    ]
