@@ -398,6 +398,25 @@ let e11_scaling () =
             pp_cell t_sat (Cqa.Exact.certain sg))
         [ true; false ])
     [ 4; 8; 12; 16; 20 ];
+  subsection "budgeted degradation chain on the same gadgets (0.3s + estimate fallback)";
+  let report2 = Core.Dichotomy.classify Catalog.q2 in
+  let pp_outcome =
+    Harness.Outcome.pp
+      (fun ppf (b, alg) -> Format.fprintf ppf "%b via %a" b Core.Solver.pp_algorithm alg)
+      (fun ppf (e : Cqa.Montecarlo.estimate) ->
+        Format.fprintf ppf "frequency %.2f over %d trials" e.Cqa.Montecarlo.frequency
+          e.Cqa.Montecarlo.trials)
+  in
+  List.iter
+    (fun n ->
+      let phi = Satsolver.Threesat.chain ~sat:false n in
+      let db = Core.Gadget.database g phi in
+      let budget = Harness.Budget.make ~timeout:0.3 () in
+      let outcome, _ =
+        Core.Solver.solve ~budget ~estimate_trials:200 report2 db
+      in
+      Format.printf "%8d %8d facts  %a@." n (Db.size db) pp_outcome outcome)
+    [ 8; 16; 24 ];
   subsection "matching-based solver on growing q6 rotation systems";
   Format.printf "%10s %10s %12s %12s@." "n_triples" "n_facts" "Matching(ms)" "certain";
   List.iter
@@ -611,11 +630,29 @@ let experiments =
 let usage () =
   print_endline "usage: main.exe [--list | --bechamel | --table NAME | --figure NAME]";
   print_endline "experiments:";
-  List.iter (fun (name, _) -> Printf.printf "  %s\n" name) experiments
+  List.iter (fun (name, _) -> Printf.printf "  %s\n" name) experiments;
+  print_endline
+    "\nevery experiment runs under a wall-clock budget (CQA_BENCH_BUDGET seconds,\n\
+     default 300) so one pathological instance cannot stall the whole suite."
+
+(* Per-experiment wall-clock budget: a pathological case inside an
+   experiment is already capped cell-by-cell ([timed_cell]), and this outer
+   guard bounds the experiment as a whole. *)
+let experiment_budget =
+  match Option.bind (Sys.getenv_opt "CQA_BENCH_BUDGET") float_of_string_opt with
+  | Some s when s > 0.0 -> s
+  | Some _ | None -> 300.0
+
+let run_guarded (name, f) =
+  match with_timeout experiment_budget f with
+  | Some () -> ()
+  | None ->
+      Format.printf "@.!! experiment %s exceeded its %.0fs budget — skipped the rest of it@."
+        name experiment_budget
 
 let run_one name =
   match List.assoc_opt name experiments with
-  | Some f -> f ()
+  | Some f -> run_guarded (name, f)
   | None ->
       Printf.eprintf "unknown experiment %s\n" name;
       usage ();
@@ -624,10 +661,10 @@ let run_one name =
 let () =
   match Array.to_list Sys.argv with
   | [] | _ :: [] ->
-      List.iter (fun (_, f) -> f ()) experiments;
-      bechamel_suite ()
+      List.iter run_guarded experiments;
+      run_guarded ("bechamel", bechamel_suite)
   | _ :: "--list" :: _ -> usage ()
-  | _ :: "--bechamel" :: _ -> bechamel_suite ()
+  | _ :: "--bechamel" :: _ -> run_guarded ("bechamel", bechamel_suite)
   | _ :: ("--table" | "--figure") :: name :: _ -> run_one name
   | _ :: ("--table" | "--figure") :: [] ->
       usage ();

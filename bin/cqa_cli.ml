@@ -9,11 +9,33 @@
 
 open Cmdliner
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+(* Exit-code contract (see README "Solver harness & exit codes"):
+   0 certain, 1 not certain, 2 usage/input error, 3 degraded (estimate-only
+   or budget exhausted), 124 timeout. *)
+let exit_not_certain = 1
+let exit_error = 2
+let exit_degraded = 3
+let exit_timeout = 124
+
+(* Command bodies run under this guard so malformed input ([--k 0] hitting
+   "Certk: k must be >= 1", an unreadable database file, ...) prints a
+   one-line error and exits with the usage/input code instead of dumping an
+   uncaught-exception backtrace. *)
+let guard f =
+  try f () with
+  | Invalid_argument msg | Sys_error msg | Failure msg ->
+      Format.eprintf "error: %s@." msg;
+      exit_error
+
+(* "-" reads the database from stdin, so [cqa gadget --emit-db | cqa certain]
+   pipelines work without a temporary file. *)
+let read_file = function
+  | "-" -> In_channel.input_all In_channel.stdin
+  | path ->
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
 
 let query_conv =
   let parse s =
@@ -41,6 +63,7 @@ let opts_of_merges merges =
 (* classify *)
 
 let classify_run query merges verbose =
+  guard @@ fun () ->
   let report = Core.Dichotomy.classify ~opts:(opts_of_merges merges) query in
   if verbose then Format.printf "%a@." Core.Dichotomy.explain report
   else Format.printf "%a@." Core.Dichotomy.pp_report report;
@@ -57,29 +80,116 @@ let classify_cmd =
 (* ------------------------------------------------------------------ *)
 (* certain *)
 
-let certain_run query db_path k exact_flag =
+let pp_estimate ppf (e : Cqa.Montecarlo.estimate) =
+  Format.fprintf ppf "%d/%d sampled repairs satisfied the query (frequency %.3f)%s"
+    e.Cqa.Montecarlo.satisfying e.Cqa.Montecarlo.trials e.Cqa.Montecarlo.frequency
+    (if e.Cqa.Montecarlo.counterexample <> None then
+       "; a sampled falsifying repair disproves certainty"
+     else "")
+
+let certain_run query db_path k exact_only timeout max_steps estimate_flag trials
+    seed verify =
+  guard @@ fun () ->
   match Qlang.Parse.database (read_file db_path) with
   | Error msg ->
       Format.eprintf "error: %s@." msg;
-      1
+      exit_error
   | Ok db ->
-      let exact = if exact_flag then `Sat else `Backtracking in
-      let answer, algorithm = Core.Solver.certain_query ~k ~exact query db in
-      Format.printf "CERTAIN: %b (via %a)@." answer Core.Solver.pp_algorithm algorithm;
-      if answer then 0 else 1
+      let budget = Harness.Budget.make ?timeout ?max_steps () in
+      let estimate_trials = if estimate_flag then Some trials else None in
+      let report = Core.Dichotomy.classify query in
+      let outcome, attempts =
+        Core.Solver.solve ~k ~exact_only ~budget ~verify ?estimate_trials ~seed
+          report db
+      in
+      (* Surface degradation: any tier that did not decide is worth a note. *)
+      List.iter
+        (fun (a : Core.Solver.attempt) ->
+          match a.Core.Solver.status with
+          | Core.Solver.Attempt_decided _ -> ()
+          | _ -> Format.eprintf "note: %a@." Core.Solver.pp_attempt a)
+        attempts;
+      (match outcome with
+      | Harness.Outcome.Decided (answer, algorithm) ->
+          Format.printf "CERTAIN: %b (via %a)@." answer Core.Solver.pp_algorithm
+            algorithm;
+          if answer then 0 else exit_not_certain
+      | Harness.Outcome.Estimated e ->
+          Format.printf "DEGRADED (Monte Carlo estimate, not a decision): %a@."
+            pp_estimate e;
+          exit_degraded
+      | Harness.Outcome.Timeout ->
+          Format.eprintf "timeout: no solver tier finished before the deadline@.";
+          exit_timeout
+      | Harness.Outcome.Budget_exhausted ->
+          Format.eprintf
+            "budget exhausted after %d steps: no solver tier finished \
+             (re-run with a larger --max-steps or with --estimate)@."
+            (Harness.Budget.steps budget);
+          exit_degraded
+      | Harness.Outcome.Solver_error msg ->
+          Format.eprintf "error: %s@." msg;
+          exit_error)
 
 let certain_cmd =
   let db_arg =
     Arg.(
       required
-      & pos 1 (some file) None
-      & info [] ~docv:"DB" ~doc:"Database file: one fact per line, e.g. \"R(1 | 2)\".")
+      & pos 1 (some string) None
+      & info [] ~docv:"DB"
+          ~doc:"Database file: one fact per line, e.g. \"R(1 | 2)\"; '-' reads stdin.")
   in
   let k_arg =
     Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc:"Fixpoint parameter of Cert_k.")
   in
-  let sat_arg =
-    Arg.(value & flag & info [ "sat" ] ~doc:"Use the SAT solver for coNP-hard queries.")
+  let exact_arg =
+    Arg.(
+      value & flag
+      & info [ "exact" ]
+          ~doc:
+            "Skip the PTIME tier even when the dichotomy designates one; \
+             decide with the exact tiers (SAT reduction, then backtracking) \
+             under the given budget.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock budget for the solver chain (exit 124 when exceeded).")
+  in
+  let max_steps_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:"Step budget for the solver chain (exit 3 when exhausted).")
+  in
+  let estimate_arg =
+    Arg.(
+      value & flag
+      & info [ "estimate" ]
+          ~doc:
+            "When no solver tier finishes within budget, fall back to a \
+             Monte Carlo estimate, reported as an explicitly degraded answer \
+             (exit 3).")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "trials" ] ~docv:"N" ~doc:"Sampled repairs for the $(b,--estimate) fallback.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Seed of the estimate fallback.")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Run every solver tier (not just the first to finish) and check \
+             that all decisions agree; a disagreement is reported as a solver \
+             error (exit 2).")
   in
   Cmd.v
     (Cmd.info "certain"
@@ -88,17 +198,28 @@ let certain_cmd =
          [
            `S Manpage.s_description;
            `P
-             "Classifies the query first, then runs the algorithm the \
-              dichotomy designates: a per-block test for trivial queries, \
-              Cert_2 / Cert_k / the matching combination for PTIME queries, \
-              and an exact exponential solver for coNP-complete ones.";
+             "Classifies the query first, then runs the degradation chain the \
+              dichotomy designates: the selected PTIME algorithm (per-block \
+              test, Cert_2 / Cert_k, or the matching combination) when the \
+              query is tractable, then the SAT reduction, then the budgeted \
+              exact backtracking solver, and finally — with $(b,--estimate) — \
+              a Monte Carlo estimate labelled as degraded.";
+           `S Manpage.s_exit_status;
+           `P "0 — the query is certain.";
+           `P "1 — the query is not certain.";
+           `P "2 — usage or input error, or solver tiers disagreed.";
+           `P "3 — degraded: estimate-only answer, or step budget exhausted.";
+           `P "124 — the wall-clock deadline passed with no answer.";
          ])
-    Term.(const certain_run $ query_arg $ db_arg $ k_arg $ sat_arg)
+    Term.(
+      const certain_run $ query_arg $ db_arg $ k_arg $ exact_arg $ timeout_arg
+      $ max_steps_arg $ estimate_arg $ trials_arg $ seed_arg $ verify_arg)
 
 (* ------------------------------------------------------------------ *)
 (* tripath *)
 
 let tripath_run query merges kind =
+  guard @@ fun () ->
   let opts = opts_of_merges merges in
   let result =
     match kind with
@@ -133,6 +254,7 @@ let tripath_cmd =
 (* catalog *)
 
 let catalog_run merges =
+  guard @@ fun () ->
   Format.printf "%-18s %-40s %s@." "name" "query" "verdict";
   List.iter
     (fun (e : Workload.Catalog.entry) ->
@@ -151,11 +273,12 @@ let catalog_cmd =
 (* ------------------------------------------------------------------ *)
 (* gadget *)
 
-let gadget_run query n_vars n_clauses seed =
+let gadget_run query n_vars n_clauses seed emit_db =
+  guard @@ fun () ->
   match Core.Gadget.create query with
   | Error msg ->
       Format.eprintf "error: %s@." msg;
-      1
+      exit_error
   | Ok g ->
       let rng = Random.State.make [| seed |] in
       let rec try_formula attempts =
@@ -169,15 +292,36 @@ let gadget_run query n_vars n_clauses seed =
           with
           | None -> try_formula (attempts - 1)
           | Some (phi, db) ->
-              Format.printf "formula: %a@." Satsolver.Cnf.pp phi;
-              Format.printf "database: %d facts in %d blocks@."
-                (Relational.Database.size db)
-                (List.length (Relational.Database.blocks db));
-              let sat = Satsolver.Dpll.is_sat phi in
-              let certain = Cqa.Exact.certain_query query db in
-              Format.printf "satisfiable: %b, certain: %b (Lemma 13: certain = unsat: %b)@."
-                sat certain (certain = not sat);
-              if certain = not sat then 0 else 1
+              if emit_db then begin
+                (* A clean parseable database on stdout, for piping into
+                   [cqa certain QUERY -]. No Lemma 13 check here — that is an
+                   exponential solve, and --emit-db exists precisely to hand
+                   instances too hard for it to a budgeted run. *)
+                Format.printf "# Theorem 12 gadget, %d vars / %d clauses, seed %d@."
+                  n_vars n_clauses seed;
+                List.iter
+                  (fun (f : Relational.Fact.t) ->
+                    let schema = Relational.Database.schema_of db f in
+                    let token i = Relational.Value.to_token (Relational.Fact.nth f i) in
+                    let join ps = String.concat " " (List.map token ps) in
+                    Format.printf "%s(%s | %s)@." f.Relational.Fact.rel
+                      (join (Relational.Schema.key_positions schema))
+                      (join (Relational.Schema.nonkey_positions schema)))
+                  (Relational.Database.facts db);
+                0
+              end
+              else begin
+                Format.printf "formula: %a@." Satsolver.Cnf.pp phi;
+                Format.printf "database: %d facts in %d blocks@."
+                  (Relational.Database.size db)
+                  (List.length (Relational.Database.blocks db));
+                let sat = Satsolver.Dpll.is_sat phi in
+                let certain = Cqa.Exact.certain_query query db in
+                Format.printf
+                  "satisfiable: %b, certain: %b (Lemma 13: certain = unsat: %b)@."
+                  sat certain (certain = not sat);
+                if certain = not sat then 0 else 1
+              end
       in
       try_formula 20
 
@@ -189,19 +333,28 @@ let gadget_cmd =
     Arg.(value & opt int 6 & info [ "clauses" ] ~docv:"M" ~doc:"Number of 3-SAT clauses.")
   in
   let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.") in
+  let emit_db_arg =
+    Arg.(
+      value & flag
+      & info [ "emit-db" ]
+          ~doc:
+            "Print the gadget database itself (parseable, one fact per line) \
+             instead of checking Lemma 13; pipe into $(b,cqa certain QUERY -).")
+  in
   Cmd.v
     (Cmd.info "gadget"
        ~doc:"Build the Theorem 12 hardness gadget for a fork-tripath query and check Lemma 13.")
-    Term.(const gadget_run $ query_arg $ vars_arg $ clauses_arg $ seed_arg)
+    Term.(const gadget_run $ query_arg $ vars_arg $ clauses_arg $ seed_arg $ emit_db_arg)
 
 (* ------------------------------------------------------------------ *)
 (* answers *)
 
 let answers_run query db_path free_spec =
+  guard @@ fun () ->
   match Qlang.Parse.database (read_file db_path) with
   | Error msg ->
       Format.eprintf "error: %s@." msg;
-      1
+      exit_error
   | Ok db -> (
       let free =
         String.split_on_char ',' free_spec
@@ -244,10 +397,11 @@ let answers_cmd =
 (* explain *)
 
 let explain_run query db_path k =
+  guard @@ fun () ->
   match Qlang.Parse.database (read_file db_path) with
   | Error msg ->
       Format.eprintf "error: %s@." msg;
-      1
+      exit_error
   | Ok db -> (
       let g = Qlang.Solution_graph.of_query query db in
       match Cqa.Certk.certificate ~k g with
@@ -286,10 +440,11 @@ let explain_cmd =
 (* dot *)
 
 let dot_run query db_path directed =
+  guard @@ fun () ->
   match Qlang.Parse.database (read_file db_path) with
   | Error msg ->
       Format.eprintf "error: %s@." msg;
-      1
+      exit_error
   | Ok db ->
       let g = Qlang.Solution_graph.of_query query db in
       print_string (Qlang.Dot.solution_graph ~directed g);
@@ -311,6 +466,7 @@ let dot_cmd =
 (* atlas *)
 
 let atlas_run arity key_len verbose =
+  guard @@ fun () ->
   let queries = Core.Atlas.enumerate ~arity ~key_len in
   Format.printf "signature [%d, %d]: %d canonical queries@." arity key_len
     (List.length queries);
@@ -344,10 +500,11 @@ let atlas_cmd =
 (* estimate *)
 
 let estimate_run query db_path trials seed =
+  guard @@ fun () ->
   match Qlang.Parse.database (read_file db_path) with
   | Error msg ->
       Format.eprintf "error: %s@." msg;
-      1
+      exit_error
   | Ok db ->
       let rng = Random.State.make [| seed |] in
       let e = Cqa.Montecarlo.estimate rng ~trials query db in
@@ -390,4 +547,4 @@ let main_cmd =
       estimate_cmd;
     ]
 
-let () = exit (Cmd.eval' main_cmd)
+let () = exit (Cmd.eval' ~term_err:exit_error main_cmd)

@@ -93,21 +93,172 @@ let certain_trivial (q : Query.t) triviality db =
       | None -> false (* no single fact can match both atoms *)
       | Some c -> certain_one_atom c db)
 
-let certain ?(k = 3) ?(exact = `Backtracking) (report : Dichotomy.report) db =
+let certain ?(k = 3) ?(exact = `Backtracking) ?budget (report : Dichotomy.report) db =
   let q = report.Dichotomy.query in
   match report.Dichotomy.verdict with
   | Dichotomy.Ptime (Dichotomy.Trivial t) -> (certain_trivial q t db, Alg_one_atom)
   | Dichotomy.Ptime Dichotomy.Cert2 ->
-      (Cqa.Certk.certain_query ~k:2 q db, Alg_cert2)
+      (Cqa.Certk.certain_query ?budget ~k:2 q db, Alg_cert2)
   | Dichotomy.Ptime Dichotomy.Certk_no_tripath ->
-      (Cqa.Certk.certain_query ~k q db, Alg_certk k)
+      (Cqa.Certk.certain_query ?budget ~k q db, Alg_certk k)
   | Dichotomy.Ptime (Dichotomy.Combined_triangle _) ->
-      (Cqa.Combined.certain_query ~k q db, Alg_combined k)
+      (Cqa.Combined.certain_query ?budget ~k q db, Alg_combined k)
   | Dichotomy.Conp_complete _ -> (
       let g = Qlang.Solution_graph.of_query q db in
       match exact with
-      | `Backtracking -> (Cqa.Exact.certain g, Alg_exact_backtracking)
-      | `Sat -> (Cqa.Satreduce.certain g, Alg_exact_sat))
+      | `Backtracking -> (Cqa.Exact.certain ?budget g, Alg_exact_backtracking)
+      | `Sat -> (Cqa.Satreduce.certain ?budget g, Alg_exact_sat))
 
-let certain_query ?opts ?k ?exact q db =
-  certain ?k ?exact (Dichotomy.classify ?opts q) db
+let certain_query ?opts ?k ?exact ?budget q db =
+  certain ?k ?exact ?budget (Dichotomy.classify ?opts q) db
+
+(* ------------------------------------------------------------------ *)
+(* The budgeted degradation chain. *)
+
+type outcome = (bool * algorithm, Cqa.Montecarlo.estimate) Harness.Outcome.t
+
+type tier = Tier_ptime | Tier_sat | Tier_exact
+
+let pp_tier ppf = function
+  | Tier_ptime -> Format.pp_print_string ppf "ptime"
+  | Tier_sat -> Format.pp_print_string ppf "sat"
+  | Tier_exact -> Format.pp_print_string ppf "exact"
+
+type attempt_status =
+  | Attempt_decided of bool
+  | Attempt_failed of string
+  | Attempt_out_of_budget of Harness.Budget.exhaustion
+
+type attempt = { tier : tier; algorithm : algorithm; status : attempt_status }
+
+let pp_attempt ppf a =
+  Format.fprintf ppf "%a tier (%a): " pp_tier a.tier pp_algorithm a.algorithm;
+  match a.status with
+  | Attempt_decided b -> Format.fprintf ppf "decided %b" b
+  | Attempt_failed msg -> Format.fprintf ppf "failed (%s)" msg
+  | Attempt_out_of_budget r ->
+      Format.fprintf ppf "ran out of %a" Harness.Budget.pp_exhaustion r
+
+(* Run the tiers in order. Without [verify], the first tier to complete
+   decides and the rest are skipped; a tier that fails (injected fault,
+   refused instance) degrades to the next tier. Budget exhaustion stops the
+   whole chain — the budget is shared, so any later exact tier would hit the
+   same wall immediately. With [verify], every tier runs and all decisions
+   must agree; a disagreement is a [Solver_error] carrying the per-tier
+   diagnostic (the cross-solver check that backs the chaos tests). *)
+let run_tiers ?(verify = false) ?fallback tiers =
+  let attempts = ref [] in
+  let record a = attempts := a :: !attempts in
+  let rec go = function
+    | [] -> ()
+    | (tier, algorithm, decide) :: rest -> (
+        match decide () with
+        | b ->
+            record { tier; algorithm; status = Attempt_decided b };
+            if verify then go rest
+        | exception Harness.Budget.Budget_exceeded reason ->
+            record { tier; algorithm; status = Attempt_out_of_budget reason }
+        | exception Harness.Chaos.Injected_fault site ->
+            record
+              { tier; algorithm; status = Attempt_failed ("injected fault at " ^ site) };
+            go rest
+        | exception Invalid_argument msg ->
+            record { tier; algorithm; status = Attempt_failed msg };
+            go rest)
+  in
+  go tiers;
+  let attempts = List.rev !attempts in
+  let decisions =
+    List.filter_map
+      (fun a -> match a.status with Attempt_decided b -> Some (a, b) | _ -> None)
+      attempts
+  in
+  let diagnostic () =
+    Format.asprintf "%a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         pp_attempt)
+      attempts
+  in
+  let outcome =
+    match decisions with
+    | (a0, b0) :: rest ->
+        if List.for_all (fun (_, b) -> b = b0) rest then
+          Harness.Outcome.Decided (b0, a0.algorithm)
+        else
+          Harness.Outcome.Solver_error ("solver tiers disagree: " ^ diagnostic ())
+    | [] -> (
+        match fallback with
+        | Some estimate -> (
+            match estimate () with
+            | e -> Harness.Outcome.Estimated e
+            | exception Invalid_argument msg ->
+                Harness.Outcome.Solver_error ("estimate fallback failed: " ^ msg))
+        | None -> (
+            let out_of_budget =
+              List.find_map
+                (fun a ->
+                  match a.status with Attempt_out_of_budget r -> Some r | _ -> None)
+                attempts
+            in
+            match out_of_budget with
+            | Some Harness.Budget.Deadline -> Harness.Outcome.Timeout
+            | Some Harness.Budget.Steps -> Harness.Outcome.Budget_exhausted
+            | None ->
+                Harness.Outcome.Solver_error
+                  (if attempts = [] then "no solver tier available"
+                   else "every solver tier failed: " ^ diagnostic ())))
+  in
+  (outcome, attempts)
+
+let tiers ?(k = 3) ?(exact_only = false) ~budget (report : Dichotomy.report) db =
+  let q = report.Dichotomy.query in
+  let g = lazy (Qlang.Solution_graph.of_query q db) in
+  let ptime =
+    if exact_only then []
+    else
+      match report.Dichotomy.verdict with
+      | Dichotomy.Ptime (Dichotomy.Trivial t) ->
+          [ (Tier_ptime, Alg_one_atom, fun () -> certain_trivial q t db) ]
+      | Dichotomy.Ptime Dichotomy.Cert2 ->
+          [
+            ( Tier_ptime,
+              Alg_cert2,
+              fun () -> Cqa.Certk.run ~budget ~k:2 (Lazy.force g) );
+          ]
+      | Dichotomy.Ptime Dichotomy.Certk_no_tripath ->
+          [
+            ( Tier_ptime,
+              Alg_certk k,
+              fun () -> Cqa.Certk.run ~budget ~k (Lazy.force g) );
+          ]
+      | Dichotomy.Ptime (Dichotomy.Combined_triangle _) ->
+          [
+            ( Tier_ptime,
+              Alg_combined k,
+              fun () -> Cqa.Combined.run ~budget ~k (Lazy.force g) );
+          ]
+      | Dichotomy.Conp_complete _ -> []
+  in
+  ptime
+  @ [
+      (Tier_sat, Alg_exact_sat, fun () -> Cqa.Satreduce.certain ~budget (Lazy.force g));
+      ( Tier_exact,
+        Alg_exact_backtracking,
+        fun () -> Cqa.Exact.certain ~budget (Lazy.force g) );
+    ]
+
+let solve ?k ?exact_only ?(budget = Harness.Budget.unlimited ()) ?verify
+    ?estimate_trials ?(seed = 0) (report : Dichotomy.report) db =
+  let fallback =
+    Option.map
+      (fun trials () ->
+        let rng = Random.State.make [| seed; 0xE571 |] in
+        Cqa.Montecarlo.estimate rng ~trials report.Dichotomy.query db)
+      estimate_trials
+  in
+  run_tiers ?verify ?fallback (tiers ?k ?exact_only ~budget report db)
+
+let solve_query ?opts ?k ?exact_only ?budget ?verify ?estimate_trials ?seed q db =
+  solve ?k ?exact_only ?budget ?verify ?estimate_trials ?seed
+    (Dichotomy.classify ?opts q) db

@@ -35,10 +35,13 @@ val certain_one_atom : Qlang.Atom.t -> Relational.Database.t -> bool
     [Cert_k] (default 3; the paper's bound {!Cqa.Certk.paper_k} is
     astronomically larger but never needed on practical instances — see
     EXPERIMENTS.md). For coNP-complete queries [exact] selects the
-    exponential solver (default [`Backtracking]). *)
+    exponential solver (default [`Backtracking]). When [budget] is given it
+    is threaded into the designated algorithm and {!Harness.Budget.Budget_exceeded}
+    propagates; use {!solve} for the graceful-degradation behaviour. *)
 val certain :
   ?k:int ->
   ?exact:[ `Backtracking | `Sat ] ->
+  ?budget:Harness.Budget.t ->
   Dichotomy.report ->
   Relational.Database.t ->
   bool * algorithm
@@ -48,6 +51,81 @@ val certain_query :
   ?opts:Tripath_search.options ->
   ?k:int ->
   ?exact:[ `Backtracking | `Sat ] ->
+  ?budget:Harness.Budget.t ->
   Qlang.Query.t ->
   Relational.Database.t ->
   bool * algorithm
+
+(** {2 Budgeted degradation chain}
+
+    {!solve} replaces the bare boolean answer with a structured
+    {!type:outcome} and runs a chain of solver tiers under a shared
+    {!Harness.Budget.t}: the classifier-designated PTIME algorithm first
+    (when the query is tractable), then the SAT reduction, then the budgeted
+    exact backtracking search, and finally — when enabled — a seeded Monte
+    Carlo estimate returned as an explicitly-labelled degraded answer. A
+    tier that fails (an injected chaos fault, a refused instance) falls
+    through to the next tier; budget exhaustion stops the chain, because the
+    budget is shared and any later exact tier would hit the same wall. *)
+
+type outcome = (bool * algorithm, Cqa.Montecarlo.estimate) Harness.Outcome.t
+
+(** The decision tiers of the chain, in degradation order. *)
+type tier = Tier_ptime | Tier_sat | Tier_exact
+
+val pp_tier : Format.formatter -> tier -> unit
+
+type attempt_status =
+  | Attempt_decided of bool
+  | Attempt_failed of string  (** Injected fault or refused instance. *)
+  | Attempt_out_of_budget of Harness.Budget.exhaustion
+
+(** One entry of the chain's execution trace. *)
+type attempt = { tier : tier; algorithm : algorithm; status : attempt_status }
+
+val pp_attempt : Format.formatter -> attempt -> unit
+
+(** [run_tiers tiers] is the chain engine, exposed for tests: run the given
+    [(tier, algorithm, decide)] triples in order, first completed decision
+    wins. With [verify] every tier runs and any two decisions must agree —
+    a disagreement yields [Solver_error] with a per-tier diagnostic. When no
+    tier decides, [fallback] (if given) produces the degraded [Estimated]
+    answer; otherwise the outcome reports the budget exhaustion ([Timeout] /
+    [Budget_exhausted]) or [Solver_error]. *)
+val run_tiers :
+  ?verify:bool ->
+  ?fallback:(unit -> Cqa.Montecarlo.estimate) ->
+  (tier * algorithm * (unit -> bool)) list ->
+  outcome * attempt list
+
+(** [solve report db] runs the degradation chain for a classified query.
+    [estimate_trials] enables the Monte Carlo fallback tier with that many
+    sampled repairs (seeded by [seed], default 0). [verify] additionally
+    runs every tier and checks cross-solver agreement. [exact_only] skips
+    the PTIME tier even when the classifier designates one, forcing the
+    exact tiers to decide. Never raises on budget exhaustion or injected
+    faults — these come back as structured outcomes together with the trace
+    of attempted tiers. *)
+val solve :
+  ?k:int ->
+  ?exact_only:bool ->
+  ?budget:Harness.Budget.t ->
+  ?verify:bool ->
+  ?estimate_trials:int ->
+  ?seed:int ->
+  Dichotomy.report ->
+  Relational.Database.t ->
+  outcome * attempt list
+
+(** [solve_query q db] classifies then runs {!solve}. *)
+val solve_query :
+  ?opts:Tripath_search.options ->
+  ?k:int ->
+  ?exact_only:bool ->
+  ?budget:Harness.Budget.t ->
+  ?verify:bool ->
+  ?estimate_trials:int ->
+  ?seed:int ->
+  Qlang.Query.t ->
+  Relational.Database.t ->
+  outcome * attempt list

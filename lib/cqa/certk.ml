@@ -54,10 +54,7 @@ type state = {
   mutable provenance : reason Int_list_map.t;
       (* how each set ever added was derived; never shrinks, so certificates
          survive antichain pruning *)
-  mutable steps : int;  (* work counter for the optional budget *)
 }
-
-exception Out_of_budget
 
 let subsumed state s =
   state.empty_derived
@@ -102,8 +99,7 @@ let derive_for_block (g : Solution_graph.t) ~k ~budget state block =
     | [] ->
         if add_set state acc (Via_block (block, List.rev chosen)) then changed := true
     | u :: rest as remaining ->
-        state.steps <- state.steps + 1;
-        if state.steps > budget then raise Out_of_budget;
+        Harness.Budget.tick ~site:"certk" budget;
         let key = (List.length remaining, acc) in
         if not (Hashtbl.mem visited key) then begin
           Hashtbl.add visited key ();
@@ -118,7 +114,7 @@ let derive_for_block (g : Solution_graph.t) ~k ~budget state block =
   choose [] [] members;
   !changed
 
-let fixpoint ?(budget = max_int) (g : Solution_graph.t) ~k =
+let fixpoint ?(budget = Harness.Budget.unlimited ()) (g : Solution_graph.t) ~k =
   if k < 1 then invalid_arg "Certk: k must be >= 1";
   let n = Solution_graph.n_facts g in
   let state =
@@ -127,7 +123,6 @@ let fixpoint ?(budget = max_int) (g : Solution_graph.t) ~k =
       by_vertex = Array.make (max n 1) Int_list_set.empty;
       empty_derived = false;
       provenance = Int_list_map.empty;
-      steps = 0;
     }
   in
   (* Initial sets: minimal k-sets satisfying q — solution pairs across
@@ -145,16 +140,14 @@ let fixpoint ?(budget = max_int) (g : Solution_graph.t) ~k =
       | Some _ | None -> ())
     g.Solution_graph.directed;
   let n_blocks = Solution_graph.n_blocks g in
-  (try
-     let continue = ref true in
-     while !continue && not state.empty_derived do
-       continue := false;
-       for b = 0 to n_blocks - 1 do
-         if not state.empty_derived then
-           if derive_for_block g ~k ~budget state b then continue := true
-       done
-     done
-   with Out_of_budget -> ());
+  let continue = ref true in
+  while !continue && not state.empty_derived do
+    continue := false;
+    for b = 0 to n_blocks - 1 do
+      if not state.empty_derived then
+        if derive_for_block g ~k ~budget state b then continue := true
+    done
+  done;
   state
 
 let run ?budget ~k g = (fixpoint ?budget g ~k).empty_derived

@@ -17,16 +17,17 @@
     derived set, so this loses nothing and keeps the state small. *)
 
 (** [run ?budget ~k g] runs [Cert_k] on a solution graph. [k >= 1] required.
-    [budget] caps the number of derivation steps; when exhausted, the run
-    stops with the current verdict, which keeps the algorithm a {e sound}
-    under-approximation of CERTAIN (it may just answer no more often).
-    Default: unlimited. *)
-val run : ?budget:int -> k:int -> Qlang.Solution_graph.t -> bool
+    One budget tick (site ["certk"]) is spent per derivation step; when the
+    budget runs out the fixpoint is abandoned and [Budget_exceeded]
+    propagates, so the caller (the degradation chain) can fall back to
+    another tier instead of trusting a half-finished under-approximation.
+    @raise Harness.Budget.Budget_exceeded when [budget] runs out. *)
+val run : ?budget:Harness.Budget.t -> k:int -> Qlang.Solution_graph.t -> bool
 
 (** [certain_query ?budget ~k q db] builds the solution graph and runs
     [Cert_k]. *)
 val certain_query :
-  ?budget:int -> k:int -> Qlang.Query.t -> Relational.Database.t -> bool
+  ?budget:Harness.Budget.t -> k:int -> Qlang.Query.t -> Relational.Database.t -> bool
 
 (** [derived ~k g] exposes the fixpoint's minimal sets (sorted vertex lists),
     for inspection and tests. [run] returns [true] iff this contains [[]]. *)

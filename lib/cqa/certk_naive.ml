@@ -8,7 +8,7 @@ end)
 
 (* Enumerate every k-set: choose at most one vertex from each block, at most
    k vertices in total. *)
-let all_ksets (g : Solution_graph.t) ~k =
+let all_ksets ~budget (g : Solution_graph.t) ~k =
   let blocks = Array.to_list g.Solution_graph.blocks in
   let limit = 1_000_000 in
   let count = ref 0 in
@@ -20,6 +20,7 @@ let all_ksets (g : Solution_graph.t) ~k =
         else
           List.fold_left
             (fun sets v ->
+              Harness.Budget.tick ~site:"certk-naive" budget;
               incr count;
               if !count > limit then
                 invalid_arg "Certk_naive: too many k-sets (use Certk instead)";
@@ -43,9 +44,9 @@ let rec is_subset xs ys =
       else if x > y then is_subset xs ys'
       else false
 
-let fixpoint (g : Solution_graph.t) ~k =
+let fixpoint ?(budget = Harness.Budget.unlimited ()) (g : Solution_graph.t) ~k =
   if k < 1 then invalid_arg "Certk_naive: k must be >= 1";
-  let ksets = all_ksets g ~k in
+  let ksets = all_ksets ~budget g ~k in
   let delta = ref Set_set.empty in
   List.iter (fun s -> if satisfies g s then delta := Set_set.add s !delta) ksets;
   let member_subset_of s =
@@ -57,6 +58,7 @@ let fixpoint (g : Solution_graph.t) ~k =
     changed := false;
     List.iter
       (fun s ->
+        Harness.Budget.tick ~site:"certk-naive" budget;
         if not (Set_set.mem s !delta) then
           let derivable =
             List.exists
@@ -74,5 +76,5 @@ let fixpoint (g : Solution_graph.t) ~k =
   done;
   !delta
 
-let run ~k g = Set_set.mem [] (fixpoint g ~k)
-let delta ~k g = Set_set.elements (fixpoint g ~k)
+let run ?budget ~k g = Set_set.mem [] (fixpoint ?budget g ~k)
+let delta ?budget ~k g = Set_set.elements (fixpoint ?budget g ~k)

@@ -9,9 +9,13 @@
     small instances (the implementation refuses more than [10^6] candidate
     k-sets). *)
 
-(** [run ~k g] computes [D ⊨ Cert_k(q)] by the literal definition.
-    @raise Invalid_argument if [k < 1] or the instance has too many k-sets. *)
-val run : k:int -> Qlang.Solution_graph.t -> bool
+(** [run ~k g] computes [D ⊨ Cert_k(q)] by the literal definition. One
+    budget tick (site ["certk-naive"]) is spent per candidate k-set and per
+    fixpoint probe.
+    @raise Invalid_argument if [k < 1] or the instance has too many k-sets.
+    @raise Harness.Budget.Budget_exceeded when [budget] runs out. *)
+val run : ?budget:Harness.Budget.t -> k:int -> Qlang.Solution_graph.t -> bool
 
 (** [delta ~k g] exposes the full fixpoint (sorted vertex lists). *)
-val delta : k:int -> Qlang.Solution_graph.t -> int list list
+val delta :
+  ?budget:Harness.Budget.t -> k:int -> Qlang.Solution_graph.t -> int list list

@@ -1,9 +1,11 @@
 type witness = Via_certk | Via_matching | Neither
 
-let explain ~k g =
-  if Certk.run ~k g then Via_certk
+let explain ?budget ~k g =
+  if Certk.run ?budget ~k g then Via_certk
   else if not (Matching_alg.run g) then Via_matching
   else Neither
 
-let run ~k g = match explain ~k g with Via_certk | Via_matching -> true | Neither -> false
-let certain_query ~k q db = run ~k (Qlang.Solution_graph.of_query q db)
+let run ?budget ~k g =
+  match explain ?budget ~k g with Via_certk | Via_matching -> true | Neither -> false
+
+let certain_query ?budget ~k q db = run ?budget ~k (Qlang.Solution_graph.of_query q db)

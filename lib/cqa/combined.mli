@@ -8,12 +8,16 @@
     under-approximation of CERTAIN(q) for {e every} query, because both
     disjuncts are. *)
 
-(** [run ~k g] is [Cert_k(q) ∨ ¬Matching(q)] on a solution graph. *)
-val run : k:int -> Qlang.Solution_graph.t -> bool
+(** [run ~k g] is [Cert_k(q) ∨ ¬Matching(q)] on a solution graph. The
+    [Cert_k] disjunct runs under [budget] (the matching disjunct is a
+    polynomial matching computation and is not metered).
+    @raise Harness.Budget.Budget_exceeded when [budget] runs out. *)
+val run : ?budget:Harness.Budget.t -> k:int -> Qlang.Solution_graph.t -> bool
 
 (** [certain_query ~k q db] builds the solution graph and runs the
     combination. *)
-val certain_query : k:int -> Qlang.Query.t -> Relational.Database.t -> bool
+val certain_query :
+  ?budget:Harness.Budget.t -> k:int -> Qlang.Query.t -> Relational.Database.t -> bool
 
 (** Which disjunct answered, for explanation output. *)
 type witness =
@@ -21,4 +25,4 @@ type witness =
   | Via_matching  (** No saturating matching exists. *)
   | Neither  (** Both algorithms answered no. *)
 
-val explain : k:int -> Qlang.Solution_graph.t -> witness
+val explain : ?budget:Harness.Budget.t -> k:int -> Qlang.Solution_graph.t -> witness

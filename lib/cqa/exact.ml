@@ -1,6 +1,6 @@
 module Solution_graph = Qlang.Solution_graph
 
-let falsifying_repair (g : Solution_graph.t) =
+let falsifying_repair ?(budget = Harness.Budget.unlimited ()) (g : Solution_graph.t) =
   let n = Solution_graph.n_facts g in
   let n_blocks = Solution_graph.n_blocks g in
   (* conflicts.(v) counts already-chosen neighbours of v. A vertex is
@@ -26,6 +26,7 @@ let falsifying_repair (g : Solution_graph.t) =
     !best
   in
   let rec solve remaining =
+    Harness.Budget.tick ~site:"exact" budget;
     if remaining = 0 then true
     else
       match next_block () with
@@ -36,6 +37,7 @@ let falsifying_repair (g : Solution_graph.t) =
           let found =
             List.exists
               (fun v ->
+                Harness.Budget.tick ~site:"exact" budget;
                 chosen.(b) <- v;
                 List.iter (fun w -> conflicts.(w) <- conflicts.(w) + 1) g.Solution_graph.adj.(v);
                 let ok = solve (remaining - 1) in
@@ -54,12 +56,14 @@ let falsifying_repair (g : Solution_graph.t) =
   if solve n_blocks then Some (Array.to_list chosen |> List.filter (fun v -> v >= 0))
   else None
 
-let certain g = Option.is_none (falsifying_repair g)
-let certain_query q db = certain (Solution_graph.of_query q db)
-let certain_sjf s db = certain (Qlang.Sjf.solution_graph s db)
+let certain ?budget g = Option.is_none (falsifying_repair ?budget g)
+let certain_query ?budget q db = certain ?budget (Solution_graph.of_query q db)
+let certain_sjf ?budget s db = certain ?budget (Qlang.Sjf.solution_graph s db)
 
-let certain_enum q db =
+let certain_enum ?(budget = Harness.Budget.unlimited ()) q db =
   (match Relational.Repair.count db with
   | Some c when c <= 1 lsl 20 -> ()
   | Some _ | None -> invalid_arg "Exact.certain_enum: too many repairs");
-  Relational.Repair.for_all db (fun r -> Qlang.Solutions.query_satisfies q r)
+  Relational.Repair.for_all db (fun r ->
+      Harness.Budget.tick ~site:"exact" budget;
+      Qlang.Solutions.query_satisfies q r)

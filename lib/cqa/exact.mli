@@ -8,18 +8,26 @@
     outright and is kept as an independent test oracle. *)
 
 (** [falsifying_repair g] returns one vertex per block forming an independent
-    set of [g], if any (i.e. a repair falsifying the query). *)
-val falsifying_repair : Qlang.Solution_graph.t -> int list option
+    set of [g], if any (i.e. a repair falsifying the query). Budget ticks
+    (site ["exact"]) are spent per search node and candidate.
+    @raise Harness.Budget.Budget_exceeded when [budget] runs out. *)
+val falsifying_repair :
+  ?budget:Harness.Budget.t -> Qlang.Solution_graph.t -> int list option
 
-(** [certain g] decides CERTAIN on the solution graph: no falsifying repair. *)
-val certain : Qlang.Solution_graph.t -> bool
+(** [certain g] decides CERTAIN on the solution graph: no falsifying repair.
+    Same budget contract as {!falsifying_repair}. *)
+val certain : ?budget:Harness.Budget.t -> Qlang.Solution_graph.t -> bool
 
 (** [certain_query q db] builds the solution graph and runs {!certain}. *)
-val certain_query : Qlang.Query.t -> Relational.Database.t -> bool
+val certain_query :
+  ?budget:Harness.Budget.t -> Qlang.Query.t -> Relational.Database.t -> bool
 
 (** [certain_sjf s db] decides CERTAIN(sjf(q)) over a two-relation database. *)
-val certain_sjf : Qlang.Sjf.t -> Relational.Database.t -> bool
+val certain_sjf :
+  ?budget:Harness.Budget.t -> Qlang.Sjf.t -> Relational.Database.t -> bool
 
-(** [certain_enum q db] decides CERTAIN by enumerating every repair.
+(** [certain_enum q db] decides CERTAIN by enumerating every repair (one
+    budget tick per repair).
     @raise Invalid_argument if [db] has more than [2^20] repairs. *)
-val certain_enum : Qlang.Query.t -> Relational.Database.t -> bool
+val certain_enum :
+  ?budget:Harness.Budget.t -> Qlang.Query.t -> Relational.Database.t -> bool

@@ -8,7 +8,9 @@ type estimate = {
 }
 
 let estimate rng ~trials q db =
-  if trials < 0 then invalid_arg "Montecarlo.estimate: negative trial count";
+  (* [trials = 0] would report frequency 1.0 — reading as "certain" with
+     zero evidence — so it is rejected outright. *)
+  if trials < 1 then invalid_arg "Montecarlo.estimate: trials must be >= 1";
   let satisfying = ref 0 in
   let counterexample = ref None in
   for _ = 1 to trials do
@@ -19,7 +21,7 @@ let estimate rng ~trials q db =
   {
     trials;
     satisfying = !satisfying;
-    frequency = (if trials = 0 then 1.0 else float_of_int !satisfying /. float_of_int trials);
+    frequency = float_of_int !satisfying /. float_of_int trials;
     counterexample = !counterexample;
   }
 

@@ -10,12 +10,14 @@
 type estimate = {
   trials : int;
   satisfying : int;  (** Samples whose repair satisfied the query. *)
-  frequency : float;  (** [satisfying / trials] (1.0 when [trials = 0]). *)
+  frequency : float;  (** [satisfying / trials]. *)
   counterexample : Relational.Repair.t option;
       (** A sampled falsifying repair, if one was drawn. *)
 }
 
-(** [estimate rng ~trials q db] samples [trials] repairs. *)
+(** [estimate rng ~trials q db] samples [trials] repairs.
+    @raise Invalid_argument when [trials < 1] — a zero-trial estimate would
+    read as "certain" (frequency 1.0) with no evidence at all. *)
 val estimate :
   Random.State.t -> trials:int -> Qlang.Query.t -> Relational.Database.t -> estimate
 

@@ -17,8 +17,8 @@ let encode (g : Solution_graph.t) =
     g.Solution_graph.adj;
   if n = 0 then Cnf.verum else Cnf.make ~n_vars:n !clauses
 
-let falsifying_repair g =
-  match Satsolver.Dpll.solve (encode g) with
+let falsifying_repair ?budget g =
+  match Satsolver.Dpll.solve ?budget (encode g) with
   | Satsolver.Dpll.Unsat -> None
   | Satsolver.Dpll.Sat model ->
       let pick block =
@@ -29,5 +29,5 @@ let falsifying_repair g =
       in
       Some (Array.to_list (Array.map pick g.Solution_graph.blocks))
 
-let certain g = Option.is_none (falsifying_repair g)
-let certain_query q db = certain (Solution_graph.of_query q db)
+let certain ?budget g = Option.is_none (falsifying_repair ?budget g)
+let certain_query ?budget q db = certain ?budget (Solution_graph.of_query q db)

@@ -12,11 +12,15 @@
     selections of the solution graph. Fact [i] is variable [i + 1]. *)
 val encode : Qlang.Solution_graph.t -> Satsolver.Cnf.t
 
-(** [certain g] is [true] iff the encoding is unsatisfiable. *)
-val certain : Qlang.Solution_graph.t -> bool
+(** [certain g] is [true] iff the encoding is unsatisfiable. The DPLL search
+    runs under [budget] (ticks at site ["dpll"]).
+    @raise Harness.Budget.Budget_exceeded when [budget] runs out. *)
+val certain : ?budget:Harness.Budget.t -> Qlang.Solution_graph.t -> bool
 
-val certain_query : Qlang.Query.t -> Relational.Database.t -> bool
+val certain_query :
+  ?budget:Harness.Budget.t -> Qlang.Query.t -> Relational.Database.t -> bool
 
 (** [falsifying_repair g] extracts one vertex per block from a model, if the
-    encoding is satisfiable. *)
-val falsifying_repair : Qlang.Solution_graph.t -> int list option
+    encoding is satisfiable. Same budget contract as {!certain}. *)
+val falsifying_repair :
+  ?budget:Harness.Budget.t -> Qlang.Solution_graph.t -> int list option

@@ -1,0 +1,63 @@
+type exhaustion = Deadline | Steps
+
+exception Budget_exceeded of exhaustion
+
+let pp_exhaustion ppf = function
+  | Deadline -> Format.pp_print_string ppf "wall-clock deadline"
+  | Steps -> Format.pp_print_string ppf "step budget"
+
+type t = {
+  deadline : float;  (* absolute Unix time; [infinity] when unbounded *)
+  max_steps : int;  (* [max_int] when unbounded *)
+  check_every : int;  (* consult the clock every this many ticks *)
+  chaos : Chaos.t option;
+  mutable steps : int;
+  mutable exhausted : exhaustion option;
+}
+
+let unlimited () =
+  {
+    deadline = infinity;
+    max_steps = max_int;
+    check_every = 64;
+    chaos = None;
+    steps = 0;
+    exhausted = None;
+  }
+
+let make ?timeout ?max_steps ?(check_every = 64) ?chaos () =
+  (match timeout with
+  | Some s when s < 0.0 -> invalid_arg "Budget.make: timeout must be >= 0"
+  | Some _ | None -> ());
+  (match max_steps with
+  | Some n when n < 0 -> invalid_arg "Budget.make: max_steps must be >= 0"
+  | Some _ | None -> ());
+  if check_every < 1 then invalid_arg "Budget.make: check_every must be >= 1";
+  {
+    deadline =
+      (match timeout with
+      | None -> infinity
+      | Some s -> Unix.gettimeofday () +. s);
+    max_steps = Option.value ~default:max_int max_steps;
+    check_every;
+    chaos;
+    steps = 0;
+    exhausted = None;
+  }
+
+let steps b = b.steps
+let exhausted b = b.exhausted
+
+let stop b reason =
+  b.exhausted <- Some reason;
+  raise (Budget_exceeded reason)
+
+let tick ?(site = "") b =
+  (match b.exhausted with Some reason -> raise (Budget_exceeded reason) | None -> ());
+  b.steps <- b.steps + 1;
+  (match b.chaos with
+  | None -> ()
+  | Some c -> ( match Chaos.tick c ~site with Chaos.Pass -> () | Chaos.Pressure -> stop b Steps));
+  if b.steps >= b.max_steps then stop b Steps;
+  if b.deadline < infinity && b.steps mod b.check_every = 0
+     && Unix.gettimeofday () >= b.deadline then stop b Deadline

@@ -1,0 +1,55 @@
+(** Cooperative resource budgets for the exponential solvers.
+
+    A budget combines a wall-clock deadline with a step counter. Solvers
+    thread a budget through their hot loops and call {!tick} once per unit
+    of work; when the budget runs out, [tick] raises {!Budget_exceeded},
+    which the degradation chain in [Core.Solver] catches to fall back to a
+    cheaper tier instead of hanging or crashing.
+
+    Budgets are shared: the same value can be passed through several solver
+    tiers in sequence, and exhaustion is sticky — once exceeded, every
+    further [tick] raises again, so later expensive tiers cannot silently
+    restart the work. A {!Chaos} schedule can be attached to inject
+    deterministic delays, failures, and budget pressure at tick sites. *)
+
+(** Which resource ran out. *)
+type exhaustion =
+  | Deadline  (** The wall-clock deadline passed. *)
+  | Steps  (** The step counter reached [max_steps]. *)
+
+exception Budget_exceeded of exhaustion
+
+val pp_exhaustion : Format.formatter -> exhaustion -> unit
+
+type t
+
+(** A fresh budget with no deadline and no step cap; {!tick} never raises
+    (injection-free). Use as the default for unconstrained runs. *)
+val unlimited : unit -> t
+
+(** [make ()] builds a budget. [timeout] is a relative wall-clock allowance
+    in seconds (converted to an absolute deadline now); [max_steps] caps the
+    number of ticks; [check_every] is the clock-polling granularity in ticks
+    (default 64 — deadline detection lags by at most that many ticks);
+    [chaos] attaches a fault-injection schedule.
+    @raise Invalid_argument on a negative allowance or [check_every < 1]. *)
+val make :
+  ?timeout:float ->
+  ?max_steps:int ->
+  ?check_every:int ->
+  ?chaos:Chaos.t ->
+  unit ->
+  t
+
+(** [tick ?site b] records one unit of work at the tick site [site] (used by
+    chaos targeting; default [""]).
+    @raise Budget_exceeded when the budget is (or already was) exhausted, or
+    when the chaos schedule injects budget pressure.
+    @raise Chaos.Injected_fault when the chaos schedule injects a failure. *)
+val tick : ?site:string -> t -> unit
+
+(** Ticks recorded so far. *)
+val steps : t -> int
+
+(** [Some reason] once the budget has been exceeded (sticky). *)
+val exhausted : t -> exhaustion option

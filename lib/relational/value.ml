@@ -35,6 +35,38 @@ let rec pp ppf = function
 
 let to_string v = Format.asprintf "%a" pp v
 
+let to_token v =
+  let buf = Buffer.create 16 in
+  let escape c = Buffer.add_string buf (Printf.sprintf "'%02X" (Char.code c)) in
+  let add_str s =
+    (* A digits-only string printed plainly would collide with the [Int] that
+       prints the same; escaping its first character keeps the map injective. *)
+    let all_digits = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s in
+    String.iteri
+      (fun i c ->
+        let plain =
+          (c >= 'a' && c <= 'z')
+          || (c >= 'A' && c <= 'Z')
+          || (c >= '0' && c <= '9')
+          || c = '_'
+        in
+        if plain && not (all_digits && i = 0) then Buffer.add_char buf c
+        else escape c)
+      s
+  in
+  let rec go = function
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Str s -> add_str s
+    | Pair (a, b) ->
+        Buffer.add_char buf '<';
+        go a;
+        Buffer.add_char buf '-';
+        go b;
+        Buffer.add_char buf '>'
+  in
+  go v;
+  Buffer.contents buf
+
 module Ord = struct
   type nonrec t = t
 

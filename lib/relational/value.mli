@@ -29,5 +29,13 @@ val hash : t -> int
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
+(** [to_token v] encodes [v] injectively into the identifier alphabet of
+    database files (letters, digits, [_], ['], [-], [<], [>]): ints print
+    plainly, pairs as [<a-b>], and every other character — as well as the
+    leading digit of a digits-only string — as ['XX] hex escapes. Distinct
+    values yield distinct tokens, so a database printed with [to_token]
+    parses back with the same key-equality structure. *)
+val to_token : t -> string
+
 module Set : Set.S with type elt = t
 module Map : Map.S with type key = t

@@ -5,13 +5,14 @@ let check (f : Cnf.t) =
     invalid_arg
       (Printf.sprintf "Brute: refusing %d > %d variables" f.Cnf.n_vars max_vars)
 
-let fold f init formula =
+let fold ?(budget = Harness.Budget.unlimited ()) f init formula =
   check formula;
   let n = formula.Cnf.n_vars in
   let assignment = Array.make (n + 1) false in
   let rec go acc mask =
     if mask >= 1 lsl n then acc
     else begin
+      Harness.Budget.tick ~site:"brute" budget;
       for v = 1 to n do
         assignment.(v) <- mask land (1 lsl (v - 1)) <> 0
       done;
@@ -22,18 +23,18 @@ let fold f init formula =
 
 exception Found of bool array
 
-let find_model formula =
+let find_model ?budget formula =
   try
-    fold
+    fold ?budget
       (fun () assignment ->
         if Cnf.eval formula assignment then raise (Found (Array.copy assignment)))
       () formula;
     None
   with Found model -> Some model
 
-let is_sat formula = Option.is_some (find_model formula)
+let is_sat ?budget formula = Option.is_some (find_model ?budget formula)
 
-let count_models formula =
-  fold
+let count_models ?budget formula =
+  fold ?budget
     (fun acc assignment -> if Cnf.eval formula assignment then acc + 1 else acc)
     0 formula

@@ -63,24 +63,25 @@ let choose_branch state =
     counts;
   Option.map fst !best
 
-let rec search state =
+let rec search budget state =
+  Harness.Budget.tick ~site:"dpll" budget;
   match find_unit state with
-  | Some l -> ( try search (assign l state) with Conflict -> None)
+  | Some l -> ( try search budget (assign l state) with Conflict -> None)
   | None -> (
       match find_pure state with
-      | Some l -> ( try search (assign l state) with Conflict -> None)
+      | Some l -> ( try search budget (assign l state) with Conflict -> None)
       | None -> (
           match choose_branch state with
           | None -> Some state.assignment (* no clauses left: satisfied *)
           | Some l -> (
-              match try search (assign l state) with Conflict -> None with
+              match try search budget (assign l state) with Conflict -> None with
               | Some model -> Some model
               | None -> (
-                  try search (assign (-l) state) with Conflict -> None))))
+                  try search budget (assign (-l) state) with Conflict -> None))))
 
-let solve (f : Cnf.t) =
+let solve ?(budget = Harness.Budget.unlimited ()) (f : Cnf.t) =
   let state = { clauses = f.Cnf.clauses; assignment = [] } in
-  match search state with
+  match search budget state with
   | None -> Unsat
   | Some partial ->
       let model = Array.make (f.Cnf.n_vars + 1) false in
@@ -88,4 +89,4 @@ let solve (f : Cnf.t) =
       assert (Cnf.eval f model);
       Sat model
 
-let is_sat f = match solve f with Sat _ -> true | Unsat -> false
+let is_sat ?budget f = match solve ?budget f with Sat _ -> true | Unsat -> false

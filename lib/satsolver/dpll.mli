@@ -8,7 +8,11 @@ type result =
   | Sat of bool array  (** A model; index 0 is unused. *)
   | Unsat
 
-val solve : Cnf.t -> result
+(** [solve ?budget f] searches for a model. One budget tick (site ["dpll"])
+    is spent per search node.
+    @raise Harness.Budget.Budget_exceeded when [budget] runs out. *)
+val solve : ?budget:Harness.Budget.t -> Cnf.t -> result
 
-(** [is_sat f] is [true] iff [f] is satisfiable. *)
-val is_sat : Cnf.t -> bool
+(** [is_sat f] is [true] iff [f] is satisfiable. Same budget contract as
+    {!solve}. *)
+val is_sat : ?budget:Harness.Budget.t -> Cnf.t -> bool

@@ -1,0 +1,143 @@
+(* Chaos stress suite (run with [dune build @stress]).
+
+   Two parts:
+
+   1. Deterministic edge forcing: targeted fault injection drives the
+      degradation chain down each specific edge, and the run asserts the
+      expected outcome shape.
+
+   2. A randomized chaos sweep: many seeds, moderate fault / delay /
+      pressure probabilities at every tick site. Whatever the injections do,
+      a [Decided] outcome must match the chaos-free exact reference — chaos
+      may degrade availability, never correctness. The sweep also checks
+      that every edge of the chain (ptime decision, fault fallthrough,
+      budget stop, estimate fallback) was observed at least once across the
+      sweep, so the suite fails loudly if a refactor makes an edge
+      unreachable. *)
+
+module Budget = Harness.Budget
+module Chaos = Harness.Chaos
+module Outcome = Harness.Outcome
+module Solver = Core.Solver
+module Fact = Relational.Fact
+module Value = Relational.Value
+module Database = Relational.Database
+module Query = Qlang.Query
+
+let q3 = Qlang.Parse.query_exn "R(x | y) R(y | z)"
+
+let failures = ref 0
+
+let check name ok =
+  if ok then Printf.printf "ok   %s\n%!" name
+  else begin
+    incr failures;
+    Printf.printf "FAIL %s\n%!" name
+  end
+
+let vi = Value.int
+let fact vs = Fact.make "R" (List.map vi vs)
+
+let db_certain =
+  Database.of_facts [ q3.Query.schema ]
+    [ fact [ 1; 2 ]; fact [ 2; 1 ]; fact [ 2; 3 ]; fact [ 3; 2 ] ]
+
+(* ------------------------------------------------------------------ *)
+(* 1. Deterministic edge forcing *)
+
+let force_edge name ~sites ~expect =
+  let chaos = Chaos.make ~fail_p:1.0 ~sites () in
+  let budget = Budget.make ~chaos () in
+  let outcome, _ = Solver.solve_query ~budget q3 db_certain in
+  check name (expect outcome)
+
+let deterministic () =
+  force_edge "edge: ptime -> sat" ~sites:[ "certk" ] ~expect:(function
+    | Outcome.Decided (true, Solver.Alg_exact_sat) -> true
+    | _ -> false);
+  force_edge "edge: sat -> exact" ~sites:[ "certk"; "dpll" ] ~expect:(function
+    | Outcome.Decided (true, Solver.Alg_exact_backtracking) -> true
+    | _ -> false);
+  (* All decision tiers fault: with an estimate the chain degrades, without
+     one it reports the failure. *)
+  let all_sites = [ "certk"; "certk-naive"; "dpll"; "brute"; "exact" ] in
+  let chaos = Chaos.make ~fail_p:1.0 ~sites:all_sites () in
+  let budget = Budget.make ~chaos () in
+  let outcome, _ =
+    Solver.solve_query ~budget ~estimate_trials:50 q3 db_certain
+  in
+  check "edge: all faulted -> estimate"
+    (match outcome with Outcome.Estimated _ -> true | _ -> false);
+  let chaos = Chaos.make ~fail_p:1.0 ~sites:all_sites () in
+  let budget = Budget.make ~chaos () in
+  let outcome, _ = Solver.solve_query ~budget q3 db_certain in
+  check "edge: all faulted, no fallback -> solver error"
+    (match outcome with Outcome.Solver_error _ -> true | _ -> false);
+  let budget = Budget.make ~max_steps:1 () in
+  let outcome, _ = Solver.solve_query ~budget q3 db_certain in
+  check "edge: step budget -> budget exhausted"
+    (match outcome with Outcome.Budget_exhausted -> true | _ -> false);
+  let budget = Budget.make ~timeout:0.0 ~check_every:1 () in
+  let outcome, _ = Solver.solve_query ~budget q3 db_certain in
+  check "edge: deadline -> timeout"
+    (match outcome with Outcome.Timeout -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* 2. Randomized chaos sweep *)
+
+type edge_seen = {
+  mutable ptime : bool;
+  mutable fallthrough : bool;
+  mutable budget_stop : bool;
+  mutable estimated : bool;
+}
+
+let sweep () =
+  let seen = { ptime = false; fallthrough = false; budget_stop = false; estimated = false } in
+  let gen = Random.State.make [| 0xBEEF |] in
+  let wrong = ref 0 and degraded = ref 0 and decided = ref 0 in
+  for seed = 1 to 200 do
+    let db = Workload.Randdb.random_for_query gen q3 ~n_facts:12 ~domain:3 in
+    let reference = Cqa.Exact.certain_query q3 db in
+    let chaos =
+      Chaos.make ~seed ~fail_p:0.02 ~delay_p:0.01 ~delay_s:0.0001
+        ~pressure_p:0.002 ()
+    in
+    let budget = Budget.make ~max_steps:5_000 ~chaos () in
+    let outcome, attempts =
+      Solver.solve_query ~budget ~estimate_trials:10 ~seed q3 db
+    in
+    List.iter
+      (fun (a : Solver.attempt) ->
+        match (a.Solver.tier, a.Solver.status) with
+        | Solver.Tier_ptime, Solver.Attempt_decided _ -> seen.ptime <- true
+        | _, Solver.Attempt_failed _ -> seen.fallthrough <- true
+        | _, Solver.Attempt_out_of_budget _ -> seen.budget_stop <- true
+        | _ -> ())
+      attempts;
+    (match outcome with
+    | Outcome.Decided (answer, _) ->
+        incr decided;
+        if answer <> reference then incr wrong
+    | Outcome.Estimated _ ->
+        seen.estimated <- true;
+        incr degraded
+    | Outcome.Timeout | Outcome.Budget_exhausted -> incr degraded
+    | Outcome.Solver_error _ -> incr degraded)
+  done;
+  Printf.printf "sweep: %d decided, %d degraded, %d wrong\n%!" !decided !degraded !wrong;
+  check "sweep: chaos never corrupts a decision" (!wrong = 0);
+  check "sweep: decisions still happen under chaos" (!decided > 0);
+  check "sweep edge observed: ptime decision" seen.ptime;
+  check "sweep edge observed: fault fallthrough" seen.fallthrough;
+  check "sweep edge observed: budget stop" seen.budget_stop;
+  check "sweep edge observed: estimate fallback" seen.estimated
+
+let () =
+  deterministic ();
+  sweep ();
+  if !failures > 0 then begin
+    Printf.printf "%d stress check(s) failed\n%!" !failures;
+    exit 1
+  end
+  else Printf.printf "all stress checks passed\n%!"
