@@ -41,7 +41,7 @@ let query_conv =
   let parse s =
     match Qlang.Parse.query s with
     | Ok q -> Ok q
-    | Error msg -> Error (`Msg ("bad query: " ^ msg))
+    | Error e -> Error (`Msg ("bad query: " ^ Qlang.Parse.error_to_string e))
   in
   Arg.conv (parse, Qlang.Query.pp)
 
@@ -62,20 +62,146 @@ let opts_of_merges merges =
 (* ------------------------------------------------------------------ *)
 (* classify *)
 
-let classify_run query merges verbose =
+let classify_run query merges verbose certificate json =
   guard @@ fun () ->
-  let report = Core.Dichotomy.classify ~opts:(opts_of_merges merges) query in
-  if verbose then Format.printf "%a@." Core.Dichotomy.explain report
-  else Format.printf "%a@." Core.Dichotomy.pp_report report;
-  0
+  let opts = opts_of_merges merges in
+  let expected_bounds = Core.Certificate.bounds_of_options opts in
+  let report = Core.Dichotomy.classify ~opts query in
+  if json then begin
+    (* The JSON report always embeds the certificate, plus the independent
+       checker's verdict on it; a rejected certificate is an input/solver
+       error, not a classification. *)
+    let check =
+      Analysis.Check.check ~expected_bounds query report.Core.Dichotomy.certificate
+    in
+    Format.printf "%a@." Analysis.Json.pp (Analysis.Encode.report ~check report);
+    match check with Ok _ -> 0 | Error _ -> exit_error
+  end
+  else begin
+    if verbose then Format.printf "%a@." Core.Dichotomy.explain report
+    else Format.printf "%a@." Core.Dichotomy.pp_report report;
+    if not certificate then 0
+    else begin
+      Format.printf "%a@." Core.Certificate.pp report.Core.Dichotomy.certificate;
+      match Analysis.Check.audit_report ~expected_bounds report with
+      | Ok () ->
+          Format.printf "certificate check: ok (independent checker)@.";
+          0
+      | Error errors ->
+          List.iter (fun e -> Format.eprintf "certificate check failed: %s@." e) errors;
+          exit_error
+    end
+  end
 
 let classify_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the full decision trace and witness tripath.")
   in
+  let certificate =
+    Arg.(
+      value & flag
+      & info [ "certificate" ]
+          ~doc:
+            "Print the machine-checkable certificate backing the verdict and \
+             re-validate it with the independent $(b,Analysis.Check) kernel \
+             (exit 2 if the certificate is rejected).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the report as JSON (certificate and checker verdict \
+             included) for editors and CI scripts.")
+  in
   Cmd.v
     (Cmd.info "classify" ~doc:"Classify a query under the CQA dichotomy.")
-    Term.(const classify_run $ query_arg $ merges_arg $ verbose)
+    Term.(const classify_run $ query_arg $ merges_arg $ verbose $ certificate $ json)
+
+(* ------------------------------------------------------------------ *)
+(* lint *)
+
+let lint_run query_opt file_opt merges json =
+  guard @@ fun () ->
+  let opts = opts_of_merges merges in
+  let report diagnostics =
+    if json then
+      Format.printf "%a@." Analysis.Json.pp (Analysis.Encode.lint_result diagnostics)
+    else
+      List.iter
+        (fun d -> Format.printf "%a@." Analysis.Lint.pp_diagnostic d)
+        diagnostics;
+    match Analysis.Lint.max_severity diagnostics with
+    | Some Analysis.Lint.Error | Some Analysis.Lint.Warning -> 1
+    | Some Analysis.Lint.Info | None -> 0
+  in
+  match (query_opt, file_opt) with
+  | Some _, Some _ ->
+      Format.eprintf "error: pass either a query argument or --file, not both@.";
+      exit_error
+  | None, None ->
+      Format.eprintf "error: pass a query argument or --file@.";
+      exit_error
+  | Some src, None -> report (Analysis.Lint.lint_source ~opts src)
+  | None, Some path ->
+      (* A lint catalogue: one query per line, [#] comments; diagnostics are
+         re-anchored to the catalogue's own line numbers. *)
+      read_file path |> String.split_on_char '\n'
+      |> List.mapi (fun i line -> (i + 1, String.trim line))
+      |> List.filter (fun (_, line) -> line <> "" && line.[0] <> '#')
+      |> List.concat_map (fun (ln, line) ->
+             Analysis.Lint.lint_source ~opts line
+             |> List.map (fun (d : Analysis.Lint.diagnostic) ->
+                    {
+                      d with
+                      Analysis.Lint.position =
+                        Option.map
+                          (fun (p : Qlang.Parse.position) ->
+                            { p with Qlang.Parse.line = ln })
+                          d.Analysis.Lint.position;
+                    }))
+      |> report
+
+let lint_cmd =
+  let query_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"Query to lint (source text, not pre-parsed).")
+  in
+  let file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:"Lint a catalogue file: one query per line, '#' comments; '-' reads stdin.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit diagnostics as JSON (stable codes and positions).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Lint a query: stable diagnostic codes with source positions."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Checks a query (or a file of queries) for suspicious constructs \
+              and surfaces classification caveats: QL000/QL003 parse and \
+              self-join-pair errors, QL001 variables occurring only once, \
+              QL002 constants in key positions, QL006 identical atoms, QL005 \
+              triviality, QL007 coNP-completeness, and QL004 verdicts that \
+              rely on tripath non-existence within bounded search. See the \
+              manual's \"Certificates and the linter\" section for the full \
+              table.";
+           `S Manpage.s_exit_status;
+           `P "0 — no warnings or errors (info diagnostics allowed).";
+           `P "1 — at least one warning or error.";
+           `P "2 — usage or input error.";
+         ])
+    Term.(const lint_run $ query_arg $ file_arg $ merges_arg $ json)
 
 (* ------------------------------------------------------------------ *)
 (* certain *)
@@ -88,19 +214,23 @@ let pp_estimate ppf (e : Cqa.Montecarlo.estimate) =
      else "")
 
 let certain_run query db_path k exact_only timeout max_steps estimate_flag trials
-    seed verify =
+    seed verify verify_certificate =
   guard @@ fun () ->
   match Qlang.Parse.database (read_file db_path) with
-  | Error msg ->
-      Format.eprintf "error: %s@." msg;
+  | Error e ->
+      Format.eprintf "error: %s@." (Qlang.Parse.error_to_string e);
       exit_error
   | Ok db ->
       let budget = Harness.Budget.make ?timeout ?max_steps () in
       let estimate_trials = if estimate_flag then Some trials else None in
+      let check_certificate =
+        if verify_certificate then Some (fun r -> Analysis.Check.audit_report r)
+        else None
+      in
       let report = Core.Dichotomy.classify query in
       let outcome, attempts =
-        Core.Solver.solve ~k ~exact_only ~budget ~verify ?estimate_trials ~seed
-          report db
+        Core.Solver.solve ~k ~exact_only ?check_certificate ~budget ~verify
+          ?estimate_trials ~seed report db
       in
       (* Surface degradation: any tier that did not decide is worth a note. *)
       List.iter
@@ -191,6 +321,16 @@ let certain_cmd =
              that all decisions agree; a disagreement is reported as a solver \
              error (exit 2).")
   in
+  let verify_certificate_arg =
+    Arg.(
+      value & flag
+      & info [ "verify-certificate" ]
+          ~doc:
+            "Before trusting the PTIME tier, re-validate the classification \
+             certificate with the independent $(b,Analysis.Check) kernel; a \
+             rejected certificate fails the PTIME tier (a note on stderr) and \
+             the chain degrades to the exact tiers.")
+  in
   Cmd.v
     (Cmd.info "certain"
        ~doc:"Decide whether the query is certain for a database (exit status 1 when not)."
@@ -213,7 +353,8 @@ let certain_cmd =
          ])
     Term.(
       const certain_run $ query_arg $ db_arg $ k_arg $ exact_arg $ timeout_arg
-      $ max_steps_arg $ estimate_arg $ trials_arg $ seed_arg $ verify_arg)
+      $ max_steps_arg $ estimate_arg $ trials_arg $ seed_arg $ verify_arg
+      $ verify_certificate_arg)
 
 (* ------------------------------------------------------------------ *)
 (* tripath *)
@@ -352,8 +493,8 @@ let gadget_cmd =
 let answers_run query db_path free_spec =
   guard @@ fun () ->
   match Qlang.Parse.database (read_file db_path) with
-  | Error msg ->
-      Format.eprintf "error: %s@." msg;
+  | Error e ->
+      Format.eprintf "error: %s@." (Qlang.Parse.error_to_string e);
       exit_error
   | Ok db -> (
       let free =
@@ -399,8 +540,8 @@ let answers_cmd =
 let explain_run query db_path k =
   guard @@ fun () ->
   match Qlang.Parse.database (read_file db_path) with
-  | Error msg ->
-      Format.eprintf "error: %s@." msg;
+  | Error e ->
+      Format.eprintf "error: %s@." (Qlang.Parse.error_to_string e);
       exit_error
   | Ok db -> (
       let g = Qlang.Solution_graph.of_query query db in
@@ -442,8 +583,8 @@ let explain_cmd =
 let dot_run query db_path directed =
   guard @@ fun () ->
   match Qlang.Parse.database (read_file db_path) with
-  | Error msg ->
-      Format.eprintf "error: %s@." msg;
+  | Error e ->
+      Format.eprintf "error: %s@." (Qlang.Parse.error_to_string e);
       exit_error
   | Ok db ->
       let g = Qlang.Solution_graph.of_query query db in
@@ -502,8 +643,8 @@ let atlas_cmd =
 let estimate_run query db_path trials seed =
   guard @@ fun () ->
   match Qlang.Parse.database (read_file db_path) with
-  | Error msg ->
-      Format.eprintf "error: %s@." msg;
+  | Error e ->
+      Format.eprintf "error: %s@." (Qlang.Parse.error_to_string e);
       exit_error
   | Ok db ->
       let rng = Random.State.make [| seed |] in
@@ -536,6 +677,7 @@ let main_cmd =
        ~doc:"Consistent query answering for two-atom self-join queries under primary keys.")
     [
       classify_cmd;
+      lint_cmd;
       certain_cmd;
       answers_cmd;
       explain_cmd;

@@ -29,7 +29,7 @@ let () =
   let db =
     match Qlang.Parse.csv ~schema ~skip_header:true contents with
     | Ok db -> db
-    | Error msg -> failwith msg
+    | Error e -> failwith (Qlang.Parse.error_to_string e)
   in
   Format.printf "loaded %d facts from %s (consistent: %b)@.@." (Db.size db) csv_path
     (Db.is_consistent db);

@@ -1,0 +1,265 @@
+module Query = Qlang.Query
+module Atom = Qlang.Atom
+module Term = Qlang.Term
+module Var_set = Term.Var_set
+module Certificate = Core.Certificate
+module Tripath = Core.Tripath
+module Fact = Relational.Fact
+
+type verdict_class = Ptime | Conp_complete
+
+let verdict_class_to_string = function
+  | Ptime -> "PTIME"
+  | Conp_complete -> "coNP-complete"
+
+let claimed_class = function
+  | Certificate.Trivial _ | Certificate.Thm4_ptime _ | Certificate.Triangle_ptime _
+  | Certificate.No_tripath_ptime _ ->
+      Ptime
+  | Certificate.Thm3_hard _ | Certificate.Fork_hard _ -> Conp_complete
+
+(* --- Independent recomputation ------------------------------------------
+   Everything below is re-derived from the query with Qlang primitives only.
+   The duplication with [Core.Syntactic] and [Query.triviality] is the point:
+   the checker must not inherit the classifier's bugs. *)
+
+let recompute_inclusions q : Certificate.inclusions =
+  let subset = Var_set.subset in
+  let shared = Var_set.inter (Atom.vars q.Query.a) (Atom.vars q.Query.b) in
+  let ka = Atom.key_vars q.Query.schema q.Query.a in
+  let kb = Atom.key_vars q.Query.schema q.Query.b in
+  {
+    Certificate.shared_in_key_a = subset shared ka;
+    shared_in_key_b = subset shared kb;
+    key_a_in_key_b = subset ka kb;
+    key_b_in_key_a = subset kb ka;
+    key_a_in_vars_b = subset ka (Atom.vars q.Query.b);
+    key_b_in_vars_a = subset kb (Atom.vars q.Query.a);
+  }
+
+(* A homomorphism [from -> into] fixing the shared variables maps the whole
+   query into the single atom [into]. *)
+let hom_fixing_shared ~from ~into =
+  match Atom.homomorphism ~from ~into with
+  | None -> false
+  | Some h ->
+      let shared = Var_set.inter (Atom.vars from) (Atom.vars into) in
+      Var_set.for_all
+        (fun v ->
+          match Term.Var_map.find_opt v h with
+          | None -> true
+          | Some t -> Term.equal t (Term.Var v))
+        shared
+
+let equal_key_tuples q =
+  List.for_all2 Term.equal
+    (Atom.key_tuple q.Query.schema q.Query.a)
+    (Atom.key_tuple q.Query.schema q.Query.b)
+
+let triviality_holds q = function
+  | Query.Hom_a_to_b -> hom_fixing_shared ~from:q.Query.a ~into:q.Query.b
+  | Query.Hom_b_to_a -> hom_fixing_shared ~from:q.Query.b ~into:q.Query.a
+  | Query.Equal_key_tuples -> equal_key_tuples q
+
+let genuinely_two_atom q =
+  (not (hom_fixing_shared ~from:q.Query.a ~into:q.Query.b))
+  && (not (hom_fixing_shared ~from:q.Query.b ~into:q.Query.a))
+  && not (equal_key_tuples q)
+
+(* Theorem 3 conditions and 2way-determinacy, from recomputed inclusions. *)
+let condition1 (inc : Certificate.inclusions) =
+  (not inc.shared_in_key_a)
+  && (not inc.shared_in_key_b)
+  && (not inc.key_a_in_key_b)
+  && not inc.key_b_in_key_a
+
+let condition2 (inc : Certificate.inclusions) =
+  (not inc.key_a_in_vars_b) || not inc.key_b_in_vars_a
+
+let orientation_holds (inc : Certificate.inclusions) = function
+  | Certificate.Key_a_in_key_b -> inc.key_a_in_key_b
+  | Certificate.Key_b_in_key_a -> inc.key_b_in_key_a
+  | Certificate.Shared_in_key_b -> inc.shared_in_key_b
+  | Certificate.Shared_in_key_a -> inc.shared_in_key_a
+
+(* --- The one-pass validator --------------------------------------------- *)
+
+type 'a validator = ('a -> string option) list
+
+let run_checks (checks : unit validator) =
+  match List.filter_map (fun c -> c ()) checks with
+  | [] -> Ok ()
+  | errors -> Error errors
+
+let check_bool msg cond () = if cond then None else Some msg
+
+let inclusions_match claimed recomputed () =
+  let fields =
+    [
+      ( "shared \u{2286} key(A)",
+        claimed.Certificate.shared_in_key_a,
+        recomputed.Certificate.shared_in_key_a );
+      ("shared \u{2286} key(B)", claimed.shared_in_key_b, recomputed.shared_in_key_b);
+      ("key(A) \u{2286} key(B)", claimed.key_a_in_key_b, recomputed.key_a_in_key_b);
+      ("key(B) \u{2286} key(A)", claimed.key_b_in_key_a, recomputed.key_b_in_key_a);
+      ("key(A) \u{2286} vars(B)", claimed.key_a_in_vars_b, recomputed.key_a_in_vars_b);
+      ("key(B) \u{2286} vars(A)", claimed.key_b_in_vars_a, recomputed.key_b_in_vars_a);
+    ]
+  in
+  match
+    List.filter_map
+      (fun (name, c, r) ->
+        if c = r then None
+        else Some (Printf.sprintf "%s claims %b, recomputed %b" name c r))
+      fields
+  with
+  | [] -> None
+  | mismatches ->
+      Some ("inclusion atoms do not match the query: " ^ String.concat "; " mismatches)
+
+let bounds_match (claimed : Certificate.bounds) (expected : Certificate.bounds) () =
+  if claimed = expected then None
+  else
+    Some
+      (Format.asprintf
+         "non-existence claim conditional on bounds (%a), expected (%a)"
+         Certificate.pp_bounds claimed Certificate.pp_bounds expected)
+
+let tripath_valid q tp ~want () =
+  if not (Query.equal tp.Tripath.query q) then
+    Some
+      (Format.asprintf "witness tripath is for a different query: %a" Query.pp
+         tp.Tripath.query)
+  else
+    match Tripath.check tp with
+    | Error violations ->
+        Some ("witness is not a tripath: " ^ String.concat "; " violations)
+    | Ok kind ->
+        if kind = want then None
+        else
+          Some
+            (Format.asprintf "witness is a %a-tripath, certificate claims a %a-tripath"
+               Tripath.pp_kind kind Tripath.pp_kind want)
+
+let check ?expected_bounds q cert =
+  let expected_bounds =
+    match expected_bounds with
+    | Some b -> b
+    | None -> Certificate.bounds_of_options Core.Tripath_search.default_options
+  in
+  let inc = recompute_inclusions q in
+  let genuine =
+    check_bool "query is equivalent to a one-atom query, certificate ignores it"
+      (genuinely_two_atom q)
+  in
+  let checks =
+    match cert with
+    | Certificate.Trivial t ->
+        [
+          check_bool
+            (Printf.sprintf "triviality claim does not hold (%s)"
+               (match t with
+               | Query.Hom_a_to_b -> "no homomorphism A \u{2192} B fixing shared variables"
+               | Query.Hom_b_to_a -> "no homomorphism B \u{2192} A fixing shared variables"
+               | Query.Equal_key_tuples -> "key tuples differ"))
+            (triviality_holds q t);
+        ]
+    | Certificate.Thm3_hard claimed ->
+        [
+          genuine;
+          inclusions_match claimed inc;
+          check_bool "Theorem 3 condition (1) does not hold" (condition1 inc);
+          check_bool "Theorem 3 condition (2) does not hold" (condition2 inc);
+        ]
+    | Certificate.Thm4_ptime (claimed, o) ->
+        [
+          genuine;
+          inclusions_match claimed inc;
+          check_bool
+            (Format.asprintf "claimed Theorem 4 orientation %a does not hold"
+               Certificate.pp_orientation o)
+            (orientation_holds inc o);
+        ]
+    | Certificate.Fork_hard (claimed, tp) ->
+        [
+          genuine;
+          inclusions_match claimed inc;
+          check_bool "query is not 2way-determined"
+            (condition1 inc && not (condition2 inc));
+          tripath_valid q tp ~want:Tripath.Fork;
+        ]
+    | Certificate.Triangle_ptime (claimed, tp, b) ->
+        [
+          genuine;
+          inclusions_match claimed inc;
+          check_bool "query is not 2way-determined"
+            (condition1 inc && not (condition2 inc));
+          tripath_valid q tp ~want:Tripath.Triangle;
+          bounds_match b expected_bounds;
+        ]
+    | Certificate.No_tripath_ptime (claimed, b) ->
+        [
+          genuine;
+          inclusions_match claimed inc;
+          check_bool "query is not 2way-determined"
+            (condition1 inc && not (condition2 inc));
+          bounds_match b expected_bounds;
+        ]
+  in
+  Result.map (fun () -> claimed_class cert) (run_checks checks)
+
+(* --- Report audit -------------------------------------------------------- *)
+
+let inner_equal (x : Tripath.inner) (y : Tripath.inner) =
+  Fact.equal x.Tripath.fa y.Tripath.fa && Fact.equal x.Tripath.fb y.Tripath.fb
+
+let tripath_equal (x : Tripath.t) (y : Tripath.t) =
+  Query.equal x.Tripath.query y.Tripath.query
+  && Fact.equal x.Tripath.root y.Tripath.root
+  && List.equal inner_equal x.Tripath.spine y.Tripath.spine
+  && inner_equal x.Tripath.center y.Tripath.center
+  && List.equal inner_equal x.Tripath.arm1 y.Tripath.arm1
+  && Fact.equal x.Tripath.leaf1 y.Tripath.leaf1
+  && List.equal inner_equal x.Tripath.arm2 y.Tripath.arm2
+  && Fact.equal x.Tripath.leaf2 y.Tripath.leaf2
+
+let verdict_matches (v : Core.Dichotomy.verdict) cert =
+  match (v, cert) with
+  | Core.Dichotomy.Ptime (Core.Dichotomy.Trivial t), Certificate.Trivial t' -> t = t'
+  | Core.Dichotomy.Ptime Core.Dichotomy.Cert2, Certificate.Thm4_ptime _ -> true
+  | Core.Dichotomy.Ptime Core.Dichotomy.Certk_no_tripath, Certificate.No_tripath_ptime _
+    ->
+      true
+  | ( Core.Dichotomy.Ptime (Core.Dichotomy.Combined_triangle tp),
+      Certificate.Triangle_ptime (_, tp', _) ) ->
+      tripath_equal tp tp'
+  | Core.Dichotomy.Conp_complete Core.Dichotomy.Sjf_hard, Certificate.Thm3_hard _ ->
+      true
+  | ( Core.Dichotomy.Conp_complete (Core.Dichotomy.Fork_tripath tp),
+      Certificate.Fork_hard (_, tp') ) ->
+      tripath_equal tp tp'
+  | _ -> false
+
+let audit_report ?expected_bounds (r : Core.Dichotomy.report) =
+  match check ?expected_bounds r.Core.Dichotomy.query r.Core.Dichotomy.certificate with
+  | Error errors -> Error errors
+  | Ok _licensed ->
+      let cert = r.Core.Dichotomy.certificate in
+      run_checks
+        [
+          check_bool
+            (Printf.sprintf "verdict does not match the %s certificate"
+               (Certificate.kind_name cert))
+            (verdict_matches r.Core.Dichotomy.verdict cert);
+          check_bool "two_way_determined flag disagrees with the certificate kind"
+            (r.Core.Dichotomy.two_way_determined
+            = (match cert with
+              | Certificate.Fork_hard _ | Certificate.Triangle_ptime _
+              | Certificate.No_tripath_ptime _ ->
+                  true
+              | Certificate.Trivial _ | Certificate.Thm3_hard _
+              | Certificate.Thm4_ptime _ ->
+                  false));
+          check_bool "bounded_search flag disagrees with the certificate kind"
+            (r.Core.Dichotomy.bounded_search = (Certificate.search_bounds cert <> None));
+        ]

@@ -1,0 +1,139 @@
+module Certificate = Core.Certificate
+module Tripath = Core.Tripath
+module Fact = Relational.Fact
+module Value = Relational.Value
+
+let position (p : Qlang.Parse.position) =
+  Json.Obj [ ("line", Json.Int p.line); ("col", Json.Int p.col) ]
+
+let diagnostic (d : Lint.diagnostic) =
+  Json.Obj
+    ([
+       ("code", Json.String d.Lint.code);
+       ("severity", Json.String (Lint.severity_to_string d.Lint.severity));
+       ("message", Json.String d.Lint.message);
+     ]
+    @ match d.Lint.position with None -> [] | Some p -> [ ("position", position p) ])
+
+let lint_result ds =
+  let count s = List.length (List.filter (fun d -> d.Lint.severity = s) ds) in
+  Json.Obj
+    [
+      ("diagnostics", Json.List (List.map diagnostic ds));
+      ("errors", Json.Int (count Lint.Error));
+      ("warnings", Json.Int (count Lint.Warning));
+      ("infos", Json.Int (count Lint.Info));
+    ]
+
+let fact (f : Fact.t) =
+  Json.Obj
+    [
+      ("rel", Json.String f.Fact.rel);
+      ( "tuple",
+        Json.List
+          (Array.to_list f.Fact.tuple |> List.map (fun v -> Json.String (Value.to_token v)))
+      );
+    ]
+
+let inner (i : Tripath.inner) =
+  Json.Obj [ ("a", fact i.Tripath.fa); ("b", fact i.Tripath.fb) ]
+
+let tripath (tp : Tripath.t) =
+  Json.Obj
+    [
+      ("root", fact tp.Tripath.root);
+      ("spine", Json.List (List.map inner tp.Tripath.spine));
+      ("center", inner tp.Tripath.center);
+      ("arm1", Json.List (List.map inner tp.Tripath.arm1));
+      ("leaf1", fact tp.Tripath.leaf1);
+      ("arm2", Json.List (List.map inner tp.Tripath.arm2));
+      ("leaf2", fact tp.Tripath.leaf2);
+      ("blocks", Json.Int (Tripath.n_blocks tp));
+    ]
+
+let inclusions (inc : Certificate.inclusions) =
+  Json.Obj
+    [
+      ("shared_in_key_a", Json.Bool inc.Certificate.shared_in_key_a);
+      ("shared_in_key_b", Json.Bool inc.shared_in_key_b);
+      ("key_a_in_key_b", Json.Bool inc.key_a_in_key_b);
+      ("key_b_in_key_a", Json.Bool inc.key_b_in_key_a);
+      ("key_a_in_vars_b", Json.Bool inc.key_a_in_vars_b);
+      ("key_b_in_vars_a", Json.Bool inc.key_b_in_vars_a);
+    ]
+
+let bounds (b : Certificate.bounds) =
+  Json.Obj
+    [
+      ("max_spine", Json.Int b.Certificate.max_spine);
+      ("max_arm", Json.Int b.max_arm);
+      ("max_merges", Json.Int b.max_merges);
+      ("max_candidates", Json.Int b.max_candidates);
+    ]
+
+let triviality_tag = function
+  | Qlang.Query.Hom_a_to_b -> "hom-a-to-b"
+  | Qlang.Query.Hom_b_to_a -> "hom-b-to-a"
+  | Qlang.Query.Equal_key_tuples -> "equal-key-tuples"
+
+let orientation_tag = function
+  | Certificate.Key_a_in_key_b -> "key-a-in-key-b"
+  | Certificate.Key_b_in_key_a -> "key-b-in-key-a"
+  | Certificate.Shared_in_key_b -> "shared-in-key-b"
+  | Certificate.Shared_in_key_a -> "shared-in-key-a"
+
+let certificate cert =
+  let kind = ("kind", Json.String (Certificate.kind_name cert)) in
+  Json.Obj
+    (match cert with
+    | Certificate.Trivial t ->
+        [ kind; ("triviality", Json.String (triviality_tag t)) ]
+    | Certificate.Thm3_hard inc -> [ kind; ("inclusions", inclusions inc) ]
+    | Certificate.Thm4_ptime (inc, o) ->
+        [
+          kind;
+          ("inclusions", inclusions inc);
+          ("orientation", Json.String (orientation_tag o));
+        ]
+    | Certificate.Fork_hard (inc, tp) ->
+        [ kind; ("inclusions", inclusions inc); ("tripath", tripath tp) ]
+    | Certificate.Triangle_ptime (inc, tp, b) ->
+        [
+          kind;
+          ("inclusions", inclusions inc);
+          ("tripath", tripath tp);
+          ("bounds", bounds b);
+        ]
+    | Certificate.No_tripath_ptime (inc, b) ->
+        [ kind; ("inclusions", inclusions inc); ("bounds", bounds b) ])
+
+let check_result = function
+  | Ok cls ->
+      Json.Obj
+        [
+          ("ok", Json.Bool true);
+          ("licenses", Json.String (Check.verdict_class_to_string cls));
+        ]
+  | Error errors ->
+      Json.Obj
+        [
+          ("ok", Json.Bool false);
+          ("errors", Json.List (List.map (fun e -> Json.String e) errors));
+        ]
+
+let report ?check (r : Core.Dichotomy.report) =
+  Json.Obj
+    ([
+       ("query", Json.String (Qlang.Query.to_string r.Core.Dichotomy.query));
+       ( "class",
+         Json.String
+           (match r.Core.Dichotomy.verdict with
+           | Core.Dichotomy.Ptime _ -> "ptime"
+           | Core.Dichotomy.Conp_complete _ -> "conp-complete") );
+       ( "verdict",
+         Json.String (Core.Dichotomy.verdict_summary r.Core.Dichotomy.verdict) );
+       ("two_way_determined", Json.Bool r.Core.Dichotomy.two_way_determined);
+       ("bounded_search", Json.Bool r.Core.Dichotomy.bounded_search);
+       ("certificate", certificate r.Core.Dichotomy.certificate);
+     ]
+    @ match check with None -> [] | Some c -> [ ("certificate_check", check_result c) ])

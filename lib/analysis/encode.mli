@@ -1,0 +1,26 @@
+(** JSON encoders for the analysis surfaces.
+
+    Stable field names and kind tags (the strings of
+    {!Core.Certificate.kind_name} and the [QL...] codes) form the machine
+    interface of [cqa lint --json] and [cqa classify --certificate --json]. *)
+
+val position : Qlang.Parse.position -> Json.t
+val diagnostic : Lint.diagnostic -> Json.t
+
+(** [{"diagnostics": [...], "errors": n, "warnings": n, "infos": n}]. *)
+val lint_result : Lint.diagnostic list -> Json.t
+
+val fact : Relational.Fact.t -> Json.t
+val tripath : Core.Tripath.t -> Json.t
+val inclusions : Core.Certificate.inclusions -> Json.t
+val bounds : Core.Certificate.bounds -> Json.t
+
+(** [{"kind": ..., ...}] with only the fields the kind carries. *)
+val certificate : Core.Certificate.t -> Json.t
+
+(** The full classification report; when [check] is given, a
+    ["certificate_check"] object records the independent checker's verdict. *)
+val report :
+  ?check:(Check.verdict_class, string list) result ->
+  Core.Dichotomy.report ->
+  Json.t

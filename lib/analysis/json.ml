@@ -1,0 +1,47 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec pp ppf = function
+  | Null -> Format.pp_print_string ppf "null"
+  | Bool b -> Format.pp_print_string ppf (if b then "true" else "false")
+  | Int n -> Format.pp_print_int ppf n
+  | String s -> Format.fprintf ppf "\"%s\"" (escape s)
+  | List items ->
+      Format.pp_print_char ppf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Format.pp_print_string ppf ", ";
+          pp ppf item)
+        items;
+      Format.pp_print_char ppf ']'
+  | Obj fields ->
+      Format.pp_print_char ppf '{';
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then Format.pp_print_string ppf ", ";
+          Format.fprintf ppf "\"%s\": %a" (escape key) pp value)
+        fields;
+      Format.pp_print_char ppf '}'
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,23 @@
+(** A minimal JSON value type and printer.
+
+    The tool-facing surfaces ([cqa lint --json], [cqa classify --json]) emit
+    JSON so editors and CI scripts can consume diagnostics and certificates
+    without scraping pretty-printed text. The project deliberately carries no
+    JSON dependency; this emitter covers exactly what the encoders in
+    {!Encode} need. Strings are assumed to be UTF-8: bytes [>= 0x20] other
+    than the double quote and backslash pass through verbatim, everything
+    else is escaped. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact one-line rendering (no insignificant whitespace beyond a single
+    space after [,] and [:]), suitable both for humans and [jq]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

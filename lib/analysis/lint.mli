@@ -1,0 +1,62 @@
+(** The query linter: stable diagnostic codes over parsed queries.
+
+    Codes are stable identifiers (never renumbered) so editor integrations
+    and CI policies can match on them:
+
+    - [QL000] {e error} — the input does not parse (lexical or syntactic).
+    - [QL001] {e warning} — a variable occurs exactly once in the query; it
+      is existentially quantified away and can be replaced by a fresh
+      variable name (or indicates a typo).
+    - [QL002] {e warning} — a constant occurs in a key position; the paper's
+      classification treats queries with constants soundly, but a constant
+      key narrows the relation to a single block.
+    - [QL003] {e error} — the two atoms do not form a self-join pair (the
+      relation symbols, arities or key separators differ), so the query is
+      outside the dichotomy's scope.
+    - [QL004] {e info} — the verdict relies on tripath {e non}-existence
+      within bounded search (Theorems 9/18); the message states the bounds.
+    - [QL005] {e info} — the query is equivalent to a one-atom query
+      (trivially PTIME); the two-atom classification machinery is not
+      exercised.
+    - [QL006] {e warning} — the two atoms are identical; the query is a
+      roundabout spelling of a one-atom query.
+    - [QL007] {e info} — CERTAIN(q) is coNP-complete; exact solving may
+      take exponential time on adversarial databases.
+
+    Exit-code contract of [cqa lint]: [0] when no diagnostic of severity
+    {!Warning} or {!Error} was produced ({!Info} is fine), [1] otherwise,
+    [2] on usage errors. *)
+
+type severity = Error | Warning | Info
+
+type diagnostic = {
+  code : string;  (** ["QL000"] .. ["QL007"]. *)
+  severity : severity;
+  message : string;
+  position : Qlang.Parse.position option;
+      (** Source anchor, when the input came with positions. *)
+}
+
+val severity_to_string : severity -> string
+
+(** Prints as ["2:7: warning QL002: ..."] (position prefix omitted when
+    unknown). *)
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+
+(** [lint_query ?opts ?spans q] lints a parsed query. [spans] (from
+    {!Qlang.Parse.query_spanned}) anchors per-argument diagnostics to source
+    positions. Classification-driven diagnostics (QL004/QL005/QL007) run the
+    {!Core.Dichotomy} classifier under [opts]. *)
+val lint_query :
+  ?opts:Core.Tripath_search.options ->
+  ?spans:Qlang.Parse.query_spans ->
+  Qlang.Query.t ->
+  diagnostic list
+
+(** [lint_source ?opts s] parses [s] and lints the result; parse failures
+    become a single QL000 (or QL003, for self-join mismatches) diagnostic. *)
+val lint_source : ?opts:Core.Tripath_search.options -> string -> diagnostic list
+
+(** The severity [cqa lint]'s exit code is computed from: [Some Error >
+    Some Warning > Some Info > None]. *)
+val max_severity : diagnostic list -> severity option

@@ -86,18 +86,23 @@ let evaluate ?k ~free (q : Query.t) db =
     (fun tuple ->
       let grounded = ground ~free q tuple in
       let key = pattern tuple in
-      let verdict =
+      (* Tuples with the same coincidence pattern yield isomorphic groundings,
+         so the verdict and certificate of a representative carry over; only
+         the query field is re-anchored to this tuple's grounding. *)
+      let verdict, certificate =
         match if cacheable then Hashtbl.find_opt cache key else None with
-        | Some verdict -> verdict
+        | Some cached -> cached
         | None ->
-            let verdict = (Dichotomy.classify grounded).Dichotomy.verdict in
-            if cacheable then Hashtbl.add cache key verdict;
-            verdict
+            let r = Dichotomy.classify grounded in
+            let cached = (r.Dichotomy.verdict, r.Dichotomy.certificate) in
+            if cacheable then Hashtbl.add cache key cached;
+            cached
       in
       let report =
         {
           Dichotomy.query = grounded;
           verdict;
+          certificate;
           two_way_determined = false;
           bounded_search = false;
         }

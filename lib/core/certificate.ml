@@ -1,0 +1,135 @@
+module Query = Qlang.Query
+module Var_set = Qlang.Term.Var_set
+
+type inclusions = {
+  shared_in_key_a : bool;
+  shared_in_key_b : bool;
+  key_a_in_key_b : bool;
+  key_b_in_key_a : bool;
+  key_a_in_vars_b : bool;
+  key_b_in_vars_a : bool;
+}
+
+type thm4_orientation =
+  | Key_a_in_key_b
+  | Key_b_in_key_a
+  | Shared_in_key_b
+  | Shared_in_key_a
+
+type bounds = {
+  max_spine : int;
+  max_arm : int;
+  max_merges : int;
+  max_candidates : int;
+}
+
+type t =
+  | Trivial of Query.triviality
+  | Thm3_hard of inclusions
+  | Thm4_ptime of inclusions * thm4_orientation
+  | Fork_hard of inclusions * Tripath.t
+  | Triangle_ptime of inclusions * Tripath.t * bounds
+  | No_tripath_ptime of inclusions * bounds
+
+let inclusions_of q =
+  let subset = Var_set.subset in
+  let shared = Query.shared_vars q in
+  let ka = Query.key_a q and kb = Query.key_b q in
+  let va = Query.vars_a q and vb = Query.vars_b q in
+  {
+    shared_in_key_a = subset shared ka;
+    shared_in_key_b = subset shared kb;
+    key_a_in_key_b = subset ka kb;
+    key_b_in_key_a = subset kb ka;
+    key_a_in_vars_b = subset ka vb;
+    key_b_in_vars_a = subset kb va;
+  }
+
+let thm4_orientation_of inc =
+  if inc.key_a_in_key_b then Some Key_a_in_key_b
+  else if inc.key_b_in_key_a then Some Key_b_in_key_a
+  else if inc.shared_in_key_b then Some Shared_in_key_b
+  else if inc.shared_in_key_a then Some Shared_in_key_a
+  else None
+
+let bounds_of_options (o : Tripath_search.options) =
+  {
+    max_spine = o.Tripath_search.max_spine;
+    max_arm = o.Tripath_search.max_arm;
+    max_merges = o.Tripath_search.max_merges;
+    max_candidates = o.Tripath_search.max_candidates;
+  }
+
+let inclusions = function
+  | Trivial _ -> None
+  | Thm3_hard inc
+  | Thm4_ptime (inc, _)
+  | Fork_hard (inc, _)
+  | Triangle_ptime (inc, _, _)
+  | No_tripath_ptime (inc, _) ->
+      Some inc
+
+let tripath = function
+  | Fork_hard (_, tp) | Triangle_ptime (_, tp, _) -> Some tp
+  | Trivial _ | Thm3_hard _ | Thm4_ptime _ | No_tripath_ptime _ -> None
+
+let search_bounds = function
+  | Triangle_ptime (_, _, b) | No_tripath_ptime (_, b) -> Some b
+  | Trivial _ | Thm3_hard _ | Thm4_ptime _ | Fork_hard _ -> None
+
+let pp_orientation ppf o =
+  Format.pp_print_string ppf
+    (match o with
+    | Key_a_in_key_b -> "key(A) \u{2286} key(B)"
+    | Key_b_in_key_a -> "key(B) \u{2286} key(A)"
+    | Shared_in_key_b -> "shared \u{2286} key(B)"
+    | Shared_in_key_a -> "shared \u{2286} key(A)")
+
+let pp_bounds ppf b =
+  Format.fprintf ppf "spine \u{2264} %d, arm \u{2264} %d, merges \u{2264} %d, candidates \u{2264} %d"
+    b.max_spine b.max_arm b.max_merges b.max_candidates
+
+let pp_inclusions ppf inc =
+  let item name holds = Format.fprintf ppf "@,  %s: %b" name holds in
+  Format.fprintf ppf "@[<v>evaluated inclusions:";
+  item "shared \u{2286} key(A)" inc.shared_in_key_a;
+  item "shared \u{2286} key(B)" inc.shared_in_key_b;
+  item "key(A) \u{2286} key(B)" inc.key_a_in_key_b;
+  item "key(B) \u{2286} key(A)" inc.key_b_in_key_a;
+  item "key(A) \u{2286} vars(B)" inc.key_a_in_vars_b;
+  item "key(B) \u{2286} vars(A)" inc.key_b_in_vars_a;
+  Format.fprintf ppf "@]"
+
+let kind_name = function
+  | Trivial _ -> "trivial"
+  | Thm3_hard _ -> "thm3-hard"
+  | Thm4_ptime _ -> "thm4-ptime"
+  | Fork_hard _ -> "fork-hard"
+  | Triangle_ptime _ -> "triangle-ptime"
+  | No_tripath_ptime _ -> "no-tripath-ptime"
+
+let pp ppf = function
+  | Trivial t ->
+      Format.fprintf ppf "@[<v>certificate: trivial (%s)@]"
+        (match t with
+        | Query.Hom_a_to_b -> "homomorphism A \u{2192} B"
+        | Query.Hom_b_to_a -> "homomorphism B \u{2192} A"
+        | Query.Equal_key_tuples -> "equal key tuples")
+  | Thm3_hard inc ->
+      Format.fprintf ppf "@[<v>certificate: Theorem 3 hardness@,%a@]" pp_inclusions inc
+  | Thm4_ptime (inc, o) ->
+      Format.fprintf ppf "@[<v>certificate: Theorem 4, orientation %a@,%a@]"
+        pp_orientation o pp_inclusions inc
+  | Fork_hard (inc, tp) ->
+      Format.fprintf ppf
+        "@[<v>certificate: Theorem 12, witness fork-tripath (%d blocks)@,%a@,%a@]"
+        (Tripath.n_blocks tp) pp_inclusions inc Tripath.pp tp
+  | Triangle_ptime (inc, tp, b) ->
+      Format.fprintf ppf
+        "@[<v>certificate: Theorem 18, witness triangle-tripath (%d blocks); no \
+         fork-tripath within bounds (%a)@,%a@,%a@]"
+        (Tripath.n_blocks tp) pp_bounds b pp_inclusions inc Tripath.pp tp
+  | No_tripath_ptime (inc, b) ->
+      Format.fprintf ppf
+        "@[<v>certificate: Theorem 9, no tripath within bounds (%a)@,%a@]" pp_bounds b
+        pp_inclusions inc

@@ -13,51 +13,64 @@ type verdict = Ptime of ptime_method | Conp_complete of hardness
 type report = {
   query : Query.t;
   verdict : verdict;
+  certificate : Certificate.t;
   two_way_determined : bool;
   bounded_search : bool;
 }
 
-let classify ?opts q =
+let classify ?(opts = Tripath_search.default_options) q =
   match Query.triviality q with
   | Some t ->
       {
         query = q;
         verdict = Ptime (Trivial t);
+        certificate = Certificate.Trivial t;
         two_way_determined = false;
         bounded_search = false;
       }
   | None ->
+      let inc = Certificate.inclusions_of q in
       if Syntactic.thm3_conp_hard q then
         {
           query = q;
           verdict = Conp_complete Sjf_hard;
+          certificate = Certificate.Thm3_hard inc;
           two_way_determined = false;
           bounded_search = false;
         }
       else if Syntactic.thm4_ptime q then
+        let orientation =
+          match Certificate.thm4_orientation_of inc with
+          | Some o -> o
+          | None -> assert false (* thm4_ptime means condition (1) fails *)
+        in
         {
           query = q;
           verdict = Ptime Cert2;
+          certificate = Certificate.Thm4_ptime (inc, orientation);
           two_way_determined = false;
           bounded_search = false;
         }
       else begin
         (* 2way-determined: tripaths decide. *)
         assert (Syntactic.two_way_determined q);
-        match Tripath_search.find_fork ?opts q with
+        let bounds = Certificate.bounds_of_options opts in
+        match Tripath_search.find_fork ~opts q with
         | Tripath_search.Found (tp, _) ->
             {
               query = q;
               verdict = Conp_complete (Fork_tripath tp);
+              certificate = Certificate.Fork_hard (inc, tp);
               two_way_determined = true;
               bounded_search = false;
             }
         | Tripath_search.Not_found -> (
-            match Tripath_search.find_triangle ?opts q with
+            match Tripath_search.find_triangle ~opts q with
             | Tripath_search.Found (tp, _) ->
                 {
                   query = q;
                   verdict = Ptime (Combined_triangle tp);
+                  certificate = Certificate.Triangle_ptime (inc, tp, bounds);
                   two_way_determined = true;
                   bounded_search = true;
                 }
@@ -65,6 +78,7 @@ let classify ?opts q =
                 {
                   query = q;
                   verdict = Ptime Certk_no_tripath;
+                  certificate = Certificate.No_tripath_ptime (inc, bounds);
                   two_way_determined = true;
                   bounded_search = true;
                 })
@@ -123,10 +137,21 @@ let explain ppf r =
             Format.fprintf ppf "no tripath within the search bounds \u{21D2} PTIME via Cert_k (Theorem 9)@,"
         | Ptime (Trivial _) | Ptime Cert2 | Conp_complete Sjf_hard -> ()
       end);
+  (* A verdict conditional on tripath non-existence states the bounds it was
+     established under (satisfying audits that the claim is bounded). *)
+  (match Certificate.search_bounds r.certificate with
+  | Some b ->
+      Format.fprintf ppf "tripath search bounds: %a@," Certificate.pp_bounds b
+  | None -> ());
   Format.fprintf ppf "verdict: %a@]" pp_verdict r.verdict
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>query: %a@,verdict: %a@,2way-determined: %b%s@]"
     Query.pp r.query pp_verdict r.verdict r.two_way_determined
-    (if r.bounded_search then " (tripath non-existence within search bounds)"
-     else "")
+    (match Certificate.search_bounds r.certificate with
+    | Some b when r.bounded_search ->
+        Format.asprintf " (tripath non-existence within search bounds: %a)"
+          Certificate.pp_bounds b
+    | Some _ | None ->
+        if r.bounded_search then " (tripath non-existence within search bounds)"
+        else "")

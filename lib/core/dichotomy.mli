@@ -40,6 +40,11 @@ type verdict = Ptime of ptime_method | Conp_complete of hardness
 type report = {
   query : Qlang.Query.t;
   verdict : verdict;
+  certificate : Certificate.t;
+      (** The machine-checkable evidence backing [verdict]: evaluated
+          condition atoms, triviality derivation, witness tripath, or the
+          search bounds behind a non-existence claim. Re-validated
+          independently by the [Analysis.Check] kernel. *)
   two_way_determined : bool;
   bounded_search : bool;
       (** The verdict relies on a tripath {e non}-existence within the search

@@ -34,7 +34,7 @@ let fmt = Format.asprintf
 
 let set_query state text =
   match Qlang.Parse.query text with
-  | Error msg -> (state, "bad query: " ^ msg)
+  | Error e -> (state, "bad query: " ^ Qlang.Parse.error_to_string e)
   | Ok q ->
       let db = Database.empty [ q.Query.schema ] in
       let session = Session.create q db in
@@ -45,7 +45,7 @@ let set_query state text =
 
 let parse_fact_for session text =
   match Qlang.Parse.fact text with
-  | Error msg -> Error ("bad fact: " ^ msg)
+  | Error e -> Error ("bad fact: " ^ Qlang.Parse.error_to_string e)
   | Ok (f, _) -> (
       let q = Session.query session in
       let schema = q.Query.schema in
@@ -87,7 +87,7 @@ let load state path =
       | Error msg -> (state, "cannot read " ^ path ^ ": " ^ msg)
       | Ok contents -> (
           match Qlang.Parse.database contents with
-          | Error msg -> (state, "bad database: " ^ msg)
+          | Error e -> (state, "bad database: " ^ Qlang.Parse.error_to_string e)
           | Ok db ->
               let q = Session.query session in
               let expected = q.Query.schema.Relational.Schema.name in

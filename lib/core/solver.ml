@@ -211,7 +211,8 @@ let run_tiers ?(verify = false) ?fallback tiers =
   in
   (outcome, attempts)
 
-let tiers ?(k = 3) ?(exact_only = false) ~budget (report : Dichotomy.report) db =
+let tiers ?(k = 3) ?(exact_only = false) ?check_certificate ~budget
+    (report : Dichotomy.report) db =
   let q = report.Dichotomy.query in
   let g = lazy (Qlang.Solution_graph.of_query q db) in
   let ptime =
@@ -240,6 +241,29 @@ let tiers ?(k = 3) ?(exact_only = false) ~budget (report : Dichotomy.report) db 
           ]
       | Dichotomy.Conp_complete _ -> []
   in
+  (* The certificate gate: before trusting the classifier-designated PTIME
+     algorithm, re-validate the certificate that licensed it with the
+     (injected, independent) checker. A rejected certificate makes the PTIME
+     tier fail — recorded in the attempt trace — and the chain degrades to
+     the exact tiers, which do not rely on the classification. The checker is
+     injected as a closure so [core] does not depend on [analysis]. *)
+  let ptime =
+    match check_certificate with
+    | None -> ptime
+    | Some check ->
+        List.map
+          (fun (tier, algorithm, decide) ->
+            ( tier,
+              algorithm,
+              fun () ->
+                (match check report with
+                | Ok () -> ()
+                | Error errors ->
+                    invalid_arg
+                      ("certificate rejected: " ^ String.concat "; " errors));
+                decide () ))
+          ptime
+  in
   ptime
   @ [
       (Tier_sat, Alg_exact_sat, fun () -> Cqa.Satreduce.certain ~budget (Lazy.force g));
@@ -248,8 +272,9 @@ let tiers ?(k = 3) ?(exact_only = false) ~budget (report : Dichotomy.report) db 
         fun () -> Cqa.Exact.certain ~budget (Lazy.force g) );
     ]
 
-let solve ?k ?exact_only ?(budget = Harness.Budget.unlimited ()) ?verify
-    ?estimate_trials ?(seed = 0) (report : Dichotomy.report) db =
+let solve ?k ?exact_only ?check_certificate
+    ?(budget = Harness.Budget.unlimited ()) ?verify ?estimate_trials ?(seed = 0)
+    (report : Dichotomy.report) db =
   let fallback =
     Option.map
       (fun trials () ->
@@ -257,8 +282,9 @@ let solve ?k ?exact_only ?(budget = Harness.Budget.unlimited ()) ?verify
         Cqa.Montecarlo.estimate rng ~trials report.Dichotomy.query db)
       estimate_trials
   in
-  run_tiers ?verify ?fallback (tiers ?k ?exact_only ~budget report db)
+  run_tiers ?verify ?fallback (tiers ?k ?exact_only ?check_certificate ~budget report db)
 
-let solve_query ?opts ?k ?exact_only ?budget ?verify ?estimate_trials ?seed q db =
-  solve ?k ?exact_only ?budget ?verify ?estimate_trials ?seed
+let solve_query ?opts ?k ?exact_only ?check_certificate ?budget ?verify
+    ?estimate_trials ?seed q db =
+  solve ?k ?exact_only ?check_certificate ?budget ?verify ?estimate_trials ?seed
     (Dichotomy.classify ?opts q) db

@@ -105,10 +105,20 @@ val run_tiers :
     the PTIME tier even when the classifier designates one, forcing the
     exact tiers to decide. Never raises on budget exhaustion or injected
     faults — these come back as structured outcomes together with the trace
-    of attempted tiers. *)
+    of attempted tiers.
+
+    [check_certificate] is the {e certificate gate}: before the PTIME tier
+    runs the algorithm the classification designated, the injected checker
+    re-validates the report's certificate; on rejection the PTIME tier is
+    recorded as failed ([Attempt_failed]) and the chain degrades to the
+    exact tiers, which do not trust the classification. The checker is a
+    closure (rather than a library dependency) so that [core] stays
+    independent of the [analysis] audit kernel — the CLI's
+    [--verify-certificate] passes [Analysis.Check.audit_report]. *)
 val solve :
   ?k:int ->
   ?exact_only:bool ->
+  ?check_certificate:(Dichotomy.report -> (unit, string list) result) ->
   ?budget:Harness.Budget.t ->
   ?verify:bool ->
   ?estimate_trials:int ->
@@ -122,6 +132,7 @@ val solve_query :
   ?opts:Tripath_search.options ->
   ?k:int ->
   ?exact_only:bool ->
+  ?check_certificate:(Dichotomy.report -> (unit, string list) result) ->
   ?budget:Harness.Budget.t ->
   ?verify:bool ->
   ?estimate_trials:int ->

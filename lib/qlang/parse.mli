@@ -21,21 +21,58 @@
 
     A database file may start with schema declarations [R\[k,l\]]; otherwise
     the schema is inferred from the first fact of each relation together with
-    the mandatory bar. *)
+    the mandatory bar.
+
+    All parse failures carry a source {!position} (1-based line and column)
+    whenever one is known, so front-ends — and the query linter — can point at
+    the offending token instead of echoing a bare message. *)
+
+(** A 1-based source position. For multi-line inputs (database files, linted
+    query files) [line] refers to the original input, comments included. *)
+type position = { line : int; col : int }
+
+(** A coarse classification of parse failures:
+    - [Lex]: an unexpected character;
+    - [Syntax]: a malformed atom, fact or file;
+    - [Mismatch]: both atoms parsed but do not form a self-join pair
+      (different relation symbols, arities, or key separators) — the linter's
+      QL003. *)
+type error_kind = Lex | Syntax | Mismatch
+
+type error = { message : string; position : position option; kind : error_kind }
+
+val pp_position : Format.formatter -> position -> unit
+
+(** ["line 2, col 7: unexpected character '%'"] — or the bare message when no
+    position is known. *)
+val error_to_string : error -> string
+
+val pp_error : Format.formatter -> error -> unit
 
 (** [query s] parses a two-atom self-join query. *)
-val query : string -> (Query.t, string) result
+val query : string -> (Query.t, error) result
+
+(** Source positions of one parsed atom: the relation symbol and each
+    argument in order (key positions first). *)
+type atom_span = { rel_pos : position; arg_positions : position list }
+
+type query_spans = { span_a : atom_span; span_b : atom_span }
+
+(** [query_spanned s] is {!query} together with the source positions of both
+    atoms — the linter's anchor for per-argument diagnostics. *)
+val query_spanned : string -> (Query.t * query_spans, error) result
 
 (** [query_exn s] is [query] raising [Invalid_argument]. *)
 val query_exn : string -> Query.t
 
 (** [fact s] parses a single fact such as [R(1 2 | a b)], returning the fact
     and its inferred key length (position of the bar), if a bar is present. *)
-val fact : string -> (Relational.Fact.t * int option, string) result
+val fact : string -> (Relational.Fact.t * int option, error) result
 
 (** [database s] parses a database file: one fact per line, [#] comments,
-    optional [R\[k,l\]] schema declarations. *)
-val database : string -> (Relational.Database.t, string) result
+    optional [R\[k,l\]] schema declarations. Errors point at the offending
+    line of the file. *)
+val database : string -> (Relational.Database.t, error) result
 
 val database_exn : string -> Relational.Database.t
 
@@ -50,4 +87,4 @@ val csv :
   ?skip_header:bool ->
   schema:Relational.Schema.t ->
   string ->
-  (Relational.Database.t, string) result
+  (Relational.Database.t, error) result

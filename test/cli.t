@@ -1,0 +1,66 @@
+The linter: stable codes, positions, and the documented exit contract.
+
+A self-join mismatch is QL003 (error, exit 1):
+
+  $ cqa lint "R(x | y) S(y | z)"
+  1:10: error QL003: the two atoms must use the same relation symbol (R vs S)
+  [1]
+
+Singleton variables are QL001 warnings (exit 1):
+
+  $ cqa lint "R(x | y) R(y | z)"
+  1:3: warning QL001: variable x occurs only once (position 1 of the first atom); it is projected away
+  1:16: warning QL001: variable z occurs only once (position 2 of the second atom); it is projected away
+  [1]
+
+A clean query whose verdict relies on bounded tripath search gets only the
+QL004 info note and exits 0:
+
+  $ cqa lint "R(x | y) R(y | x)"
+  info QL004: verdict relies on tripath non-existence within bounded search (spine ≤ 3, arm ≤ 3, merges ≤ 2, candidates ≤ 200000)
+
+JSON output carries the same codes with positions:
+
+  $ cqa lint --json "R(5 | x y) R(x | y 5)"
+  {"diagnostics": [{"code": "QL002", "severity": "warning", "message": "constant 5 in key position 1 of the first atom: the atom is confined to a single block", "position": {"line": 1, "col": 3}}], "errors": 0, "warnings": 1, "infos": 0}
+  [1]
+
+A lint catalogue file: one query per line, diagnostics re-anchored to the
+file's line numbers:
+
+  $ cat > queries.lint <<'EOF'
+  > # paper catalogue excerpt
+  > R(x | y) R(y | x)
+  > R(x u | x y) R(u y | x z)
+  > EOF
+  $ cqa lint --file queries.lint
+  info QL004: verdict relies on tripath non-existence within bounded search (spine ≤ 3, arm ≤ 3, merges ≤ 2, candidates ≤ 200000)
+  3:24: warning QL001: variable z occurs only once (position 4 of the second atom); it is projected away
+  info QL007: CERTAIN(q) is coNP-complete (fork-hard); exact solving may be exponential
+  [1]
+
+Certificates: classify prints the machine-checkable evidence and re-validates
+it with the independent checker.
+
+  $ cqa classify --certificate "R(x | y) R(y | z)"
+  query: R(x | y) ∧ R(y | z)
+  verdict: PTIME (Theorem 4: Cert_2 exact)
+  2way-determined: false
+  certificate: Theorem 4, orientation shared ⊆ key(B)
+  evaluated inclusions:
+    shared ⊆ key(A): false
+    shared ⊆ key(B): true
+    key(A) ⊆ key(B): false
+    key(B) ⊆ key(A): false
+    key(A) ⊆ vars(B): false
+    key(B) ⊆ vars(A): true
+  certificate check: ok (independent checker)
+
+  $ cqa classify --json "R(x | y) R(y | z)"
+  {"query": "R(x | y) ∧ R(y | z)", "class": "ptime", "verdict": "PTIME (Theorem 4: Cert_2 exact)", "two_way_determined": false, "bounded_search": false, "certificate": {"kind": "thm4-ptime", "inclusions": {"shared_in_key_a": false, "shared_in_key_b": true, "key_a_in_key_b": false, "key_b_in_key_a": false, "key_a_in_vars_b": false, "key_b_in_vars_a": true}, "orientation": "shared-in-key-b"}, "certificate_check": {"ok": true, "licenses": "PTIME"}}
+
+The --verify-certificate gate re-checks the certificate before the PTIME tier
+answers:
+
+  $ printf 'R(1 | 2)\nR(2 | 3)\nR(2 | 4)\n' | cqa certain --verify-certificate "R(x | y) R(y | z)" -
+  CERTAIN: true (via Cert_2)

@@ -88,6 +88,23 @@ let test_designated_algorithm_is_exact () =
               exact (Query.to_string q))
     instances
 
+let test_certk_matches_naive_oracle () =
+  (* Differential check of the antichain Cert_k implementation against the
+     textbook fixpoint oracle, on the same seeded instance pool (small
+     enough that the naive k-set materialisation stays cheap). *)
+  List.iter
+    (fun (q, _, db) ->
+      let g = Qlang.Solution_graph.of_query q db in
+      List.iter
+        (fun k ->
+          let fast = Cqa.Certk.run ~k g in
+          let naive = Cqa.Certk_naive.run ~k g in
+          if fast <> naive then
+            Alcotest.failf "Cert_%d %b vs naive %b on %s" k fast naive
+              (Query.to_string q))
+        [ 1; 2; 3 ])
+    instances
+
 let test_verify_chain_never_disagrees () =
   List.iter
     (fun (q, report, db) ->
@@ -111,6 +128,8 @@ let () =
             test_certk_sound_and_combined_agree;
           Alcotest.test_case "designated algorithm exact" `Quick
             test_designated_algorithm_is_exact;
+          Alcotest.test_case "certk matches naive oracle" `Quick
+            test_certk_matches_naive_oracle;
           Alcotest.test_case "verify chain never disagrees" `Quick
             test_verify_chain_never_disagrees;
         ] );

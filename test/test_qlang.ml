@@ -304,14 +304,14 @@ let test_parse_constants () =
 let test_parse_database () =
   let src = "# comment\nR[2,1]\nR(1 2)\nR(1 3)\nR(2 2)\n" in
   match Parse.database src with
-  | Error msg -> Alcotest.fail msg
+  | Error e -> Alcotest.fail (Parse.error_to_string e)
   | Ok db ->
       Alcotest.(check int) "three facts" 3 (Database.size db);
       Alcotest.(check int) "two blocks" 2 (List.length (Database.blocks db))
 
 let test_parse_database_infer_schema () =
   match Parse.database "R(1 | a)\nR(1 | b)\n" with
-  | Error msg -> Alcotest.fail msg
+  | Error e -> Alcotest.fail (Parse.error_to_string e)
   | Ok db ->
       Alcotest.(check int) "one block" 1 (List.length (Database.blocks db));
       Alcotest.(check bool) "inconsistent" false (Database.is_consistent db)
@@ -320,7 +320,7 @@ let test_parse_csv () =
   let schema = Schema.make ~name:"Emp" ~arity:3 ~key_len:1 in
   let src = "e1,alice,10\ne1,alice,20\ne2,\"bob, jr\",30\n" in
   match Parse.csv ~schema src with
-  | Error msg -> Alcotest.fail msg
+  | Error e -> Alcotest.fail (Parse.error_to_string e)
   | Ok db ->
       Alcotest.(check int) "three facts" 3 (Database.size db);
       Alcotest.(check int) "two blocks" 2 (List.length (Database.blocks db));
@@ -331,14 +331,53 @@ let test_parse_csv () =
 let test_parse_csv_header_and_errors () =
   let schema = Schema.make ~name:"Emp" ~arity:2 ~key_len:1 in
   (match Parse.csv ~schema ~skip_header:true "id,name\n1,a\n2,b\n" with
-  | Error msg -> Alcotest.fail msg
+  | Error e -> Alcotest.fail (Parse.error_to_string e)
   | Ok db -> Alcotest.(check int) "header skipped" 2 (Database.size db));
   (match Parse.csv ~schema "1,a,EXTRA\n" with
   | Ok _ -> Alcotest.fail "arity mismatch accepted"
   | Error _ -> ());
   match Parse.csv ~schema ~separator:';' "1;a\n" with
-  | Error msg -> Alcotest.fail msg
+  | Error e -> Alcotest.fail (Parse.error_to_string e)
   | Ok db -> Alcotest.(check int) "custom separator" 1 (Database.size db)
+
+let test_parse_error_positions () =
+  let position s =
+    match Parse.query s with
+    | Ok _ -> Alcotest.failf "should reject %s" s
+    | Error e -> (e.Parse.kind, e.Parse.position)
+  in
+  (match position "R(x | y) S(y | z)" with
+  | Parse.Mismatch, Some p ->
+      Alcotest.(check int) "mismatch line" 1 p.Parse.line;
+      Alcotest.(check int) "mismatch col: the second relation symbol" 10 p.Parse.col
+  | _, _ -> Alcotest.fail "expected a positioned Mismatch error");
+  (match position "R(x | %) R(x | y)" with
+  | Parse.Lex, Some p -> Alcotest.(check int) "lex col" 7 p.Parse.col
+  | _, _ -> Alcotest.fail "expected a positioned Lex error");
+  (match position "R(x | y)\nR(y z | u)" with
+  | Parse.Mismatch, Some p ->
+      Alcotest.(check int) "arity mismatch on line 2" 2 p.Parse.line
+  | _, _ -> Alcotest.fail "expected a positioned arity Mismatch");
+  match Parse.database "R[2,1]\nR(1 2)\nR(1 %)\n" with
+  | Ok _ -> Alcotest.fail "should reject the bad fact"
+  | Error e -> (
+      match e.Parse.position with
+      | Some p ->
+          Alcotest.(check int) "database error line" 3 p.Parse.line;
+          Alcotest.(check int) "database error col" 5 p.Parse.col
+      | None -> Alcotest.fail "database error carries no position")
+
+let test_parse_spans () =
+  match Parse.query_spanned "R(x u | x y) R(u y | x z)" with
+  | Error e -> Alcotest.fail (Parse.error_to_string e)
+  | Ok (q, spans) ->
+      Alcotest.(check int) "arity" 4 (Qlang.Atom.arity q.Query.a);
+      Alcotest.(check int) "atom A rel col" 1 spans.Parse.span_a.Parse.rel_pos.Parse.col;
+      Alcotest.(check int) "atom B rel col" 14 spans.Parse.span_b.Parse.rel_pos.Parse.col;
+      Alcotest.(check int) "four positioned args per atom" 4
+        (List.length spans.Parse.span_a.Parse.arg_positions);
+      let third = List.nth spans.Parse.span_b.Parse.arg_positions 2 in
+      Alcotest.(check int) "third arg of B" 22 third.Parse.col
 
 let test_parse_database_errors () =
   (match Parse.database "R(1 2)\n" with
@@ -401,6 +440,8 @@ let () =
           Alcotest.test_case "database" `Quick test_parse_database;
           Alcotest.test_case "schema inference" `Quick test_parse_database_infer_schema;
           Alcotest.test_case "database errors" `Quick test_parse_database_errors;
+          Alcotest.test_case "error positions" `Quick test_parse_error_positions;
+          Alcotest.test_case "argument spans" `Quick test_parse_spans;
           Alcotest.test_case "csv" `Quick test_parse_csv;
           Alcotest.test_case "csv header/errors" `Quick test_parse_csv_header_and_errors;
         ]
