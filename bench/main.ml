@@ -608,6 +608,45 @@ let bechamel_suite () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* E14: the seeded Cert_k suite (same engine as `cqa bench`), writing the
+   machine-readable BENCH_certk.json trajectory record. *)
+
+let e14_certk_suite () =
+  section "E14 Cert_k fixpoint: delta-driven vs frozen round-driven baseline";
+  let report =
+    Benchkit.Certk_suite.run ~profile:Benchkit.Certk_suite.Default ~seed:42
+      ~budget_s:30.0 ()
+  in
+  Format.printf "%-24s %8s %12s %12s %10s@." "case" "facts" "delta(ms)"
+    "rounds(ms)" "speedup";
+  List.iter
+    (fun (c : Benchkit.Report.case) ->
+      let ms alg =
+        match
+          List.find_opt (fun r -> r.Benchkit.Report.algorithm = alg) c.Benchkit.Report.runs
+        with
+        | Some r when r.Benchkit.Report.status = "ok" ->
+            Printf.sprintf "%.2f" r.Benchkit.Report.median_ms
+        | Some _ -> "timeout"
+        | None -> "-"
+      in
+      Format.printf "%-24s %8d %12s %12s %10s@." c.Benchkit.Report.name
+        c.Benchkit.Report.n_facts (ms "certk-delta") (ms "certk-rounds")
+        (match c.Benchkit.Report.speedup_vs_rounds with
+        | Some s -> Printf.sprintf "%.1fx" s
+        | None -> "-"))
+    report.Benchkit.Report.cases;
+  (match report.Benchkit.Report.geomean_speedup with
+  | Some s -> Format.printf "geomean speedup vs rounds baseline: %.1fx@." s
+  | None -> ());
+  Format.printf "cross-algorithm agreement: %b@." report.Benchkit.Report.agreement;
+  (match Benchkit.Report.validate_round_trip report with
+  | Ok () -> ()
+  | Error msg -> Format.printf "!! report failed round-trip validation: %s@." msg);
+  Benchkit.Report.write "BENCH_certk.json" report;
+  Format.printf "wrote BENCH_certk.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
 let experiments =
@@ -625,6 +664,7 @@ let experiments =
     ("scaling", e11_scaling);
     ("atlas", e12_atlas);
     ("ablation", e13_ablation);
+    ("certk-suite", e14_certk_suite);
   ]
 
 let usage () =

@@ -671,6 +671,111 @@ let estimate_cmd =
        ~doc:"Monte-Carlo estimate of the fraction of repairs satisfying the query.")
     Term.(const estimate_run $ query_arg $ db_arg $ trials_arg $ seed_arg)
 
+(* ------------------------------------------------------------------ *)
+(* bench *)
+
+(* Queries from an examples/queries.catalog-style file: one query per line,
+   '#' comments and blank lines skipped. *)
+let parse_query_catalog path =
+  read_file path |> String.split_on_char '\n'
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match Qlang.Parse.query line with
+           | Ok q -> Some q
+           | Error e ->
+               invalid_arg
+                 (Printf.sprintf "%s: bad query %S: %s" path line
+                    (Qlang.Parse.error_to_string e)))
+  |> List.mapi (fun i q -> (Printf.sprintf "catalog-%d" i, q))
+
+let bench_run profile seed output budget_s catalog =
+  guard @@ fun () ->
+  match Benchkit.Certk_suite.profile_of_string profile with
+  | None ->
+      Format.eprintf "error: unknown profile %S (expected smoke or default)@." profile;
+      exit_error
+  | Some profile ->
+      let extra_queries =
+        match catalog with None -> [] | Some path -> parse_query_catalog path
+      in
+      let report =
+        Benchkit.Certk_suite.run ~extra_queries ~profile ~seed ~budget_s ()
+      in
+      Format.printf "%-28s %8s %8s %12s %12s %10s@." "case" "facts" "blocks"
+        "delta(ms)" "rounds(ms)" "speedup";
+      List.iter
+        (fun (c : Benchkit.Report.case) ->
+          let ms alg =
+            match
+              List.find_opt
+                (fun r -> r.Benchkit.Report.algorithm = alg)
+                c.Benchkit.Report.runs
+            with
+            | Some r when r.Benchkit.Report.status = "ok" ->
+                Printf.sprintf "%.2f" r.Benchkit.Report.median_ms
+            | Some _ -> "timeout"
+            | None -> "-"
+          in
+          Format.printf "%-28s %8d %8d %12s %12s %10s@." c.Benchkit.Report.name
+            c.Benchkit.Report.n_facts c.Benchkit.Report.n_blocks
+            (ms "certk-delta") (ms "certk-rounds")
+            (match c.Benchkit.Report.speedup_vs_rounds with
+            | Some s -> Printf.sprintf "%.1fx" s
+            | None -> "-"))
+        report.Benchkit.Report.cases;
+      (match report.Benchkit.Report.geomean_speedup with
+      | Some s -> Format.printf "geomean speedup vs rounds baseline: %.1fx@." s
+      | None -> ());
+      Format.printf "cross-algorithm agreement: %b@."
+        report.Benchkit.Report.agreement;
+      (* The emitted document must parse back identical — the report is only
+         useful if downstream tooling can rely on it. *)
+      (match Benchkit.Report.validate_round_trip report with
+      | Ok () -> ()
+      | Error msg -> invalid_arg ("benchmark report: " ^ msg));
+      Benchkit.Report.write output report;
+      Format.printf "wrote %s@." output;
+      if report.Benchkit.Report.agreement then 0 else exit_error
+
+let bench_cmd =
+  let profile_arg =
+    Arg.(
+      value & opt string "default"
+      & info [ "profile" ] ~docv:"PROFILE"
+          ~doc:"Workload profile: $(b,smoke) (tiny, CI-friendly) or $(b,default).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload generation seed.")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt string "BENCH_certk.json"
+      & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Where to write the JSON report.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "budget" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock budget per algorithm repeat; exhaustion records a timeout run.")
+  in
+  let catalog_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "catalog" ] ~docv:"FILE"
+          ~doc:"Also bench the queries listed in FILE (queries.catalog format).")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the seeded Cert_k benchmark suite (delta-driven vs frozen round-driven \
+          baseline, with oracle agreement checks) and write BENCH_certk.json.")
+    Term.(
+      const bench_run $ profile_arg $ seed_arg $ output_arg $ budget_arg $ catalog_arg)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "cqa" ~version:"1.0.0"
@@ -687,6 +792,7 @@ let main_cmd =
       dot_cmd;
       atlas_cmd;
       estimate_cmd;
+      bench_cmd;
     ]
 
 let () = exit (Cmd.eval' ~term_err:exit_error main_cmd)

@@ -1,0 +1,34 @@
+(** The seeded [Cert_k] benchmark suite behind [cqa bench] and
+    [BENCH_certk.json].
+
+    Workloads are generated deterministically from the seed via
+    {!Workload.Randdb} and {!Workload.Designs}: random databases for the
+    catalogue queries [q3]/[q5]/[q6] at growing sizes, the Fano-plane and
+    random rotation-system instances of Theorem 14, and one random database
+    per caller-supplied extra query (e.g. the [examples/queries.catalog]
+    entries). Each case times the delta-driven {!Cqa.Certk} against the
+    frozen round-driven {!Cqa.Certk_rounds} baseline, plus the
+    {!Cqa.Certk_naive} and {!Cqa.Exact} oracles where affordable, and the
+    report records both the speedups and a cross-algorithm agreement bit —
+    a benchmark that also differentially tests what it measures. *)
+
+type profile =
+  | Smoke  (** Tiny sizes, 2 repeats — wired into [dune runtest]. *)
+  | Default  (** The sizes the BENCH trajectory tracks across commits. *)
+
+val profile_name : profile -> string
+val profile_of_string : string -> profile option
+
+(** [run ?extra_queries ~profile ~seed ~budget_s ()] generates the seeded
+    workloads and times every case, giving each algorithm repeat [budget_s]
+    seconds of budget; budget exhaustion is recorded as a ["timeout"] run,
+    never raised. The report's [agreement] field requires all [certk-*]
+    verdicts to coincide and the Cert_k verdict to under-approximate
+    [exact]'s. *)
+val run :
+  ?extra_queries:(string * Qlang.Query.t) list ->
+  profile:profile ->
+  seed:int ->
+  budget_s:float ->
+  unit ->
+  Report.t

@@ -1,0 +1,169 @@
+module Json = Analysis.Json
+
+let schema_version = 1
+
+type run = {
+  algorithm : string;
+  status : string;  (* "ok" | "timeout" *)
+  median_ms : float;
+  repeats : int;
+  certain : bool option;
+  steps : int;
+}
+
+type case = {
+  name : string;
+  query : string;
+  k : int;
+  n_facts : int;
+  n_blocks : int;
+  budget_s : float;
+  runs : run list;
+  speedup_vs_rounds : float option;
+}
+
+type t = {
+  suite : string;
+  profile : string;
+  seed : int;
+  cases : case list;
+  agreement : bool;
+  geomean_speedup : float option;
+}
+
+(* Encoding *)
+
+let opt enc = function None -> Json.Null | Some v -> enc v
+
+let encode_run r =
+  Json.Obj
+    [
+      ("algorithm", Json.String r.algorithm);
+      ("status", Json.String r.status);
+      ("median_ms", Json.Float r.median_ms);
+      ("repeats", Json.Int r.repeats);
+      ("certain", opt (fun b -> Json.Bool b) r.certain);
+      ("steps", Json.Int r.steps);
+    ]
+
+let encode_case c =
+  Json.Obj
+    [
+      ("name", Json.String c.name);
+      ("query", Json.String c.query);
+      ("k", Json.Int c.k);
+      ("n_facts", Json.Int c.n_facts);
+      ("n_blocks", Json.Int c.n_blocks);
+      ("budget_s", Json.Float c.budget_s);
+      ("runs", Json.List (List.map encode_run c.runs));
+      ("speedup_vs_rounds", opt (fun f -> Json.Float f) c.speedup_vs_rounds);
+    ]
+
+let encode t =
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ("suite", Json.String t.suite);
+      ("profile", Json.String t.profile);
+      ("seed", Json.Int t.seed);
+      ("cases", Json.List (List.map encode_case t.cases));
+      ( "summary",
+        Json.Obj
+          [
+            ("cases", Json.Int (List.length t.cases));
+            ("agreement", Json.Bool t.agreement);
+            ( "geomean_speedup_vs_rounds",
+              opt (fun f -> Json.Float f) t.geomean_speedup );
+          ] );
+    ]
+
+(* Decoding — the inverse of [encode], strict about shape so the round-trip
+   check in [cqa bench] actually validates the document. *)
+
+let ( let* ) r f = Result.bind r f
+
+let field name access conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S in %s" name access)
+
+let opt_field name conv j =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+      match conv v with
+      | Some v -> Ok (Some v)
+      | None -> Error (Printf.sprintf "ill-typed field %S" name))
+
+let decode_run j =
+  let* algorithm = field "algorithm" "run" Json.to_string_opt j in
+  let* status = field "status" "run" Json.to_string_opt j in
+  let* () =
+    if status = "ok" || status = "timeout" then Ok ()
+    else Error (Printf.sprintf "unknown run status %S" status)
+  in
+  let* median_ms = field "median_ms" "run" Json.to_float_opt j in
+  let* repeats = field "repeats" "run" Json.to_int_opt j in
+  let* certain = opt_field "certain" Json.to_bool_opt j in
+  let* steps = field "steps" "run" Json.to_int_opt j in
+  Ok { algorithm; status; median_ms; repeats; certain; steps }
+
+let rec map_m f = function
+  | [] -> Ok []
+  | x :: xs ->
+      let* y = f x in
+      let* ys = map_m f xs in
+      Ok (y :: ys)
+
+let decode_case j =
+  let* name = field "name" "case" Json.to_string_opt j in
+  let* query = field "query" "case" Json.to_string_opt j in
+  let* k = field "k" "case" Json.to_int_opt j in
+  let* n_facts = field "n_facts" "case" Json.to_int_opt j in
+  let* n_blocks = field "n_blocks" "case" Json.to_int_opt j in
+  let* budget_s = field "budget_s" "case" Json.to_float_opt j in
+  let* runs = field "runs" "case" Json.to_list_opt j in
+  let* runs = map_m decode_run runs in
+  let* speedup_vs_rounds = opt_field "speedup_vs_rounds" Json.to_float_opt j in
+  Ok { name; query; k; n_facts; n_blocks; budget_s; runs; speedup_vs_rounds }
+
+let decode j =
+  let* version = field "schema_version" "report" Json.to_int_opt j in
+  let* () =
+    if version = schema_version then Ok ()
+    else Error (Printf.sprintf "unsupported schema_version %d" version)
+  in
+  let* suite = field "suite" "report" Json.to_string_opt j in
+  let* profile = field "profile" "report" Json.to_string_opt j in
+  let* seed = field "seed" "report" Json.to_int_opt j in
+  let* cases = field "cases" "report" Json.to_list_opt j in
+  let* cases = map_m decode_case cases in
+  let* summary = field "summary" "report" Option.some j in
+  let* agreement = field "agreement" "summary" Json.to_bool_opt summary in
+  let* geomean_speedup =
+    opt_field "geomean_speedup_vs_rounds" Json.to_float_opt summary
+  in
+  Ok { suite; profile; seed; cases; agreement; geomean_speedup }
+
+let of_string s =
+  let* j = Json.of_string s in
+  decode j
+
+let to_string t = Json.to_string (encode t)
+
+let equal a b = a = b
+
+let validate_round_trip t =
+  match of_string (to_string t) with
+  | Error e -> Error ("round-trip parse failed: " ^ e)
+  | Ok t' ->
+      if equal t t' then Ok ()
+      else Error "round-trip produced a structurally different report"
+
+let write path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string t);
+      output_char oc '\n')

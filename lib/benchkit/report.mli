@@ -1,0 +1,71 @@
+(** Machine-readable benchmark reports ([BENCH_certk.json]).
+
+    The document is versioned JSON produced with the project's own
+    {!Analysis.Json}; {!decode} is the strict inverse of {!encode}, and
+    {!validate_round_trip} (exercised by [cqa bench] and the [@bench-smoke]
+    alias) guarantees that what lands on disk parses back to the identical
+    report.
+
+    Schema (version 1, one object per file):
+    {v
+    { "schema_version": 1,
+      "suite": "certk-fixpoint",
+      "profile": "smoke" | "default",
+      "seed": <int>,
+      "cases": [
+        { "name": <string>, "query": <string>, "k": <int>,
+          "n_facts": <int>, "n_blocks": <int>, "budget_s": <float>,
+          "runs": [
+            { "algorithm": <string>, "status": "ok" | "timeout",
+              "median_ms": <float>, "repeats": <int>,
+              "certain": <bool> | null, "steps": <int> } ],
+          "speedup_vs_rounds": <float> | null } ],
+      "summary": { "cases": <int>, "agreement": <bool>,
+                   "geomean_speedup_vs_rounds": <float> | null } }
+    v} *)
+
+val schema_version : int
+
+type run = {
+  algorithm : string;
+  status : string;  (** ["ok"] or ["timeout"]. *)
+  median_ms : float;
+  repeats : int;
+  certain : bool option;  (** The verdict; [None] on timeout. *)
+  steps : int;  (** Budget ticks spent (max over repeats). *)
+}
+
+type case = {
+  name : string;
+  query : string;  (** Concrete syntax, re-parseable with [Qlang.Parse]. *)
+  k : int;
+  n_facts : int;
+  n_blocks : int;
+  budget_s : float;
+  runs : run list;
+  speedup_vs_rounds : float option;
+      (** [rounds.median_ms / delta.median_ms] when both completed. *)
+}
+
+type t = {
+  suite : string;
+  profile : string;
+  seed : int;
+  cases : case list;
+  agreement : bool;
+      (** All completed algorithms agreed on every case's verdict. *)
+  geomean_speedup : float option;
+      (** Geometric mean of the per-case speedups. *)
+}
+
+val encode : t -> Analysis.Json.t
+val decode : Analysis.Json.t -> (t, string) result
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val equal : t -> t -> bool
+
+(** Serialise, re-parse, compare. *)
+val validate_round_trip : t -> (unit, string) result
+
+(** [write path t] writes the compact JSON document plus a final newline. *)
+val write : string -> t -> unit

@@ -1,16 +1,5 @@
 module Solution_graph = Qlang.Solution_graph
-
-module Int_list_set = Set.Make (struct
-  type t = int list
-
-  let compare = List.compare Int.compare
-end)
-
-module Int_list_map = Map.Make (struct
-  type t = int list
-
-  let compare = List.compare Int.compare
-end)
+module Int_set = Set.Make (Int)
 
 type reason =
   | Initial of int * int
@@ -47,39 +36,103 @@ let is_kset (g : Solution_graph.t) ~k s =
   let blocks = List.map (fun v -> g.Solution_graph.block_of.(v)) s in
   List.length (List.sort_uniq Int.compare blocks) = List.length s
 
+(* The fixpoint state. k-sets are interned: the sorted vertex list is the
+   canonical form, [ids]/[sets] map it to a dense integer id and back, and
+   all antichain bookkeeping ([minimal], [by_vertex], the [visited] memo in
+   [derive_for_block]) compares ids instead of lists. The worklist [queue]
+   holds the dirty blocks: a block re-derives only when a new minimal set
+   touching one of its vertices was admitted since its last run. *)
 type state = {
-  mutable minimal : Int_list_set.t;  (* antichain of minimal derived sets *)
-  by_vertex : Int_list_set.t array;  (* members containing a given vertex *)
+  ids : (int list, int) Hashtbl.t;  (* canonical sorted list -> id *)
+  mutable sets : int list array;  (* id -> canonical sorted list *)
+  mutable n_sets : int;
+  mutable minimal : Int_set.t;  (* antichain of minimal derived sets *)
+  by_vertex : Int_set.t array;  (* minimal members containing a vertex *)
   mutable empty_derived : bool;
-  mutable provenance : reason Int_list_map.t;
+  provenance : (int, reason) Hashtbl.t;
       (* how each set ever added was derived; never shrinks, so certificates
          survive antichain pruning *)
+  block_of : int array;
+  queue : int Queue.t;  (* dirty blocks, FIFO *)
+  queued : bool array;
 }
 
-let subsumed state s =
-  state.empty_derived
-  || Int_list_set.exists (fun t -> is_subset t s) state.minimal
+let intern st s =
+  match Hashtbl.find_opt st.ids s with
+  | Some id -> id
+  | None ->
+      let id = st.n_sets in
+      if id = Array.length st.sets then begin
+        let bigger = Array.make (max 64 (2 * id)) [] in
+        Array.blit st.sets 0 bigger 0 id;
+        st.sets <- bigger
+      end;
+      st.sets.(id) <- s;
+      Hashtbl.add st.ids s id;
+      st.n_sets <- id + 1;
+      id
 
-let add_set state s reason =
-  if not (subsumed state s) then begin
-    (* Remove supersets of the new minimal set from the antichain (their
-       provenance is kept for certificate reconstruction). *)
-    let supersets = Int_list_set.filter (fun t -> is_subset s t) state.minimal in
-    state.minimal <- Int_list_set.diff state.minimal supersets;
-    Int_list_set.iter
-      (fun t ->
-        List.iter
-          (fun v -> state.by_vertex.(v) <- Int_list_set.remove t state.by_vertex.(v))
-          t)
-      supersets;
-    state.minimal <- Int_list_set.add s state.minimal;
-    List.iter (fun v -> state.by_vertex.(v) <- Int_list_set.add s state.by_vertex.(v)) s;
-    if not (Int_list_map.mem s state.provenance) then
-      state.provenance <- Int_list_map.add s reason state.provenance;
-    if s = [] then state.empty_derived <- true;
+exception Found_subset
+
+(* Any nonempty subset of [s] in the antichain contains some vertex of [s],
+   so only the (small) [by_vertex] buckets of [s]'s own vertices need
+   scanning — never the whole antichain. The empty set is covered by the
+   [empty_derived] flag. *)
+let subsumed st s =
+  st.empty_derived
+  ||
+  try
+    List.iter
+      (fun v ->
+        Int_set.iter
+          (fun tid -> if is_subset st.sets.(tid) s then raise Found_subset)
+          st.by_vertex.(v))
+      s;
+    false
+  with Found_subset -> true
+
+(* A freshly admitted set can only enable new derivations at blocks holding
+   one of its vertices (a useful premise [T_u] must contain [u]). *)
+let mark_dirty st s =
+  List.iter
+    (fun v ->
+      let b = st.block_of.(v) in
+      if not st.queued.(b) then begin
+        st.queued.(b) <- true;
+        Queue.add b st.queue
+      end)
+    s
+
+let add_set st s reason =
+  if subsumed st s then false
+  else begin
+    let id = intern st s in
+    (match s with
+    | [] ->
+        (* ∅ subsumes everything: collapse the antichain and stop. *)
+        st.minimal <- Int_set.singleton id;
+        Array.fill st.by_vertex 0 (Array.length st.by_vertex) Int_set.empty;
+        st.empty_derived <- true
+    | v0 :: _ ->
+        (* Remove supersets of the new minimal set from the antichain (their
+           provenance is kept for certificate reconstruction). Every superset
+           contains [v0], so its [by_vertex] bucket lists all candidates. *)
+        let supersets =
+          Int_set.filter (fun tid -> is_subset s st.sets.(tid)) st.by_vertex.(v0)
+        in
+        Int_set.iter
+          (fun tid ->
+            List.iter
+              (fun v -> st.by_vertex.(v) <- Int_set.remove tid st.by_vertex.(v))
+              st.sets.(tid))
+          supersets;
+        st.minimal <- Int_set.diff st.minimal supersets;
+        st.minimal <- Int_set.add id st.minimal;
+        List.iter (fun v -> st.by_vertex.(v) <- Int_set.add id st.by_vertex.(v)) s);
+    if not (Hashtbl.mem st.provenance id) then Hashtbl.add st.provenance id reason;
+    mark_dirty st s;
     true
   end
-  else false
 
 (* The inductive step for one block: derive S = union over u in B of
    (T_u \ {u}) for each choice of T_u in Delta containing u. Choices where
@@ -87,46 +140,55 @@ let add_set state s reason =
    the member T_u and yields no new minimal set. Partial unions that are
    already subsumed are pruned for the same reason: every extension of a
    subsumed union is subsumed. *)
-let derive_for_block (g : Solution_graph.t) ~k ~budget state block =
+let derive_for_block (g : Solution_graph.t) ~k ~budget st block =
   let members = Array.to_list g.Solution_graph.blocks.(block) in
   let changed = ref false in
   (* Distinct choice sequences frequently produce the same partial union;
-     memoising on (remaining facts, partial union) keeps the exploration
+     memoising on (remaining facts, partial union id) keeps the exploration
      polynomial in the size of the antichain instead of exponential in the
      block size. *)
   let visited = Hashtbl.create 64 in
-  let rec choose acc chosen = function
+  let rec choose acc acc_id chosen rem_n = function
     | [] ->
-        if add_set state acc (Via_block (block, List.rev chosen)) then changed := true
-    | u :: rest as remaining ->
+        if add_set st acc (Via_block (block, List.rev chosen)) then changed := true
+    | u :: rest ->
         Harness.Budget.tick ~site:"certk" budget;
-        let key = (List.length remaining, acc) in
+        let key = (rem_n, acc_id) in
         if not (Hashtbl.mem visited key) then begin
           Hashtbl.add visited key ();
-          Int_list_set.iter
-            (fun t ->
+          Int_set.iter
+            (fun tid ->
+              let t = st.sets.(tid) in
               let acc' = union_sorted acc (remove u t) in
-              if is_kset g ~k acc' && not (subsumed state acc') then
-                choose acc' ((u, t) :: chosen) rest)
-            state.by_vertex.(u)
+              if is_kset g ~k acc' && not (subsumed st acc') then
+                choose acc' (intern st acc') ((u, t) :: chosen) (rem_n - 1) rest)
+            st.by_vertex.(u)
         end
   in
-  choose [] [] members;
+  choose [] (intern st []) [] (List.length members) members;
   !changed
 
 let fixpoint ?(budget = Harness.Budget.unlimited ()) (g : Solution_graph.t) ~k =
   if k < 1 then invalid_arg "Certk: k must be >= 1";
   let n = Solution_graph.n_facts g in
-  let state =
+  let n_blocks = Solution_graph.n_blocks g in
+  let st =
     {
-      minimal = Int_list_set.empty;
-      by_vertex = Array.make (max n 1) Int_list_set.empty;
+      ids = Hashtbl.create 256;
+      sets = Array.make 64 [];
+      n_sets = 0;
+      minimal = Int_set.empty;
+      by_vertex = Array.make (max n 1) Int_set.empty;
       empty_derived = false;
-      provenance = Int_list_map.empty;
+      provenance = Hashtbl.create 64;
+      block_of = g.Solution_graph.block_of;
+      queue = Queue.create ();
+      queued = Array.make (max n_blocks 1) false;
     }
   in
   (* Initial sets: minimal k-sets satisfying q — solution pairs across
-     distinct blocks, and singletons for self-loop solutions. *)
+     distinct blocks, and singletons for self-loop solutions. Each admission
+     seeds the worklist with the blocks it touches. *)
   List.iter
     (fun (i, j) ->
       let s =
@@ -136,33 +198,44 @@ let fixpoint ?(budget = Harness.Budget.unlimited ()) (g : Solution_graph.t) ~k =
         else None
       in
       match s with
-      | Some s when is_kset g ~k s -> ignore (add_set state s (Initial (i, j)))
+      | Some s when is_kset g ~k s -> ignore (add_set st s (Initial (i, j)))
       | Some _ | None -> ())
     g.Solution_graph.directed;
-  let n_blocks = Solution_graph.n_blocks g in
-  let continue = ref true in
-  while !continue && not state.empty_derived do
-    continue := false;
-    for b = 0 to n_blocks - 1 do
-      if not state.empty_derived then
-        if derive_for_block g ~k ~budget state b then continue := true
-    done
+  (* Drain the worklist. Untouched blocks stay untouched: a block whose
+     members all have empty [by_vertex] buckets can derive nothing, and it
+     only becomes derivable once a set touching it is admitted — which
+     enqueues it. *)
+  while (not st.empty_derived) && not (Queue.is_empty st.queue) do
+    let b = Queue.pop st.queue in
+    st.queued.(b) <- false;
+    ignore (derive_for_block g ~k ~budget st b)
   done;
-  state
+  st
 
 let run ?budget ~k g = (fixpoint ?budget g ~k).empty_derived
 let certain_query ?budget ~k q db = run ?budget ~k (Solution_graph.of_query q db)
-let derived ~k g = Int_list_set.elements (fixpoint g ~k).minimal
+
+let derived ~k g =
+  let st = fixpoint g ~k in
+  Int_set.elements st.minimal
+  |> List.map (fun id -> st.sets.(id))
+  |> List.sort (List.compare Int.compare)
 
 (* Certificates: unfold provenance from the target set down to the initial
    solutions. Derivations are acyclic by construction (every premise was
-   added strictly before the conclusion), so the recursion terminates. *)
+   added strictly before the conclusion, and a pruned set is never
+   re-admitted), so the recursion terminates. *)
 let certificate ~k g =
-  let state = fixpoint g ~k in
-  if not state.empty_derived then None
+  let st = fixpoint g ~k in
+  if not st.empty_derived then None
   else
+    let reason_of set =
+      match Hashtbl.find_opt st.ids set with
+      | None -> None
+      | Some id -> Hashtbl.find_opt st.provenance id
+    in
     let rec build set =
-      match Int_list_map.find_opt set state.provenance with
+      match reason_of set with
       | None -> None
       | Some (Initial _ as why) -> Some { set; why; premises = [] }
       | Some (Via_block (_, choices) as why) ->

@@ -1,0 +1,29 @@
+(** The pre-worklist [Cert_k] fixpoint, frozen as a performance and
+    correctness baseline.
+
+    This is the antichain implementation that {!Certk} used before it became
+    delta-driven: every round re-derives {e every} block against the whole
+    antichain, and k-sets are compared as sorted integer lists rather than
+    interned ids. It computes exactly the same fixpoint — the benchmark suite
+    ([cqa bench], [BENCH_certk.json]) measures the worklist rewrite against
+    it, and the differential tests use it (together with {!Certk_naive} and
+    {!Exact}) as an independent oracle.
+
+    Do not "optimise" this module: its value is precisely that it stays the
+    measured round-driven baseline. *)
+
+(** [run ?budget ~k g] runs the round-driven fixpoint on a solution graph.
+    Budget ticks are spent at site ["certk"], one per derivation step, like
+    {!Certk.run}.
+    @raise Harness.Budget.Budget_exceeded when [budget] runs out.
+    @raise Invalid_argument when [k < 1]. *)
+val run : ?budget:Harness.Budget.t -> k:int -> Qlang.Solution_graph.t -> bool
+
+(** [certain_query ?budget ~k q db] builds the solution graph and runs
+    {!run}. *)
+val certain_query :
+  ?budget:Harness.Budget.t -> k:int -> Qlang.Query.t -> Relational.Database.t -> bool
+
+(** [derived ~k g] is the minimal antichain of the fixpoint, as sorted vertex
+    lists in lexicographic order — comparable 1:1 with {!Certk.derived}. *)
+val derived : k:int -> Qlang.Solution_graph.t -> int list list

@@ -2,7 +2,7 @@ type witness = Via_certk | Via_matching | Neither
 
 let explain ?budget ~k g =
   if Certk.run ?budget ~k g then Via_certk
-  else if not (Matching_alg.run g) then Via_matching
+  else if not (Matching_alg.run ?budget g) then Via_matching
   else Neither
 
 let run ?budget ~k g =

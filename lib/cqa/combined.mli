@@ -8,9 +8,9 @@
     under-approximation of CERTAIN(q) for {e every} query, because both
     disjuncts are. *)
 
-(** [run ~k g] is [Cert_k(q) ∨ ¬Matching(q)] on a solution graph. The
-    [Cert_k] disjunct runs under [budget] (the matching disjunct is a
-    polynomial matching computation and is not metered).
+(** [run ~k g] is [Cert_k(q) ∨ ¬Matching(q)] on a solution graph. Both
+    disjuncts run under [budget]: [Cert_k] ticks at site ["certk"], the
+    matching disjunct at site ["matching"].
     @raise Harness.Budget.Budget_exceeded when [budget] runs out. *)
 val run : ?budget:Harness.Budget.t -> k:int -> Qlang.Solution_graph.t -> bool
 

@@ -37,8 +37,10 @@ let bipartite (g : Solution_graph.t) =
     clique_of;
   Graphs.Bipartite.make ~n_left:(Solution_graph.n_blocks g) ~n_right:n_cliques !edges
 
-let run g =
+let run ?(budget = Harness.Budget.unlimited ()) g =
+  Harness.Budget.tick ~site:"matching" budget;
   let h = bipartite g in
-  Graphs.Matching.saturates_left h (Graphs.Matching.hopcroft_karp h)
+  let tick () = Harness.Budget.tick ~site:"matching" budget in
+  Graphs.Matching.saturates_left h (Graphs.Matching.hopcroft_karp ~tick h)
 
-let certain_query q db = not (run (Solution_graph.of_query q db))
+let certain_query ?budget q db = not (run ?budget (Solution_graph.of_query q db))

@@ -13,12 +13,17 @@
     (Proposition 15); it is exact on clique-databases (Proposition 16), hence
     for clique-queries such as [q6 = R(x | y z) ∧ R(z | x y)] (Theorem 17). *)
 
-(** [run g] is [D ⊨ MATCHING(q)]: a saturating matching exists. *)
-val run : Qlang.Solution_graph.t -> bool
+(** [run ?budget g] is [D ⊨ MATCHING(q)]: a saturating matching exists.
+    Budget ticks are spent at site ["matching"] — once up front and once per
+    vertex visit inside Hopcroft–Karp — so [--timeout]/[--max-steps] can
+    interrupt the Matching tier like every other algorithm.
+    @raise Harness.Budget.Budget_exceeded when [budget] runs out. *)
+val run : ?budget:Harness.Budget.t -> Qlang.Solution_graph.t -> bool
 
-(** [certain_query q db] is [not (run ...)], i.e. the sound approximation
-    [¬MATCHING(q)] of CERTAIN. *)
-val certain_query : Qlang.Query.t -> Relational.Database.t -> bool
+(** [certain_query ?budget q db] is [not (run ...)], i.e. the sound
+    approximation [¬MATCHING(q)] of CERTAIN. *)
+val certain_query :
+  ?budget:Harness.Budget.t -> Qlang.Query.t -> Relational.Database.t -> bool
 
 (** [bipartite g] exposes the graph [H(D, q)] for inspection: the left side
     indexes blocks, the right side indexes cliques. *)

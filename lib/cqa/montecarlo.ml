@@ -25,4 +25,14 @@ let estimate rng ~trials q db =
     counterexample = !counterexample;
   }
 
-let refute rng ~trials q db = (estimate rng ~trials q db).counterexample
+let refute rng ~trials q db =
+  if trials < 1 then invalid_arg "Montecarlo.refute: trials must be >= 1";
+  (* One falsifying repair settles the question — stop sampling there
+     instead of burning the remaining trials like [estimate] must. *)
+  let rec go i =
+    if i > trials then None
+    else
+      let r = Repair.sample rng db in
+      if Qlang.Solutions.query_satisfies q r then go (i + 1) else Some r
+  in
+  go 1

@@ -23,7 +23,10 @@ val estimate :
 
 (** [refute rng ~trials q db] is a one-sided test: [Some repair] disproves
     CERTAIN(q); [None] means all sampled repairs satisfied [q] (which
-    {e suggests} certainty but proves nothing). *)
+    {e suggests} certainty but proves nothing). Returns as soon as the first
+    falsifying repair is drawn — [trials] is an upper bound on the samples,
+    not a fixed cost, so a huge trial count is cheap on easy refutations.
+    @raise Invalid_argument when [trials < 1]. *)
 val refute :
   Random.State.t ->
   trials:int ->

@@ -2,7 +2,7 @@ type t = { pair_left : int array; pair_right : int array; size : int }
 
 let infinity_dist = max_int
 
-let hopcroft_karp (g : Bipartite.t) =
+let hopcroft_karp ?(tick = fun () -> ()) (g : Bipartite.t) =
   let n = g.Bipartite.n_left and m = g.Bipartite.n_right in
   let pair_left = Array.make (max n 1) (-1) in
   let pair_right = Array.make (max m 1) (-1) in
@@ -22,6 +22,7 @@ let hopcroft_karp (g : Bipartite.t) =
     let found = ref false in
     while not (Queue.is_empty queue) do
       let u = Queue.pop queue in
+      tick ();
       List.iter
         (fun v ->
           let u' = pair_right.(v) in
@@ -35,6 +36,7 @@ let hopcroft_karp (g : Bipartite.t) =
     !found
   in
   let rec dfs u =
+    tick ();
     let rec try_edges = function
       | [] ->
           dist.(u) <- infinity_dist;
@@ -58,12 +60,13 @@ let hopcroft_karp (g : Bipartite.t) =
   done;
   { pair_left; pair_right; size = !size }
 
-let augmenting (g : Bipartite.t) =
+let augmenting ?(tick = fun () -> ()) (g : Bipartite.t) =
   let n = g.Bipartite.n_left and m = g.Bipartite.n_right in
   let pair_left = Array.make (max n 1) (-1) in
   let pair_right = Array.make (max m 1) (-1) in
   let visited = Array.make (max m 1) false in
   let rec try_augment u =
+    tick ();
     List.exists
       (fun v ->
         if visited.(v) then false

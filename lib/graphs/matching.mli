@@ -11,11 +11,16 @@ type t = {
   size : int;  (** Number of matched pairs. *)
 }
 
-(** Maximum matching via Hopcroft–Karp. *)
-val hopcroft_karp : Bipartite.t -> t
+(** Maximum matching via Hopcroft–Karp. [tick] (default: no-op) is called
+    once per vertex visit in the BFS layering and DFS augmenting phases; pass
+    a closure that raises to make long runs interruptible — the [graphs]
+    library stays dependency-free, so metering (e.g. [Harness.Budget]) plugs
+    in from the caller's side. *)
+val hopcroft_karp : ?tick:(unit -> unit) -> Bipartite.t -> t
 
-(** Maximum matching via repeated DFS augmenting paths. *)
-val augmenting : Bipartite.t -> t
+(** Maximum matching via repeated DFS augmenting paths. [tick] as in
+    {!hopcroft_karp}. *)
+val augmenting : ?tick:(unit -> unit) -> Bipartite.t -> t
 
 (** [saturates_left g m] holds iff every left vertex is matched. *)
 val saturates_left : Bipartite.t -> t -> bool

@@ -30,18 +30,16 @@ let empty schemas =
 let schema db rel =
   match String_map.find_opt rel db.schemas with
   | Some s -> s
-  | None -> raise Not_found
+  | None ->
+      (* Invalid_argument rather than bare Not_found: callers up to the CLI
+         treat Invalid_argument as a user-input error (exit 2 with message),
+         and this matches the error [fact_key] raises for the same mistake. *)
+      invalid_arg (Printf.sprintf "Database: undeclared relation %s" rel)
 
 let schema_of db (f : Fact.t) = schema db f.Fact.rel
 
 let fact_key db (f : Fact.t) =
-  let s =
-    match String_map.find_opt f.Fact.rel db.schemas with
-    | Some s -> s
-    | None ->
-        invalid_arg
-          (Printf.sprintf "Database: undeclared relation %s" f.Fact.rel)
-  in
+  let s = schema db f.Fact.rel in
   if Schema.(s.arity) <> Fact.arity f then
     invalid_arg
       (Format.asprintf "Database: fact %a has wrong arity for schema %a" Fact.pp

@@ -32,11 +32,13 @@ val fact_set : t -> Fact.Set.t
 val schemas : t -> Schema.t list
 
 (** [schema db rel] is the schema of relation [rel].
-    @raise Not_found if undeclared. *)
+    @raise Invalid_argument if undeclared ("Database: undeclared relation
+    ..."), the same structured error [add] raises — never a bare
+    [Not_found], so CLI error guards report it as a user-input error. *)
 val schema : t -> string -> Schema.t
 
 (** [schema_of db f] is the schema governing fact [f].
-    @raise Not_found if [f]'s relation is undeclared. *)
+    @raise Invalid_argument if [f]'s relation is undeclared. *)
 val schema_of : t -> Fact.t -> Schema.t
 
 (** All blocks of the database, over all relations. *)

@@ -60,7 +60,7 @@ let deterministic () =
     | _ -> false);
   (* All decision tiers fault: with an estimate the chain degrades, without
      one it reports the failure. *)
-  let all_sites = [ "certk"; "certk-naive"; "dpll"; "brute"; "exact" ] in
+  let all_sites = [ "certk"; "certk-naive"; "matching"; "dpll"; "brute"; "exact" ] in
   let chaos = Chaos.make ~fail_p:1.0 ~sites:all_sites () in
   let budget = Budget.make ~chaos () in
   let outcome, _ =
@@ -81,6 +81,32 @@ let deterministic () =
   let outcome, _ = Solver.solve_query ~budget q3 db_certain in
   check "edge: deadline -> timeout"
     (match outcome with Outcome.Timeout -> true | _ -> false)
+
+(* The "matching" tick site: drive the solver down the combined tier on a
+   triangle-query instance where the matching disjunct decides (Cert_2 fails
+   on fano-minus, Theorem 14), then sever or exhaust it. *)
+
+let q6 = Qlang.Parse.query_exn "R(x | y z) R(z | x y)"
+let fano = Workload.Designs.fano_minus 0
+
+let matching_edges () =
+  let outcome, _ = Solver.solve_query ~k:2 q6 fano in
+  check "matching: baseline decides via the combined tier"
+    (match outcome with
+    | Outcome.Decided (true, Solver.Alg_combined 2) -> true
+    | _ -> false);
+  let chaos = Chaos.make ~fail_p:1.0 ~sites:[ "matching" ] () in
+  let budget = Budget.make ~chaos () in
+  let outcome, _ = Solver.solve_query ~k:2 ~budget q6 fano in
+  check "edge: matching fault -> sat"
+    (match outcome with
+    | Outcome.Decided (true, Solver.Alg_exact_sat) -> true
+    | _ -> false);
+  let chaos = Chaos.make ~pressure_p:1.0 ~sites:[ "matching" ] () in
+  let budget = Budget.make ~chaos () in
+  let outcome, _ = Solver.solve_query ~k:2 ~budget q6 fano in
+  check "edge: matching budget pressure -> budget exhausted"
+    (match outcome with Outcome.Budget_exhausted -> true | _ -> false)
 
 (* ------------------------------------------------------------------ *)
 (* 2. Randomized chaos sweep *)
@@ -135,6 +161,7 @@ let sweep () =
 
 let () =
   deterministic ();
+  matching_edges ();
   sweep ();
   if !failures > 0 then begin
     Printf.printf "%d stress check(s) failed\n%!" !failures;

@@ -379,6 +379,70 @@ let test_json_rendering () =
       "\"max_candidates\": 200000";
     ]
 
+(* ------------------------------------------------------------------ *)
+(* JSON parser. *)
+
+let test_json_parser () =
+  let open Analysis.Json in
+  let ok s expected =
+    match of_string s with
+    | Ok v when v = expected -> ()
+    | Ok v -> Alcotest.failf "parse %S: got %s" s (to_string v)
+    | Error e -> Alcotest.failf "parse %S failed: %s" s e
+  in
+  ok "null" Null;
+  ok " true " (Bool true);
+  ok "-42" (Int (-42));
+  ok "3.25" (Float 3.25);
+  ok "1e3" (Float 1000.);
+  ok "[]" (List []);
+  ok "{}" (Obj []);
+  ok "[1, 2.5, \"x\", null]" (List [ Int 1; Float 2.5; String "x"; Null ]);
+  ok "{\"a\": {\"b\": [true, false]}}"
+    (Obj [ ("a", Obj [ ("b", List [ Bool true; Bool false ]) ]) ]);
+  ok "\"a\\u0041\\n\"" (String "aA\n");
+  (* Surrogate pair: U+1F600 encodes as 4 UTF-8 bytes. *)
+  ok "\"\\ud83d\\ude00\"" (String "\xf0\x9f\x98\x80");
+  List.iter
+    (fun s ->
+      match of_string s with
+      | Ok v -> Alcotest.failf "parse %S should fail, got %s" s (to_string v)
+      | Error _ -> ())
+    [ ""; "tru"; "[1,]"; "{\"a\" 1}"; "1 2"; "\"unterminated"; "01x"; "\"\\ud83d\"" ]
+
+let prop_json_round_trip =
+  let open Analysis.Json in
+  let gen =
+    QCheck2.Gen.(
+      sized
+      @@ fix (fun self n ->
+             let leaf =
+               oneof
+                 [
+                   return Null;
+                   map (fun b -> Bool b) bool;
+                   map (fun i -> Int i) int;
+                   map (fun f -> Float f) (float_range (-1e9) 1e9);
+                   map (fun s -> String s) (string_size (int_range 0 8));
+                 ]
+             in
+             if n <= 0 then leaf
+             else
+               oneof
+                 [
+                   leaf;
+                   map (fun l -> List l) (list_size (int_range 0 4) (self (n / 2)));
+                   map
+                     (fun l -> Obj l)
+                     (list_size (int_range 0 4)
+                        (pair (string_size (int_range 0 6)) (self (n / 2))));
+                 ]))
+  in
+  QCheck2.Test.make ~name:"pp/of_string round-trip" ~count:300 gen (fun v ->
+      match of_string (to_string v) with Ok v' -> v = v' | Error _ -> false)
+
+let qt = List.map QCheck_alcotest.to_alcotest
+
 let () =
   Alcotest.run "analysis"
     [
@@ -401,5 +465,10 @@ let () =
             test_lint_positions_and_severities;
           Alcotest.test_case "exit severity" `Quick test_lint_exit_severity;
         ] );
-      ("json", [ Alcotest.test_case "rendering" `Quick test_json_rendering ]);
+      ( "json",
+        [
+          Alcotest.test_case "rendering" `Quick test_json_rendering;
+          Alcotest.test_case "parser" `Quick test_json_parser;
+        ]
+        @ qt [ prop_json_round_trip ] );
     ]

@@ -1,0 +1,243 @@
+(* Differential suite for the delta-driven Cert_k rewrite.
+
+   Three independent implementations compute the same fixpoint:
+
+   - [Cqa.Certk] — the delta-driven worklist with interned k-sets;
+   - [Cqa.Certk_rounds] — the frozen pre-rewrite round-driven antichain;
+   - [Cqa.Certk_naive] — the textbook fixpoint over all materialised k-sets.
+
+   On a seeded pool of random queries and databases (plus the structured
+   Theorem 14 designs) they must agree verdict-for-verdict and, for the two
+   antichain implementations, minimal-antichain-for-minimal-antichain. The
+   suite also re-validates the two artefact surfaces the rewrite must not
+   disturb: Cert_k derivation certificates stay structurally sound, and
+   classification certificates still pass [Analysis.Check]. *)
+
+module Query = Qlang.Query
+module Parse = Qlang.Parse
+module Solution_graph = Qlang.Solution_graph
+module Catalog = Workload.Catalog
+
+let rng = Random.State.make [| 0x5EED |]
+
+let fixed_queries =
+  List.map Parse.query_exn
+    [
+      "R(x | y) R(y | z)";
+      "R(x | y x) R(y | x u)";
+      "R(x | y z) R(z | x y)";
+      "R(x x | y) R(x y | y)";
+      "R(x y | y x) R(y x | x y)";
+    ]
+
+let random_queries =
+  List.filter_map
+    (fun _ ->
+      Workload.Randquery.random_nontrivial rng ~arity:3 ~key_len:1 ~n_vars:3
+        ~attempts:20)
+    (List.init 6 Fun.id)
+
+let instances =
+  List.concat_map
+    (fun q ->
+      List.init 5 (fun i ->
+          (q, Workload.Randdb.random_for_query rng q ~n_facts:(6 + (3 * i)) ~domain:3)))
+    (fixed_queries @ random_queries)
+  @ List.map
+      (fun db -> (Catalog.q6, db))
+      [
+        Workload.Designs.two_orientations;
+        Workload.Designs.fano_minus 0;
+        Workload.Designs.fano_minus 3;
+        Workload.Designs.db_of_triples Workload.Designs.fano_lines;
+      ]
+
+let test_three_way_verdict_agreement () =
+  List.iter
+    (fun (q, db) ->
+      let g = Solution_graph.of_query q db in
+      List.iter
+        (fun k ->
+          let delta = Cqa.Certk.run ~k g in
+          let rounds = Cqa.Certk_rounds.run ~k g in
+          let naive = Cqa.Certk_naive.run ~k g in
+          if delta <> rounds || delta <> naive then
+            Alcotest.failf "Cert_%d: delta %b / rounds %b / naive %b on %s" k
+              delta rounds naive (Query.to_string q))
+        [ 1; 2; 3 ])
+    instances
+
+let test_minimal_antichains_identical () =
+  (* Stronger than verdict agreement: the rewrite must compute the exact
+     same minimal antichain, not just the same emptiness bit. *)
+  List.iter
+    (fun (q, db) ->
+      let g = Solution_graph.of_query q db in
+      List.iter
+        (fun k ->
+          let delta = Cqa.Certk.derived ~k g in
+          let rounds = Cqa.Certk_rounds.derived ~k g in
+          if delta <> rounds then
+            Alcotest.failf
+              "Cert_%d antichains differ on %s: delta has %d sets, rounds %d"
+              k (Query.to_string q) (List.length delta) (List.length rounds))
+        [ 1; 2; 3 ])
+    instances
+
+let test_sound_vs_exact () =
+  List.iter
+    (fun (q, db) ->
+      let g = Solution_graph.of_query q db in
+      let exact = Cqa.Exact.certain g in
+      List.iter
+        (fun k ->
+          if Cqa.Certk.run ~k g && not exact then
+            Alcotest.failf "Cert_%d claimed a non-certain instance of %s" k
+              (Query.to_string q))
+        [ 1; 2; 3 ])
+    instances
+
+(* Structural soundness of a Cert_k derivation certificate: every leaf is a
+   genuine solution of the instance, every internal node covers its block,
+   and each node's set is exactly what its reason derives. *)
+let validate_derivation g ~k cert =
+  let sorted = List.sort_uniq Int.compare in
+  let rec go (c : Cqa.Certk.certificate) =
+    (match c.Cqa.Certk.why with
+    | Cqa.Certk.Initial (i, j) ->
+        if not (List.mem (i, j) g.Solution_graph.directed) then
+          Alcotest.failf "Initial (%d, %d) is not a solution" i j;
+        let expected = if i = j then [ i ] else sorted [ i; j ] in
+        if c.Cqa.Certk.set <> expected then
+          Alcotest.failf "Initial set mismatch at (%d, %d)" i j
+    | Cqa.Certk.Via_block (b, choices) ->
+        let block = sorted (Array.to_list g.Solution_graph.blocks.(b)) in
+        if sorted (List.map fst choices) <> block then
+          Alcotest.failf "Via_block %d does not cover its block" b;
+        let union =
+          sorted
+            (List.concat_map
+               (fun (u, t) ->
+                 if not (List.mem u t) then
+                   Alcotest.failf "premise for fact %d does not contain it" u;
+                 List.filter (fun v -> v <> u) t)
+               choices)
+        in
+        if c.Cqa.Certk.set <> union then
+          Alcotest.failf "Via_block %d derives a different set" b;
+        (* Each distinct premise set must appear among the sub-certificates. *)
+        List.iter
+          (fun (_, t) ->
+            if
+              not
+                (List.exists
+                   (fun (p : Cqa.Certk.certificate) -> p.Cqa.Certk.set = t)
+                   c.Cqa.Certk.premises)
+            then Alcotest.failf "premise set missing a sub-certificate")
+          choices);
+    List.iter go c.Cqa.Certk.premises;
+    if not (List.length c.Cqa.Certk.set <= k) then
+      Alcotest.failf "certificate set exceeds k"
+  in
+  if cert.Cqa.Certk.set <> [] then
+    Alcotest.fail "root of a yes-certificate must be the empty set";
+  go cert
+
+let test_derivation_certificates_valid () =
+  let validated = ref 0 in
+  List.iter
+    (fun (q, db) ->
+      let g = Solution_graph.of_query q db in
+      List.iter
+        (fun k ->
+          if Cqa.Certk.run ~k g then
+            match Cqa.Certk.certificate ~k g with
+            | None ->
+                Alcotest.failf "Cert_%d answered yes without a certificate on %s"
+                  k (Query.to_string q)
+            | Some cert ->
+                validate_derivation g ~k cert;
+                incr validated)
+        [ 1; 2; 3 ])
+    instances;
+  if !validated = 0 then
+    Alcotest.fail "pool produced no certain instance — suite is vacuous"
+
+let test_classification_certificates_pass_check () =
+  List.iter
+    (fun q ->
+      let report = Core.Dichotomy.classify q in
+      match Analysis.Check.audit_report report with
+      | Ok () -> ()
+      | Error violations ->
+          Alcotest.failf "certificate for %s rejected: %s" (Query.to_string q)
+            (String.concat "; " violations))
+    (fixed_queries @ random_queries)
+
+let test_bench_report_round_trip () =
+  (* The exact report shape `cqa bench` writes, including awkward floats. *)
+  let report =
+    {
+      Benchkit.Report.suite = "certk-fixpoint";
+      profile = "smoke";
+      seed = 42;
+      cases =
+        [
+          {
+            Benchkit.Report.name = "q3/rand-n40";
+            query = "R(x | y) R(y | z)";
+            k = 2;
+            n_facts = 34;
+            n_blocks = 10;
+            budget_s = 5.0;
+            runs =
+              [
+                {
+                  Benchkit.Report.algorithm = "certk-delta";
+                  status = "ok";
+                  median_ms = 0.123456789;
+                  repeats = 3;
+                  certain = Some false;
+                  steps = 1234;
+                };
+                {
+                  Benchkit.Report.algorithm = "certk-rounds";
+                  status = "timeout";
+                  median_ms = 5000.0;
+                  repeats = 3;
+                  certain = None;
+                  steps = 999999;
+                };
+              ];
+            speedup_vs_rounds = None;
+          };
+        ];
+      agreement = true;
+      geomean_speedup = Some 2.5000000000000004;
+    }
+  in
+  match Benchkit.Report.validate_round_trip report with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "certk",
+        [
+          Alcotest.test_case "three-way verdict agreement" `Quick
+            test_three_way_verdict_agreement;
+          Alcotest.test_case "minimal antichains identical" `Quick
+            test_minimal_antichains_identical;
+          Alcotest.test_case "sound vs exact" `Quick test_sound_vs_exact;
+          Alcotest.test_case "derivation certificates valid" `Quick
+            test_derivation_certificates_valid;
+        ] );
+      ( "artefacts",
+        [
+          Alcotest.test_case "classification certificates pass check" `Quick
+            test_classification_certificates_pass_check;
+          Alcotest.test_case "bench report round-trips" `Quick
+            test_bench_report_round_trip;
+        ] );
+    ]
