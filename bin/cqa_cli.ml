@@ -213,15 +213,69 @@ let pp_estimate ppf (e : Cqa.Montecarlo.estimate) =
        "; a sampled falsifying repair disproves certainty"
      else "")
 
+(* The --explain summary: the degradation chain as humans read it. Wall
+   times are real (mask them when diffing); everything else — tier order,
+   statuses, step counts, site breakdowns — is deterministic. *)
+let print_explain budget (attempts : Core.Solver.attempt list) =
+  Format.printf "degradation chain:@.";
+  if attempts = [] then Format.printf "  (no solver tier available)@.";
+  List.iteri
+    (fun i (a : Core.Solver.attempt) ->
+      Format.printf "  %d. %a [%.2f ms; %d step%s%a]@." (i + 1)
+        Core.Solver.pp_attempt a
+        (a.Core.Solver.wall_s *. 1000.)
+        a.Core.Solver.steps
+        (if a.Core.Solver.steps = 1 then "" else "s")
+        (fun ppf -> function
+          | [] -> ()
+          | sites ->
+              Format.fprintf ppf ": %a" Harness.Budget.pp_site_breakdown sites)
+        a.Core.Solver.sites)
+    attempts;
+  Format.printf "budget: %d step%s%a@."
+    (Harness.Budget.steps budget)
+    (if Harness.Budget.steps budget = 1 then "" else "s")
+    (fun ppf -> function
+      | [] -> ()
+      | sites -> Format.fprintf ppf " (%a)" Harness.Budget.pp_site_breakdown sites)
+    (Harness.Budget.steps_by_site budget)
+
+(* Bridge the chain's attempts into the metrics registry: per-tier latency
+   and step histograms plus status counters, alongside the per-site tick
+   counters the budget sink already recorded. Names are documented in the
+   manual's "Observability" section. *)
+let record_attempt_metrics metrics outcome (attempts : Core.Solver.attempt list) =
+  List.iter
+    (fun (a : Core.Solver.attempt) ->
+      let tier = Format.asprintf "%a" Core.Solver.pp_tier a.Core.Solver.tier in
+      Obs.Metrics.incr metrics
+        (Printf.sprintf "solver.attempt.%s.%s" tier
+           (Core.Solver.status_label a.Core.Solver.status));
+      Obs.Metrics.observe metrics
+        (Printf.sprintf "solver.tier.%s.ms" tier)
+        (a.Core.Solver.wall_s *. 1000.);
+      Obs.Metrics.observe metrics
+        ~bounds:[ 1.; 10.; 100.; 1_000.; 10_000.; 100_000.; 1_000_000. ]
+        (Printf.sprintf "solver.tier.%s.steps" tier)
+        (float_of_int a.Core.Solver.steps))
+    attempts;
+  Obs.Metrics.incr metrics
+    ("solver.outcome." ^ Core.Solver.outcome_label outcome)
+
 let certain_run query db_path k exact_only timeout max_steps estimate_flag trials
-    seed verify verify_certificate =
+    seed verify verify_certificate trace_out metrics_out explain =
   guard @@ fun () ->
   match Qlang.Parse.database (read_file db_path) with
   | Error e ->
       Format.eprintf "error: %s@." (Qlang.Parse.error_to_string e);
       exit_error
   | Ok db ->
-      let budget = Harness.Budget.make ?timeout ?max_steps () in
+      let metrics = Option.map (fun _ -> Obs.Metrics.create ()) metrics_out in
+      let trace = Option.map (fun _ -> Obs.Trace.create ()) trace_out in
+      let budget =
+        Harness.Budget.make ?timeout ?max_steps
+          ?sink:(Option.map Obs.Metrics.tick_sink metrics) ()
+      in
       let estimate_trials = if estimate_flag then Some trials else None in
       let check_certificate =
         if verify_certificate then Some (fun r -> Analysis.Check.audit_report r)
@@ -230,7 +284,7 @@ let certain_run query db_path k exact_only timeout max_steps estimate_flag trial
       let report = Core.Dichotomy.classify query in
       let outcome, attempts =
         Core.Solver.solve ~k ~exact_only ?check_certificate ~budget ~verify
-          ?estimate_trials ~seed report db
+          ?estimate_trials ~seed ?trace report db
       in
       (* Surface degradation: any tier that did not decide is worth a note. *)
       List.iter
@@ -239,6 +293,23 @@ let certain_run query db_path k exact_only timeout max_steps estimate_flag trial
           | Core.Solver.Attempt_decided _ -> ()
           | _ -> Format.eprintf "note: %a@." Core.Solver.pp_attempt a)
         attempts;
+      if explain then print_explain budget attempts;
+      (match (trace, trace_out) with
+      | Some tr, Some path ->
+          Analysis.Obs_codec.write path Analysis.Obs_codec.trace_to_string
+            {
+              Analysis.Obs_codec.query = Some (Qlang.Query.to_string query);
+              spans = Obs.Trace.spans tr;
+            };
+          if path <> "-" then Format.eprintf "wrote trace to %s@." path
+      | _ -> ());
+      (match (metrics, metrics_out) with
+      | Some m, Some path ->
+          record_attempt_metrics m outcome attempts;
+          Analysis.Obs_codec.write path Analysis.Obs_codec.metrics_to_string
+            (Obs.Metrics.snapshot m);
+          if path <> "-" then Format.eprintf "wrote metrics to %s@." path
+      | _ -> ());
       (match outcome with
       | Harness.Outcome.Decided (answer, algorithm) ->
           Format.printf "CERTAIN: %b (via %a)@." answer Core.Solver.pp_algorithm
@@ -253,9 +324,13 @@ let certain_run query db_path k exact_only timeout max_steps estimate_flag trial
           exit_timeout
       | Harness.Outcome.Budget_exhausted ->
           Format.eprintf
-            "budget exhausted after %d steps: no solver tier finished \
+            "budget exhausted after %d steps%a: no solver tier finished \
              (re-run with a larger --max-steps or with --estimate)@."
-            (Harness.Budget.steps budget);
+            (Harness.Budget.steps budget)
+            (fun ppf -> function
+              | None -> ()
+              | Some (site, n) -> Format.fprintf ppf " (hottest site %s=%d)" site n)
+            (Harness.Budget.hottest_site budget);
           exit_degraded
       | Harness.Outcome.Solver_error msg ->
           Format.eprintf "error: %s@." msg;
@@ -331,6 +406,37 @@ let certain_cmd =
              rejected certificate fails the PTIME tier (a note on stderr) and \
              the chain degrades to the exact tiers.")
   in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record the solver run as structured spans (which tier ran, why \
+             it fell back, how long, where its budget steps went) and write \
+             the schema-versioned JSON trace to $(docv); '-' writes to stdout.")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Collect the metrics registry for the run — per-site budget tick \
+             counters plus per-tier latency and step histograms — and write \
+             the JSON snapshot to $(docv) (default: stdout). Use the glued \
+             form $(b,--metrics=FILE) to name a file.")
+  in
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Print a human-readable summary of the degradation chain before \
+             the verdict: one numbered line per attempted tier with its \
+             status, wall time, step count, and per-site breakdown, plus the \
+             budget total.")
+  in
   Cmd.v
     (Cmd.info "certain"
        ~doc:"Decide whether the query is certain for a database (exit status 1 when not)."
@@ -354,7 +460,7 @@ let certain_cmd =
     Term.(
       const certain_run $ query_arg $ db_arg $ k_arg $ exact_arg $ timeout_arg
       $ max_steps_arg $ estimate_arg $ trials_arg $ seed_arg $ verify_arg
-      $ verify_certificate_arg)
+      $ verify_certificate_arg $ trace_arg $ metrics_arg $ explain_arg)
 
 (* ------------------------------------------------------------------ *)
 (* tripath *)

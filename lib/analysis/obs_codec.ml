@@ -1,0 +1,260 @@
+let schema_version = 1
+
+type trace = {
+  query : string option;
+  spans : Obs.Trace.span list;
+}
+
+(* Encoding *)
+
+let encode_value = function
+  | Obs.Trace.Bool b -> Json.Bool b
+  | Obs.Trace.Int n -> Json.Int n
+  | Obs.Trace.Float f -> Json.Float f
+  | Obs.Trace.String s -> Json.String s
+
+let encode_span (s : Obs.Trace.span) =
+  Json.Obj
+    [
+      ("id", Json.Int s.Obs.Trace.id);
+      ( "parent",
+        match s.Obs.Trace.parent with None -> Json.Null | Some p -> Json.Int p );
+      ("name", Json.String s.Obs.Trace.name);
+      ("start_s", Json.Float s.Obs.Trace.start_s);
+      ("duration_s", Json.Float s.Obs.Trace.duration_s);
+      ( "attrs",
+        Json.Obj (List.map (fun (k, v) -> (k, encode_value v)) s.Obs.Trace.attrs)
+      );
+    ]
+
+let encode_trace t =
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ("kind", Json.String "trace");
+      ("query", match t.query with None -> Json.Null | Some q -> Json.String q);
+      ("spans", Json.List (List.map encode_span t.spans));
+    ]
+
+let encode_histogram (h : Obs.Metrics.histogram_snapshot) =
+  Json.Obj
+    [
+      ("bounds", Json.List (List.map (fun b -> Json.Float b) h.Obs.Metrics.bounds));
+      ("counts", Json.List (List.map (fun c -> Json.Int c) h.Obs.Metrics.counts));
+      ("count", Json.Int h.Obs.Metrics.count);
+      ("sum", Json.Float h.Obs.Metrics.sum);
+    ]
+
+let encode_metrics (s : Obs.Metrics.snapshot) =
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ("kind", Json.String "metrics");
+      ( "counters",
+        Json.Obj
+          (List.map (fun (name, n) -> (name, Json.Int n)) s.Obs.Metrics.counters)
+      );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (name, h) -> (name, encode_histogram h))
+             s.Obs.Metrics.histograms) );
+    ]
+
+(* Decoding — strict inverses, so the round-trip check actually validates
+   what lands on disk. *)
+
+let ( let* ) r f = Result.bind r f
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let rec map_m f = function
+  | [] -> Ok []
+  | x :: xs ->
+      let* y = f x in
+      let* ys = map_m f xs in
+      Ok (y :: ys)
+
+let check_header ~kind j =
+  let* version = field "schema_version" Json.to_int_opt j in
+  let* () =
+    if version = schema_version then Ok ()
+    else Error (Printf.sprintf "unsupported schema_version %d" version)
+  in
+  let* k = field "kind" Json.to_string_opt j in
+  if k = kind then Ok ()
+  else Error (Printf.sprintf "expected a %S document, got %S" kind k)
+
+let decode_value = function
+  | Json.Bool b -> Ok (Obs.Trace.Bool b)
+  | Json.Int n -> Ok (Obs.Trace.Int n)
+  | Json.Float f -> Ok (Obs.Trace.Float f)
+  | Json.String s -> Ok (Obs.Trace.String s)
+  | Json.Null | Json.List _ | Json.Obj _ ->
+      Error "attribute values must be booleans, numbers, or strings"
+
+let decode_span j =
+  let* id = field "id" Json.to_int_opt j in
+  let* parent =
+    match Json.member "parent" j with
+    | Some Json.Null -> Ok None
+    | Some v -> (
+        match Json.to_int_opt v with
+        | Some p -> Ok (Some p)
+        | None -> Error "ill-typed field \"parent\"")
+    | None -> Error "missing field \"parent\""
+  in
+  let* name = field "name" Json.to_string_opt j in
+  let* start_s = field "start_s" Json.to_float_opt j in
+  let* duration_s = field "duration_s" Json.to_float_opt j in
+  let* attrs =
+    match Json.member "attrs" j with
+    | Some (Json.Obj kvs) ->
+        map_m
+          (fun (k, v) ->
+            let* v = decode_value v in
+            Ok (k, v))
+          kvs
+    | Some _ -> Error "ill-typed field \"attrs\""
+    | None -> Error "missing field \"attrs\""
+  in
+  Ok { Obs.Trace.id; parent; name; start_s; duration_s; attrs }
+
+let decode_trace j =
+  let* () = check_header ~kind:"trace" j in
+  let* query =
+    match Json.member "query" j with
+    | Some Json.Null -> Ok None
+    | Some (Json.String q) -> Ok (Some q)
+    | Some _ -> Error "ill-typed field \"query\""
+    | None -> Error "missing field \"query\""
+  in
+  let* spans = field "spans" Json.to_list_opt j in
+  let* spans = map_m decode_span spans in
+  Ok { query; spans }
+
+let decode_histogram j =
+  let* bounds = field "bounds" Json.to_list_opt j in
+  let* bounds =
+    map_m
+      (fun b ->
+        match Json.to_float_opt b with
+        | Some f -> Ok f
+        | None -> Error "ill-typed histogram bound")
+      bounds
+  in
+  let* counts = field "counts" Json.to_list_opt j in
+  let* counts =
+    map_m
+      (fun c ->
+        match Json.to_int_opt c with
+        | Some n -> Ok n
+        | None -> Error "ill-typed histogram bucket count")
+      counts
+  in
+  let* () =
+    if List.length counts = List.length bounds + 1 then Ok ()
+    else Error "histogram must have one bucket per bound plus overflow"
+  in
+  let* count = field "count" Json.to_int_opt j in
+  let* sum = field "sum" Json.to_float_opt j in
+  Ok { Obs.Metrics.bounds; counts; count; sum }
+
+let obj_field name j =
+  match Json.member name j with
+  | Some (Json.Obj kvs) -> Ok kvs
+  | Some _ -> Error (Printf.sprintf "ill-typed field %S" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let decode_metrics j =
+  let* () = check_header ~kind:"metrics" j in
+  let* counters = obj_field "counters" j in
+  let* counters =
+    map_m
+      (fun (name, v) ->
+        match Json.to_int_opt v with
+        | Some n -> Ok (name, n)
+        | None -> Error (Printf.sprintf "ill-typed counter %S" name))
+      counters
+  in
+  let* histograms = obj_field "histograms" j in
+  let* histograms =
+    map_m
+      (fun (name, v) ->
+        let* h = decode_histogram v in
+        Ok (name, h))
+      histograms
+  in
+  Ok { Obs.Metrics.counters; histograms }
+
+(* Validation *)
+
+let validate_trace t =
+  (* Encoded floats survive the round trip bit-exactly, but an injected
+     non-monotonic clock could produce slightly overlapping intervals; give
+     nesting checks a microsecond of slack. *)
+  let eps = 1e-6 in
+  let rec go seen = function
+    | [] -> Ok ()
+    | (s : Obs.Trace.span) :: rest ->
+        let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+        if s.Obs.Trace.duration_s < 0. then
+          fail "span %d has a negative duration" s.Obs.Trace.id
+        else if
+          match seen with
+          | [] -> s.Obs.Trace.id < 0
+          | (prev : Obs.Trace.span) :: _ -> s.Obs.Trace.id <= prev.Obs.Trace.id
+        then fail "span ids must be strictly increasing (span %d)" s.Obs.Trace.id
+        else
+          let parent_check =
+            match s.Obs.Trace.parent with
+            | None -> Ok ()
+            | Some p -> (
+                match
+                  List.find_opt (fun (q : Obs.Trace.span) -> q.Obs.Trace.id = p) seen
+                with
+                | None ->
+                    fail "span %d refers to unknown parent %d" s.Obs.Trace.id p
+                | Some parent ->
+                    let child_end = s.Obs.Trace.start_s +. s.Obs.Trace.duration_s in
+                    let parent_end =
+                      parent.Obs.Trace.start_s +. parent.Obs.Trace.duration_s
+                    in
+                    if s.Obs.Trace.start_s +. eps < parent.Obs.Trace.start_s then
+                      fail "span %d starts before its parent %d" s.Obs.Trace.id p
+                    else if child_end > parent_end +. eps then
+                      fail "span %d ends after its parent %d" s.Obs.Trace.id p
+                    else Ok ())
+          in
+          let* () = parent_check in
+          go (s :: seen) rest
+  in
+  go [] t.spans
+
+(* I/O *)
+
+let trace_to_string t = Json.to_string (encode_trace t)
+
+let trace_of_string s =
+  let* j = Json.of_string s in
+  decode_trace j
+
+let metrics_to_string s = Json.to_string (encode_metrics s)
+
+let metrics_of_string s =
+  let* j = Json.of_string s in
+  decode_metrics j
+
+let write path to_string doc =
+  if path = "-" then print_endline (to_string doc)
+  else begin
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (to_string doc);
+        output_char oc '\n')
+  end

@@ -1,0 +1,56 @@
+(** JSON serialization of [Obs] traces and metrics snapshots.
+
+    Both documents are schema-versioned and round-trip parsed: {!decode_*}
+    is the strict inverse of {!encode_*}, and every [cqa certain --trace /
+    --metrics] emission is validated by the [@obs-smoke] alias. The codec
+    lives in [analysis] (not [obs]) so that [obs] stays dependency-light
+    enough for [core] to emit spans.
+
+    Trace schema (version 1, one object per file):
+    {v
+    { "schema_version": 1, "kind": "trace",
+      "query": <string> | null,
+      "spans": [
+        { "id": <int>, "parent": <int> | null, "name": <string>,
+          "start_s": <float>, "duration_s": <float>,
+          "attrs": { <key>: <bool|int|float|string>, ... } } ] }
+    v}
+
+    Metrics schema (version 1):
+    {v
+    { "schema_version": 1, "kind": "metrics",
+      "counters": { <name>: <int>, ... },
+      "histograms": {
+        <name>: { "bounds": [<float>...], "counts": [<int>...],
+                  "count": <int>, "sum": <float> }, ... } }
+    v} *)
+
+val schema_version : int
+
+(** A trace document: the closed spans of one recorder, optionally tagged
+    with the query they explain. *)
+type trace = {
+  query : string option;
+  spans : Obs.Trace.span list;
+}
+
+val encode_trace : trace -> Json.t
+val decode_trace : Json.t -> (trace, string) result
+val trace_to_string : trace -> string
+val trace_of_string : string -> (trace, string) result
+
+(** [validate_trace t] checks structural well-formedness beyond what the
+    decoder enforces: ids strictly increasing from 0, every parent id
+    refers to an earlier span, non-negative durations, and well-nested
+    intervals (a child starts no earlier than its parent and ends no later,
+    up to a float-printing epsilon). *)
+val validate_trace : trace -> (unit, string) result
+
+val encode_metrics : Obs.Metrics.snapshot -> Json.t
+val decode_metrics : Json.t -> (Obs.Metrics.snapshot, string) result
+val metrics_to_string : Obs.Metrics.snapshot -> string
+val metrics_of_string : string -> (Obs.Metrics.snapshot, string) result
+
+(** [write path to_string doc] writes the compact document plus a final
+    newline; [path = "-"] writes to stdout. *)
+val write : string -> ('a -> string) -> 'a -> unit

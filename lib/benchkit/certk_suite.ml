@@ -99,6 +99,7 @@ let run_case ~budget_s spec =
       repeats = o.Measure.repeats;
       certain = o.Measure.verdict;
       steps = o.Measure.steps;
+      sites = o.Measure.sites;
     }
   in
   let runs =

@@ -4,6 +4,7 @@ type outcome = {
   verdict : bool option;  (* None when every repeat exhausted its budget *)
   timed_out : bool;
   steps : int;
+  sites : (string * int) list;
 }
 
 let median sorted =
@@ -27,11 +28,18 @@ let sample ?budget_s ~repeats f =
       with Harness.Budget.Budget_exceeded _ -> None
     in
     let ms = (Unix.gettimeofday () -. t0) *. 1000. in
-    (ms, r, Harness.Budget.steps budget)
+    (ms, r, Harness.Budget.steps budget, Harness.Budget.steps_by_site budget)
   in
   let runs = List.init repeats (fun _ -> one ()) in
-  let times = List.sort Float.compare (List.map (fun (ms, _, _) -> ms) runs) in
-  let verdict = List.find_map (fun (_, r, _) -> r) runs in
-  let timed_out = List.exists (fun (_, r, _) -> r = None) runs in
-  let steps = List.fold_left (fun acc (_, _, s) -> max acc s) 0 runs in
-  { median_ms = median times; repeats; verdict; timed_out; steps }
+  let times = List.sort Float.compare (List.map (fun (ms, _, _, _) -> ms) runs) in
+  let verdict = List.find_map (fun (_, r, _, _) -> r) runs in
+  let timed_out = List.exists (fun (_, r, _, _) -> r = None) runs in
+  (* [sites] comes from the same repeat that determined [steps], so the
+     breakdown always sums to the reported step count. *)
+  let steps, sites =
+    List.fold_left
+      (fun ((best, _) as acc) (_, _, s, by_site) ->
+        if s > best then (s, by_site) else acc)
+      (0, []) runs
+  in
+  { median_ms = median times; repeats; verdict; timed_out; steps; sites }

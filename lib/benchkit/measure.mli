@@ -14,6 +14,10 @@ type outcome = {
           budget before answering. *)
   timed_out : bool;  (** At least one repeat exhausted its budget. *)
   steps : int;  (** Largest budget step count over the repeats. *)
+  sites : (string * int) list;
+      (** Per-site breakdown (hottest first) of the repeat that determined
+          [steps], from {!Harness.Budget.steps_by_site} — which loop the
+          benchmarked algorithm actually spent its budget in. *)
 }
 
 (** [sample ?budget_s ~repeats f] times [f] (given a fresh budget with

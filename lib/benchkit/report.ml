@@ -1,6 +1,8 @@
 module Json = Analysis.Json
 
-let schema_version = 1
+(* v2 added the per-run "sites" object (per-site budget step breakdown);
+   the decoder still accepts v1 documents, reading them with empty sites. *)
+let schema_version = 2
 
 type run = {
   algorithm : string;
@@ -9,6 +11,7 @@ type run = {
   repeats : int;
   certain : bool option;
   steps : int;
+  sites : (string * int) list;
 }
 
 type case = {
@@ -44,6 +47,7 @@ let encode_run r =
       ("repeats", Json.Int r.repeats);
       ("certain", opt (fun b -> Json.Bool b) r.certain);
       ("steps", Json.Int r.steps);
+      ("sites", Json.Obj (List.map (fun (s, n) -> (s, Json.Int n)) r.sites));
     ]
 
 let encode_case c =
@@ -95,6 +99,13 @@ let opt_field name conv j =
       | Some v -> Ok (Some v)
       | None -> Error (Printf.sprintf "ill-typed field %S" name))
 
+let rec map_m f = function
+  | [] -> Ok []
+  | x :: xs ->
+      let* y = f x in
+      let* ys = map_m f xs in
+      Ok (y :: ys)
+
 let decode_run j =
   let* algorithm = field "algorithm" "run" Json.to_string_opt j in
   let* status = field "status" "run" Json.to_string_opt j in
@@ -106,14 +117,21 @@ let decode_run j =
   let* repeats = field "repeats" "run" Json.to_int_opt j in
   let* certain = opt_field "certain" Json.to_bool_opt j in
   let* steps = field "steps" "run" Json.to_int_opt j in
-  Ok { algorithm; status; median_ms; repeats; certain; steps }
-
-let rec map_m f = function
-  | [] -> Ok []
-  | x :: xs ->
-      let* y = f x in
-      let* ys = map_m f xs in
-      Ok (y :: ys)
+  let* sites =
+    (* Absent in v1 documents; an empty object and an absent field decode
+       alike, so v1 reports round-trip into v2 with "sites": {}. *)
+    match Json.member "sites" j with
+    | None -> Ok []
+    | Some (Json.Obj kvs) ->
+        map_m
+          (fun (s, v) ->
+            match Json.to_int_opt v with
+            | Some n -> Ok (s, n)
+            | None -> Error (Printf.sprintf "ill-typed site count %S" s))
+          kvs
+    | Some _ -> Error "ill-typed field \"sites\" in run"
+  in
+  Ok { algorithm; status; median_ms; repeats; certain; steps; sites }
 
 let decode_case j =
   let* name = field "name" "case" Json.to_string_opt j in
@@ -130,7 +148,7 @@ let decode_case j =
 let decode j =
   let* version = field "schema_version" "report" Json.to_int_opt j in
   let* () =
-    if version = schema_version then Ok ()
+    if version = 1 || version = schema_version then Ok ()
     else Error (Printf.sprintf "unsupported schema_version %d" version)
   in
   let* suite = field "suite" "report" Json.to_string_opt j in

@@ -6,9 +6,10 @@
     alias) guarantees that what lands on disk parses back to the identical
     report.
 
-    Schema (version 1, one object per file):
+    Schema (version 2, one object per file; v2 added the per-run ["sites"]
+    object — version-1 documents still decode, with empty sites):
     {v
-    { "schema_version": 1,
+    { "schema_version": 2,
       "suite": "certk-fixpoint",
       "profile": "smoke" | "default",
       "seed": <int>,
@@ -18,7 +19,8 @@
           "runs": [
             { "algorithm": <string>, "status": "ok" | "timeout",
               "median_ms": <float>, "repeats": <int>,
-              "certain": <bool> | null, "steps": <int> } ],
+              "certain": <bool> | null, "steps": <int>,
+              "sites": { <site>: <int>, ... } } ],
           "speedup_vs_rounds": <float> | null } ],
       "summary": { "cases": <int>, "agreement": <bool>,
                    "geomean_speedup_vs_rounds": <float> | null } }
@@ -33,6 +35,9 @@ type run = {
   repeats : int;
   certain : bool option;  (** The verdict; [None] on timeout. *)
   steps : int;  (** Budget ticks spent (max over repeats). *)
+  sites : (string * int) list;
+      (** Per-site breakdown of [steps] (hottest first), naming the
+          {!Harness.Sites} tick sites the algorithm burned its budget in. *)
 }
 
 type case = {

@@ -129,7 +129,14 @@ type attempt_status =
   | Attempt_failed of string
   | Attempt_out_of_budget of Harness.Budget.exhaustion
 
-type attempt = { tier : tier; algorithm : algorithm; status : attempt_status }
+type attempt = {
+  tier : tier;
+  algorithm : algorithm;
+  status : attempt_status;
+  steps : int;
+  sites : (string * int) list;
+  wall_s : float;
+}
 
 let pp_attempt ppf a =
   Format.fprintf ppf "%a tier (%a): " pp_tier a.tier pp_algorithm a.algorithm;
@@ -137,7 +144,29 @@ let pp_attempt ppf a =
   | Attempt_decided b -> Format.fprintf ppf "decided %b" b
   | Attempt_failed msg -> Format.fprintf ppf "failed (%s)" msg
   | Attempt_out_of_budget r ->
-      Format.fprintf ppf "ran out of %a" Harness.Budget.pp_exhaustion r
+      Format.fprintf ppf "ran out of %a after %d steps" Harness.Budget.pp_exhaustion
+        r a.steps;
+      (match a.sites with
+      | [] -> ()
+      | (site, n) :: _ -> Format.fprintf ppf " (hottest site %s=%d)" site n)
+
+let status_label = function
+  | Attempt_decided true -> "decided-true"
+  | Attempt_decided false -> "decided-false"
+  | Attempt_failed _ -> "failed"
+  | Attempt_out_of_budget Harness.Budget.Deadline -> "out-of-budget-deadline"
+  | Attempt_out_of_budget Harness.Budget.Steps -> "out-of-budget-steps"
+
+(* Per-site step deltas between two [Budget.steps_by_site] snapshots: what
+   this tier alone burned, hottest first. *)
+let diff_sites ~before ~after =
+  List.filter_map
+    (fun (site, n) ->
+      let n0 = match List.assoc_opt site before with Some n0 -> n0 | None -> 0 in
+      if n > n0 then Some (site, n - n0) else None)
+    after
+  |> List.sort (fun (s1, n1) (s2, n2) ->
+         match compare (n2 : int) n1 with 0 -> compare s1 s2 | c -> c)
 
 (* Run the tiers in order. Without [verify], the first tier to complete
    decides and the rest are skipped; a tier that fails (injected fault,
@@ -145,26 +174,83 @@ let pp_attempt ppf a =
    whole chain — the budget is shared, so any later exact tier would hit the
    same wall immediately. With [verify], every tier runs and all decisions
    must agree; a disagreement is a [Solver_error] carrying the per-tier
-   diagnostic (the cross-solver check that backs the chaos tests). *)
-let run_tiers ?(verify = false) ?fallback tiers =
+   diagnostic (the cross-solver check that backs the chaos tests).
+
+   [budget] is only observed here (per-tier step and site deltas on the
+   attempts); the tiers already close over it for their own ticking.
+   [trace] records one span per attempt under the current open span. *)
+let run_tiers ?(verify = false) ?fallback ?budget ?trace tiers =
+  let steps_now () =
+    match budget with None -> 0 | Some b -> Harness.Budget.steps b
+  in
+  let sites_now () =
+    match budget with None -> [] | Some b -> Harness.Budget.steps_by_site b
+  in
+  let attempt_of tier algorithm decide =
+    let before_steps = steps_now () and before_sites = sites_now () in
+    let t0 = Unix.gettimeofday () in
+    let run () =
+      let status =
+        match decide () with
+        | b -> Attempt_decided b
+        | exception Harness.Budget.Budget_exceeded reason ->
+            Attempt_out_of_budget reason
+        | exception Harness.Chaos.Injected_fault site ->
+            Attempt_failed ("injected fault at " ^ site)
+        | exception Invalid_argument msg -> Attempt_failed msg
+      in
+      let a =
+        {
+          tier;
+          algorithm;
+          status;
+          steps = steps_now () - before_steps;
+          sites = diff_sites ~before:before_sites ~after:(sites_now ());
+          wall_s = Unix.gettimeofday () -. t0;
+        }
+      in
+      (match trace with
+      | None -> ()
+      | Some tr ->
+          Obs.Trace.add_attr tr "status" (Obs.Trace.String (status_label a.status));
+          (match a.status with
+          | Attempt_failed msg ->
+              Obs.Trace.add_attr tr "reason" (Obs.Trace.String msg)
+          | Attempt_out_of_budget r ->
+              Obs.Trace.add_attr tr "reason"
+                (Obs.Trace.String
+                   (Format.asprintf "ran out of %a" Harness.Budget.pp_exhaustion r))
+          | Attempt_decided _ -> ());
+          Obs.Trace.add_attr tr "steps" (Obs.Trace.Int a.steps);
+          List.iter
+            (fun (site, n) ->
+              Obs.Trace.add_attr tr ("steps." ^ site) (Obs.Trace.Int n))
+            a.sites);
+      a
+    in
+    match trace with
+    | None -> run ()
+    | Some tr ->
+        Obs.Trace.with_span tr "tier"
+          ~attrs:
+            [
+              ("tier", Obs.Trace.String (Format.asprintf "%a" pp_tier tier));
+              ( "algorithm",
+                Obs.Trace.String (Format.asprintf "%a" pp_algorithm algorithm) );
+            ]
+          run
+  in
   let attempts = ref [] in
   let record a = attempts := a :: !attempts in
   let rec go = function
     | [] -> ()
     | (tier, algorithm, decide) :: rest -> (
-        match decide () with
-        | b ->
-            record { tier; algorithm; status = Attempt_decided b };
-            if verify then go rest
-        | exception Harness.Budget.Budget_exceeded reason ->
-            record { tier; algorithm; status = Attempt_out_of_budget reason }
-        | exception Harness.Chaos.Injected_fault site ->
-            record
-              { tier; algorithm; status = Attempt_failed ("injected fault at " ^ site) };
-            go rest
-        | exception Invalid_argument msg ->
-            record { tier; algorithm; status = Attempt_failed msg };
-            go rest)
+        let a = attempt_of tier algorithm decide in
+        record a;
+        match a.status with
+        | Attempt_decided _ -> if verify then go rest
+        | Attempt_out_of_budget _ -> ()
+        | Attempt_failed _ -> go rest)
   in
   go tiers;
   let attempts = List.rev !attempts in
@@ -190,6 +276,11 @@ let run_tiers ?(verify = false) ?fallback tiers =
     | [] -> (
         match fallback with
         | Some estimate -> (
+            let estimate () =
+              match trace with
+              | None -> estimate ()
+              | Some tr -> Obs.Trace.with_span tr "estimate" estimate
+            in
             match estimate () with
             | e -> Harness.Outcome.Estimated e
             | exception Invalid_argument msg ->
@@ -272,9 +363,17 @@ let tiers ?(k = 3) ?(exact_only = false) ?check_certificate ~budget
         fun () -> Cqa.Exact.certain ~budget (Lazy.force g) );
     ]
 
+let outcome_label : outcome -> string = function
+  | Harness.Outcome.Decided (true, _) -> "decided-true"
+  | Harness.Outcome.Decided (false, _) -> "decided-false"
+  | Harness.Outcome.Estimated _ -> "estimated"
+  | Harness.Outcome.Timeout -> "timeout"
+  | Harness.Outcome.Budget_exhausted -> "budget-exhausted"
+  | Harness.Outcome.Solver_error _ -> "solver-error"
+
 let solve ?k ?exact_only ?check_certificate
     ?(budget = Harness.Budget.unlimited ()) ?verify ?estimate_trials ?(seed = 0)
-    (report : Dichotomy.report) db =
+    ?trace (report : Dichotomy.report) db =
   let fallback =
     Option.map
       (fun trials () ->
@@ -282,9 +381,30 @@ let solve ?k ?exact_only ?check_certificate
         Cqa.Montecarlo.estimate rng ~trials report.Dichotomy.query db)
       estimate_trials
   in
-  run_tiers ?verify ?fallback (tiers ?k ?exact_only ?check_certificate ~budget report db)
+  let run () =
+    run_tiers ?verify ?fallback ~budget ?trace
+      (tiers ?k ?exact_only ?check_certificate ~budget report db)
+  in
+  match trace with
+  | None -> run ()
+  | Some tr ->
+      Obs.Trace.with_span tr "solve"
+        ~attrs:
+          [
+            ( "query",
+              Obs.Trace.String (Qlang.Query.to_string report.Dichotomy.query) );
+            ( "verdict",
+              Obs.Trace.String (Dichotomy.verdict_summary report.Dichotomy.verdict)
+            );
+          ]
+        (fun () ->
+          let ((outcome, _) as result) = run () in
+          Obs.Trace.add_attr tr "outcome" (Obs.Trace.String (outcome_label outcome));
+          Obs.Trace.add_attr tr "total_steps"
+            (Obs.Trace.Int (Harness.Budget.steps budget));
+          result)
 
 let solve_query ?opts ?k ?exact_only ?check_certificate ?budget ?verify
-    ?estimate_trials ?seed q db =
+    ?estimate_trials ?seed ?trace q db =
   solve ?k ?exact_only ?check_certificate ?budget ?verify ?estimate_trials ?seed
-    (Dichotomy.classify ?opts q) db
+    ?trace (Dichotomy.classify ?opts q) db

@@ -80,10 +80,30 @@ type attempt_status =
   | Attempt_failed of string  (** Injected fault or refused instance. *)
   | Attempt_out_of_budget of Harness.Budget.exhaustion
 
-(** One entry of the chain's execution trace. *)
-type attempt = { tier : tier; algorithm : algorithm; status : attempt_status }
+(** One entry of the chain's execution trace: what the tier did, plus what
+    it cost — budget steps burned by this tier alone, their per-site
+    breakdown (hottest first, from {!Harness.Budget.steps_by_site}), and
+    wall-clock seconds. On [Attempt_out_of_budget], [sites] answers {e
+    which} loop ate the budget; {!pp_attempt} prints the hottest one. *)
+type attempt = {
+  tier : tier;
+  algorithm : algorithm;
+  status : attempt_status;
+  steps : int;  (** Budget ticks burned by this attempt (0 without a budget). *)
+  sites : (string * int) list;  (** Per-site breakdown of [steps]. *)
+  wall_s : float;  (** Wall-clock duration of the attempt in seconds. *)
+}
 
 val pp_attempt : Format.formatter -> attempt -> unit
+
+(** Stable machine-readable labels, used as trace attributes and metric
+    name components: ["decided-true"], ["decided-false"], ["failed"],
+    ["out-of-budget-steps"], ["out-of-budget-deadline"]. *)
+val status_label : attempt_status -> string
+
+(** ["decided-true"], ["estimated"], ["timeout"], ["budget-exhausted"],
+    ["solver-error"], ... — the outcome's stable label. *)
+val outcome_label : outcome -> string
 
 (** [run_tiers tiers] is the chain engine, exposed for tests: run the given
     [(tier, algorithm, decide)] triples in order, first completed decision
@@ -91,10 +111,18 @@ val pp_attempt : Format.formatter -> attempt -> unit
     a disagreement yields [Solver_error] with a per-tier diagnostic. When no
     tier decides, [fallback] (if given) produces the degraded [Estimated]
     answer; otherwise the outcome reports the budget exhaustion ([Timeout] /
-    [Budget_exhausted]) or [Solver_error]. *)
+    [Budget_exhausted]) or [Solver_error].
+
+    [budget] is observed (never ticked) to attribute per-tier step and site
+    deltas to the attempts — pass the same budget the tiers close over.
+    [trace] records one [tier] span per attempt (attrs: [tier],
+    [algorithm], [status], [reason] on failure, [steps], [steps.<site>])
+    and an [estimate] span when the fallback runs. *)
 val run_tiers :
   ?verify:bool ->
   ?fallback:(unit -> Cqa.Montecarlo.estimate) ->
+  ?budget:Harness.Budget.t ->
+  ?trace:Obs.Trace.t ->
   (tier * algorithm * (unit -> bool)) list ->
   outcome * attempt list
 
@@ -114,7 +142,13 @@ val run_tiers :
     exact tiers, which do not trust the classification. The checker is a
     closure (rather than a library dependency) so that [core] stays
     independent of the [analysis] audit kernel — the CLI's
-    [--verify-certificate] passes [Analysis.Check.audit_report]. *)
+    [--verify-certificate] passes [Analysis.Check.audit_report].
+
+    [trace] makes the run explain itself: a root [solve] span (attrs:
+    [query], [verdict], [outcome], [total_steps]) wrapping the per-tier
+    spans of {!run_tiers} — the machine-readable record of which tier ran,
+    why it fell back, how long it took, and where its steps went. Serialize
+    it with [Analysis.Obs_codec]. *)
 val solve :
   ?k:int ->
   ?exact_only:bool ->
@@ -123,6 +157,7 @@ val solve :
   ?verify:bool ->
   ?estimate_trials:int ->
   ?seed:int ->
+  ?trace:Obs.Trace.t ->
   Dichotomy.report ->
   Relational.Database.t ->
   outcome * attempt list
@@ -137,6 +172,7 @@ val solve_query :
   ?verify:bool ->
   ?estimate_trials:int ->
   ?seed:int ->
+  ?trace:Obs.Trace.t ->
   Qlang.Query.t ->
   Relational.Database.t ->
   outcome * attempt list

@@ -152,7 +152,7 @@ let derive_for_block (g : Solution_graph.t) ~k ~budget st block =
     | [] ->
         if add_set st acc (Via_block (block, List.rev chosen)) then changed := true
     | u :: rest ->
-        Harness.Budget.tick ~site:"certk" budget;
+        Harness.Budget.tick ~site:Harness.Sites.certk budget;
         let key = (rem_n, acc_id) in
         if not (Hashtbl.mem visited key) then begin
           Hashtbl.add visited key ();

@@ -20,7 +20,7 @@ let all_ksets ~budget (g : Solution_graph.t) ~k =
         else
           List.fold_left
             (fun sets v ->
-              Harness.Budget.tick ~site:"certk-naive" budget;
+              Harness.Budget.tick ~site:Harness.Sites.certk_naive budget;
               incr count;
               if !count > limit then
                 invalid_arg "Certk_naive: too many k-sets (use Certk instead)";
@@ -58,7 +58,7 @@ let fixpoint ?(budget = Harness.Budget.unlimited ()) (g : Solution_graph.t) ~k =
     changed := false;
     List.iter
       (fun s ->
-        Harness.Budget.tick ~site:"certk-naive" budget;
+        Harness.Budget.tick ~site:Harness.Sites.certk_naive budget;
         if not (Set_set.mem s !delta) then
           let derivable =
             List.exists

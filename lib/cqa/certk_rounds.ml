@@ -81,7 +81,7 @@ let derive_for_block (g : Solution_graph.t) ~k ~budget state block =
     | [] ->
         if add_set state acc (Via_block (block, List.rev chosen)) then changed := true
     | u :: rest as remaining ->
-        Harness.Budget.tick ~site:"certk" budget;
+        Harness.Budget.tick ~site:Harness.Sites.certk_rounds budget;
         let key = (List.length remaining, acc) in
         if not (Hashtbl.mem visited key) then begin
           Hashtbl.add visited key ();

@@ -13,7 +13,7 @@
     measured round-driven baseline. *)
 
 (** [run ?budget ~k g] runs the round-driven fixpoint on a solution graph.
-    Budget ticks are spent at site ["certk"], one per derivation step, like
+    Budget ticks are spent at site ["certk-rounds"], one per derivation step, like
     {!Certk.run}.
     @raise Harness.Budget.Budget_exceeded when [budget] runs out.
     @raise Invalid_argument when [k < 1]. *)

@@ -26,7 +26,7 @@ let falsifying_repair ?(budget = Harness.Budget.unlimited ()) (g : Solution_grap
     !best
   in
   let rec solve remaining =
-    Harness.Budget.tick ~site:"exact" budget;
+    Harness.Budget.tick ~site:Harness.Sites.exact budget;
     if remaining = 0 then true
     else
       match next_block () with
@@ -37,7 +37,7 @@ let falsifying_repair ?(budget = Harness.Budget.unlimited ()) (g : Solution_grap
           let found =
             List.exists
               (fun v ->
-                Harness.Budget.tick ~site:"exact" budget;
+                Harness.Budget.tick ~site:Harness.Sites.exact budget;
                 chosen.(b) <- v;
                 List.iter (fun w -> conflicts.(w) <- conflicts.(w) + 1) g.Solution_graph.adj.(v);
                 let ok = solve (remaining - 1) in
@@ -65,5 +65,5 @@ let certain_enum ?(budget = Harness.Budget.unlimited ()) q db =
   | Some c when c <= 1 lsl 20 -> ()
   | Some _ | None -> invalid_arg "Exact.certain_enum: too many repairs");
   Relational.Repair.for_all db (fun r ->
-      Harness.Budget.tick ~site:"exact" budget;
+      Harness.Budget.tick ~site:Harness.Sites.exact budget;
       Qlang.Solutions.query_satisfies q r)

@@ -38,9 +38,9 @@ let bipartite (g : Solution_graph.t) =
   Graphs.Bipartite.make ~n_left:(Solution_graph.n_blocks g) ~n_right:n_cliques !edges
 
 let run ?(budget = Harness.Budget.unlimited ()) g =
-  Harness.Budget.tick ~site:"matching" budget;
+  Harness.Budget.tick ~site:Harness.Sites.matching budget;
   let h = bipartite g in
-  let tick () = Harness.Budget.tick ~site:"matching" budget in
+  let tick () = Harness.Budget.tick ~site:Harness.Sites.matching budget in
   Graphs.Matching.saturates_left h (Graphs.Matching.hopcroft_karp ~tick h)
 
 let certain_query ?budget q db = not (run ?budget (Solution_graph.of_query q db))

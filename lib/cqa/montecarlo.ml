@@ -7,13 +7,19 @@ type estimate = {
   counterexample : Repair.t option;
 }
 
-let estimate rng ~trials q db =
+let tick budget =
+  match budget with
+  | None -> ()
+  | Some b -> Harness.Budget.tick ~site:Harness.Sites.montecarlo b
+
+let estimate ?budget rng ~trials q db =
   (* [trials = 0] would report frequency 1.0 — reading as "certain" with
      zero evidence — so it is rejected outright. *)
   if trials < 1 then invalid_arg "Montecarlo.estimate: trials must be >= 1";
   let satisfying = ref 0 in
   let counterexample = ref None in
   for _ = 1 to trials do
+    tick budget;
     let r = Repair.sample rng db in
     if Qlang.Solutions.query_satisfies q r then incr satisfying
     else if !counterexample = None then counterexample := Some r
@@ -25,13 +31,14 @@ let estimate rng ~trials q db =
     counterexample = !counterexample;
   }
 
-let refute rng ~trials q db =
+let refute ?budget rng ~trials q db =
   if trials < 1 then invalid_arg "Montecarlo.refute: trials must be >= 1";
   (* One falsifying repair settles the question — stop sampling there
      instead of burning the remaining trials like [estimate] must. *)
   let rec go i =
     if i > trials then None
     else
+      let () = tick budget in
       let r = Repair.sample rng db in
       if Qlang.Solutions.query_satisfies q r then go (i + 1) else Some r
   in

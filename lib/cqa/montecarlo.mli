@@ -15,19 +15,30 @@ type estimate = {
       (** A sampled falsifying repair, if one was drawn. *)
 }
 
-(** [estimate rng ~trials q db] samples [trials] repairs.
+(** [estimate rng ~trials q db] samples [trials] repairs. When [budget] is
+    given, one tick (site ["montecarlo"]) is spent per sample — the
+    degradation chain's estimate fallback deliberately omits it, because by
+    then the shared budget is already exhausted and the estimate is the
+    last resort.
     @raise Invalid_argument when [trials < 1] — a zero-trial estimate would
     read as "certain" (frequency 1.0) with no evidence at all. *)
 val estimate :
-  Random.State.t -> trials:int -> Qlang.Query.t -> Relational.Database.t -> estimate
+  ?budget:Harness.Budget.t ->
+  Random.State.t ->
+  trials:int ->
+  Qlang.Query.t ->
+  Relational.Database.t ->
+  estimate
 
 (** [refute rng ~trials q db] is a one-sided test: [Some repair] disproves
     CERTAIN(q); [None] means all sampled repairs satisfied [q] (which
     {e suggests} certainty but proves nothing). Returns as soon as the first
     falsifying repair is drawn — [trials] is an upper bound on the samples,
     not a fixed cost, so a huge trial count is cheap on easy refutations.
+    [budget] ticks as in {!estimate}.
     @raise Invalid_argument when [trials < 1]. *)
 val refute :
+  ?budget:Harness.Budget.t ->
   Random.State.t ->
   trials:int ->
   Qlang.Query.t ->

@@ -10,7 +10,16 @@
     tiers in sequence, and exhaustion is sticky — once exceeded, every
     further [tick] raises again, so later expensive tiers cannot silently
     restart the work. A {!Chaos} schedule can be attached to inject
-    deterministic delays, failures, and budget pressure at tick sites. *)
+    deterministic delays, failures, and budget pressure at tick sites.
+
+    Every tick carries a site label (the canonical names live in {!Sites});
+    the budget keeps an always-on per-site step breakdown — so exhaustion
+    diagnostics can say {e which} loop ate the budget — and forwards each
+    tick to an optional pluggable {e sink}, which is how the [Obs] metrics
+    registry meters every existing tick site without new call sites. An
+    absent sink costs one pattern match per tick; the per-site accounting
+    is a pointer comparison in the common case (consecutive ticks from the
+    same loop). *)
 
 (** Which resource ran out. *)
 type exhaustion =
@@ -31,18 +40,24 @@ val unlimited : unit -> t
     in seconds (converted to an absolute deadline now); [max_steps] caps the
     number of ticks; [check_every] is the clock-polling granularity in ticks
     (default 64 — deadline detection lags by at most that many ticks);
-    [chaos] attaches a fault-injection schedule.
+    [chaos] attaches a fault-injection schedule; [sink] is called with the
+    site label on every tick (attach {!Obs.Metrics.tick_sink} here).
     @raise Invalid_argument on a negative allowance or [check_every < 1]. *)
 val make :
   ?timeout:float ->
   ?max_steps:int ->
   ?check_every:int ->
   ?chaos:Chaos.t ->
+  ?sink:(string -> unit) ->
   unit ->
   t
 
+(** [set_sink b s] replaces the tick sink ([None] detaches it). *)
+val set_sink : t -> (string -> unit) option -> unit
+
 (** [tick ?site b] records one unit of work at the tick site [site] (used by
-    chaos targeting; default [""]).
+    chaos targeting, the per-site step accounting, and the sink; default
+    [""] — real solver loops always pass a {!Sites} name).
     @raise Budget_exceeded when the budget is (or already was) exhausted, or
     when the chaos schedule injects budget pressure.
     @raise Chaos.Injected_fault when the chaos schedule injects a failure. *)
@@ -50,6 +65,19 @@ val tick : ?site:string -> t -> unit
 
 (** Ticks recorded so far. *)
 val steps : t -> int
+
+(** [steps_by_site b] is the per-site breakdown of {!steps}: every site
+    that ticked at least once with its tick count, hottest first (ties
+    broken by name). The lists always sum to [steps b]. *)
+val steps_by_site : t -> (string * int) list
+
+(** The site that burned the most ticks, with its count. [None] before the
+    first tick. *)
+val hottest_site : t -> (string * int) option
+
+(** Prints a {!steps_by_site} breakdown as ["certk=40, dpll=2"] (the empty
+    site label prints as [(unnamed)]). *)
+val pp_site_breakdown : Format.formatter -> (string * int) list -> unit
 
 (** [Some reason] once the budget has been exceeded (sticky). *)
 val exhausted : t -> exhaustion option

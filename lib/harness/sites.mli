@@ -1,0 +1,47 @@
+(** The canonical {!Budget.tick} site names.
+
+    Every solver hot loop ticks its budget under a stable site label; the
+    label is what {!Chaos} targeting matches against and what the per-site
+    step accounting in {!Budget} (and the metrics registry in [Obs]) keys
+    on. All labels live here so that a chaos schedule, a metrics dashboard,
+    or an exhaustion diagnostic can never drift out of sync with the
+    solvers: adding a tick site means adding its name to this module (and
+    to {!all}).
+
+    The loops behind each site:
+
+    - {!certk} — the delta-driven [Cqa.Certk] worklist (one tick per
+      derivation step explored).
+    - {!certk_rounds} — the frozen round-driven baseline
+      [Cqa.Certk_rounds] (one tick per candidate k-set per round). Before
+      this module existed it shared the ["certk"] label, which made the
+      baseline invisible to targeted chaos and conflated the two
+      algorithms' step counts.
+    - {!certk_naive} — the enumerate-everything oracle [Cqa.Certk_naive].
+    - {!matching} — [Cqa.Matching_alg] and the Hopcroft–Karp phases it
+      drives in [Graphs.Matching].
+    - {!dpll} — one tick per DPLL branching decision in [Satsolver.Dpll].
+    - {!brute} — one tick per assignment enumerated by [Satsolver.Brute].
+    - {!exact} — one tick per repair node explored by the backtracking
+      falsifier search in [Cqa.Exact].
+    - {!montecarlo} — one tick per sampled repair in [Cqa.Montecarlo]
+      (only when a budget is passed; the degradation chain's estimate
+      fallback deliberately runs it unbudgeted).
+
+    The empty string is the default label of a {!Budget.tick} call that
+    does not name a site; no loop in this repository uses it, and the
+    linter for that is the [@obs-smoke] alias plus the site table in the
+    manual. *)
+
+val certk : string
+val certk_rounds : string
+val certk_naive : string
+val matching : string
+val dpll : string
+val brute : string
+val exact : string
+val montecarlo : string
+
+(** All canonical site names, in degradation-chain order (PTIME loops
+    first, then SAT, then exact, then the estimate fallback). *)
+val all : string list

@@ -1,0 +1,98 @@
+type histogram = {
+  h_bounds : float array;  (* strictly increasing inclusive upper bounds *)
+  h_counts : int array;  (* length = length bounds + 1; last is overflow *)
+  mutable h_count : int;
+  mutable h_sum : float;
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 16; histograms = Hashtbl.create 16 }
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t.counters name (ref by)
+
+let counter_value t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let default_bounds = [ 0.01; 0.1; 1.; 10.; 100.; 1_000.; 10_000.; 100_000. ]
+
+let validate_bounds bounds =
+  if bounds = [] then invalid_arg "Metrics.observe: bounds must be non-empty";
+  let rec strictly_increasing = function
+    | a :: (b :: _ as rest) ->
+        if a >= b then
+          invalid_arg "Metrics.observe: bounds must be strictly increasing"
+        else strictly_increasing rest
+    | _ -> ()
+  in
+  strictly_increasing bounds
+
+let observe ?(bounds = default_bounds) t name x =
+  let h =
+    match Hashtbl.find_opt t.histograms name with
+    | Some h -> h
+    | None ->
+        validate_bounds bounds;
+        let h_bounds = Array.of_list bounds in
+        let h =
+          {
+            h_bounds;
+            h_counts = Array.make (Array.length h_bounds + 1) 0;
+            h_count = 0;
+            h_sum = 0.;
+          }
+        in
+        Hashtbl.add t.histograms name h;
+        h
+  in
+  let n = Array.length h.h_bounds in
+  let rec bucket i = if i >= n || x <= h.h_bounds.(i) then i else bucket (i + 1) in
+  let i = bucket 0 in
+  h.h_counts.(i) <- h.h_counts.(i) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. x
+
+let tick_sink t site =
+  incr t ("budget.tick." ^ if site = "" then "unnamed" else site)
+
+type histogram_snapshot = {
+  bounds : float list;
+  counts : int list;
+  count : int;
+  sum : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  histograms : (string * histogram_snapshot) list;
+}
+
+let by_name (a, _) (b, _) = compare (a : string) b
+
+let snapshot (t : t) =
+  {
+    counters =
+      Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+      |> List.sort by_name;
+    histograms =
+      Hashtbl.fold
+        (fun name h acc ->
+          ( name,
+            {
+              bounds = Array.to_list h.h_bounds;
+              counts = Array.to_list h.h_counts;
+              count = h.h_count;
+              sum = h.h_sum;
+            } )
+          :: acc)
+        t.histograms []
+      |> List.sort by_name;
+  }
+
+let empty_snapshot = { counters = []; histograms = [] }

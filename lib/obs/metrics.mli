@@ -1,0 +1,61 @@
+(** A process-local metrics registry: named counters and histograms.
+
+    Dependency-light by design (no JSON, no I/O): the registry is mutable
+    state to bump from hot paths, {!snapshot} freezes it into plain data,
+    and [Analysis.Obs_codec] serializes snapshots. The canonical metric
+    names are documented in the manual's "Observability" section; the two
+    producers in-tree are {!tick_sink} (per-site budget tick counters,
+    attached to {!Harness.Budget.make}'s [sink] so every existing tick site
+    is metered with zero new call sites) and the [cqa certain] front-end
+    (per-tier latency and step histograms derived from the degradation
+    chain's attempts). *)
+
+type t
+
+val create : unit -> t
+
+(** [incr t name] bumps counter [name] by [by] (default 1), creating it at
+    zero on first use. *)
+val incr : ?by:int -> t -> string -> unit
+
+(** Current value of a counter; 0 when it was never bumped. *)
+val counter_value : t -> string -> int
+
+(** Upper bounds (inclusive) used for histograms created without explicit
+    [bounds]: decades from 0.01 to 10^5 — a span that covers microsecond
+    ticks through multi-minute tier latencies in milliseconds. *)
+val default_bounds : float list
+
+(** [observe t name x] records [x] into histogram [name], creating it on
+    first use with [bounds] (which are ignored on later calls — the first
+    observation fixes the shape). Each histogram keeps one count per bucket
+    [x <= bound], an overflow bucket, the total count, and the sum. *)
+val observe : ?bounds:float list -> t -> string -> float -> unit
+
+(** [tick_sink t site] counts a budget tick at [site] under the counter
+    ["budget.tick.<site>"] (the empty label counts as
+    ["budget.tick.unnamed"]). Partially applied, it is exactly the [sink]
+    {!Harness.Budget.make} expects: [Budget.make ~sink:(Metrics.tick_sink m) ()]. *)
+val tick_sink : t -> string -> unit
+
+(** {2 Snapshots} *)
+
+type histogram_snapshot = {
+  bounds : float list;  (** Inclusive upper bounds, strictly increasing. *)
+  counts : int list;
+      (** One count per bound, plus a final overflow bucket —
+          [List.length counts = List.length bounds + 1]. *)
+  count : int;  (** Total observations. *)
+  sum : float;  (** Sum of observed values. *)
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** Sorted by name. *)
+  histograms : (string * histogram_snapshot) list;  (** Sorted by name. *)
+}
+
+(** A frozen copy of the registry, deterministically ordered. *)
+val snapshot : t -> snapshot
+
+(** An empty snapshot (what [create |> snapshot] yields). *)
+val empty_snapshot : snapshot

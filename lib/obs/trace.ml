@@ -1,0 +1,90 @@
+type value =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  start_s : float;
+  duration_s : float;
+  attrs : (string * value) list;
+}
+
+let pp_value ppf = function
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int n -> Format.pp_print_int ppf n
+  | Float f -> Format.fprintf ppf "%g" f
+  | String s -> Format.pp_print_string ppf s
+
+let pp_span ppf s =
+  Format.fprintf ppf "[%d%s] %s %.6fs+%.6fs" s.id
+    (match s.parent with None -> "" | Some p -> Printf.sprintf "<%d" p)
+    s.name s.start_s s.duration_s;
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%a" k pp_value v) s.attrs
+
+type open_span = {
+  o_id : int;
+  o_parent : int option;
+  o_name : string;
+  o_start : float;
+  mutable o_attrs : (string * value) list;  (* reversed *)
+}
+
+type t = {
+  clock : unit -> float;
+  epoch : float;
+  mutable next_id : int;
+  mutable stack : open_span list;  (* innermost first *)
+  mutable closed : span list;  (* reversed close order *)
+}
+
+let create ?clock () =
+  let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
+  { clock; epoch = clock (); next_id = 0; stack = []; closed = [] }
+
+let now t = t.clock () -. t.epoch
+
+let enter t attrs name =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let parent = match t.stack with [] -> None | o :: _ -> Some o.o_id in
+  t.stack <-
+    { o_id = id; o_parent = parent; o_name = name; o_start = now t;
+      o_attrs = List.rev attrs }
+    :: t.stack
+
+let close t =
+  match t.stack with
+  | [] -> ()
+  | o :: rest ->
+      t.stack <- rest;
+      t.closed <-
+        {
+          id = o.o_id;
+          parent = o.o_parent;
+          name = o.o_name;
+          start_s = o.o_start;
+          duration_s = now t -. o.o_start;
+          attrs = List.rev o.o_attrs;
+        }
+        :: t.closed
+
+let add_attr t key v =
+  match t.stack with [] -> () | o :: _ -> o.o_attrs <- (key, v) :: o.o_attrs
+
+let with_span t ?(attrs = []) name f =
+  enter t attrs name;
+  match f () with
+  | v ->
+      close t;
+      v
+  | exception e ->
+      add_attr t "raised" (String (Printexc.to_string e));
+      close t;
+      raise e
+
+let spans t = List.sort (fun a b -> compare a.id b.id) t.closed
+let open_spans t = List.length t.stack

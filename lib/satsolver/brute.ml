@@ -12,7 +12,7 @@ let fold ?(budget = Harness.Budget.unlimited ()) f init formula =
   let rec go acc mask =
     if mask >= 1 lsl n then acc
     else begin
-      Harness.Budget.tick ~site:"brute" budget;
+      Harness.Budget.tick ~site:Harness.Sites.brute budget;
       for v = 1 to n do
         assignment.(v) <- mask land (1 lsl (v - 1)) <> 0
       done;

@@ -64,7 +64,7 @@ let choose_branch state =
   Option.map fst !best
 
 let rec search budget state =
-  Harness.Budget.tick ~site:"dpll" budget;
+  Harness.Budget.tick ~site:Harness.Sites.dpll budget;
   match find_unit state with
   | Some l -> ( try search budget (assign l state) with Conflict -> None)
   | None -> (

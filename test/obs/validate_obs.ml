@@ -1,0 +1,107 @@
+(* The @obs-smoke gate: decode and structurally validate the trace and
+   metrics JSON that `cqa certain --trace --metrics` just emitted, and check
+   the observability acceptance contract — a schema-valid well-nested trace
+   whose root [solve] span wraps at least two tier attempts, each carrying
+   wall time and step accounting; failed tiers must say why they fell back;
+   and the metrics snapshot must contain the per-site budget tick counters
+   and per-tier latency histograms. *)
+
+module Trace = Obs.Trace
+module Codec = Analysis.Obs_codec
+
+let failures = ref 0
+
+let check name ok =
+  if ok then Printf.printf "ok   %s\n" name
+  else begin
+    incr failures;
+    Printf.printf "FAIL %s\n" name
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let str_attr key (s : Trace.span) =
+  match List.assoc_opt key s.Trace.attrs with
+  | Some (Trace.String v) -> Some v
+  | _ -> None
+
+let validate_trace_doc doc =
+  check "trace passes the structural validator"
+    (match Codec.validate_trace doc with
+    | Ok () -> true
+    | Error e ->
+        Printf.printf "     validator: %s\n" e;
+        false);
+  check "trace names its query" (doc.Codec.query <> None);
+  let spans = doc.Codec.spans in
+  let root = List.filter (fun (s : Trace.span) -> s.Trace.parent = None) spans in
+  check "exactly one root span, named solve"
+    (match root with [ r ] -> r.Trace.name = "solve" | _ -> false);
+  check "root records the outcome"
+    (match root with [ r ] -> str_attr "outcome" r <> None | _ -> false);
+  let tiers = List.filter (fun (s : Trace.span) -> s.Trace.name = "tier") spans in
+  check "at least two tier attempts recorded" (List.length tiers >= 2);
+  List.iter
+    (fun (s : Trace.span) ->
+      let tier = Option.value ~default:"?" (str_attr "tier" s) in
+      check
+        (Printf.sprintf "tier %s has wall time" tier)
+        (s.Trace.duration_s >= 0.);
+      check
+        (Printf.sprintf "tier %s reports status and steps" tier)
+        (str_attr "status" s <> None && List.mem_assoc "steps" s.Trace.attrs);
+      check
+        (Printf.sprintf "tier %s step breakdown names a site" tier)
+        (match List.assoc_opt "steps" s.Trace.attrs with
+        | Some (Trace.Int 0) -> true  (* nothing ticked, nothing to name *)
+        | _ ->
+            List.exists
+              (fun (k, _) -> String.length k > 6 && String.sub k 0 6 = "steps.")
+              s.Trace.attrs);
+      (* The explainability contract: a fallback must carry its reason. *)
+      check
+        (Printf.sprintf "tier %s explains any fallback" tier)
+        (str_attr "status" s <> Some "failed" || str_attr "reason" s <> None))
+    tiers
+
+let validate_metrics_doc (s : Obs.Metrics.snapshot) =
+  let prefixed p (name, _) =
+    String.length name >= String.length p && String.sub name 0 (String.length p) = p
+  in
+  check "per-site budget tick counters present"
+    (List.exists (prefixed "budget.tick.") s.Obs.Metrics.counters);
+  check "per-tier latency histograms present"
+    (List.exists (prefixed "solver.tier.") s.Obs.Metrics.histograms);
+  check "an outcome counter is set"
+    (List.exists (prefixed "solver.outcome.") s.Obs.Metrics.counters);
+  List.iter
+    (fun (name, (h : Obs.Metrics.histogram_snapshot)) ->
+      check
+        (Printf.sprintf "histogram %s shape is coherent" name)
+        (List.length h.Obs.Metrics.counts = List.length h.Obs.Metrics.bounds + 1
+        && h.Obs.Metrics.count = List.fold_left ( + ) 0 h.Obs.Metrics.counts))
+    s.Obs.Metrics.histograms
+
+let () =
+  let trace_path, metrics_path =
+    match Sys.argv with
+    | [| _; t; m |] -> (t, m)
+    | _ ->
+        prerr_endline "usage: validate_obs TRACE.json METRICS.json";
+        exit 2
+  in
+  (match Codec.trace_of_string (read_file trace_path) with
+  | Error e ->
+      check (Printf.sprintf "trace decodes (%s)" e) false
+  | Ok doc -> validate_trace_doc doc);
+  (match Codec.metrics_of_string (read_file metrics_path) with
+  | Error e -> check (Printf.sprintf "metrics decode (%s)" e) false
+  | Ok s -> validate_metrics_doc s);
+  if !failures > 0 then begin
+    Printf.printf "%d observability check(s) failed\n" !failures;
+    exit 1
+  end

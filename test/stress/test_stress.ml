@@ -60,7 +60,10 @@ let deterministic () =
     | _ -> false);
   (* All decision tiers fault: with an estimate the chain degrades, without
      one it reports the failure. *)
-  let all_sites = [ "certk"; "certk-naive"; "matching"; "dpll"; "brute"; "exact" ] in
+  (* The canonical registry, so a newly added tick site is faulted here
+     automatically. (The chain's estimate fallback is unbudgeted, so faulting
+     "montecarlo" too is harmless.) *)
+  let all_sites = Harness.Sites.all in
   let chaos = Chaos.make ~fail_p:1.0 ~sites:all_sites () in
   let budget = Budget.make ~chaos () in
   let outcome, _ =

@@ -199,6 +199,7 @@ let test_bench_report_round_trip () =
                   repeats = 3;
                   certain = Some false;
                   steps = 1234;
+                  sites = [ ("certk", 1200); ("matching", 34) ];
                 };
                 {
                   Benchkit.Report.algorithm = "certk-rounds";
@@ -207,6 +208,7 @@ let test_bench_report_round_trip () =
                   repeats = 3;
                   certain = None;
                   steps = 999999;
+                  sites = [ ("certk-rounds", 999999) ];
                 };
               ];
             speedup_vs_rounds = None;
