@@ -561,7 +561,7 @@ let gadget_run query n_vars n_clauses seed emit_db =
                 Format.printf "formula: %a@." Satsolver.Cnf.pp phi;
                 Format.printf "database: %d facts in %d blocks@."
                   (Relational.Database.size db)
-                  (List.length (Relational.Database.blocks db));
+                  (Relational.Database.block_count db);
                 let sat = Satsolver.Dpll.is_sat phi in
                 let certain = Cqa.Exact.certain_query query db in
                 Format.printf
@@ -809,8 +809,8 @@ let bench_run profile seed output budget_s catalog =
       let report =
         Benchkit.Certk_suite.run ~extra_queries ~profile ~seed ~budget_s ()
       in
-      Format.printf "%-28s %8s %8s %12s %12s %10s@." "case" "facts" "blocks"
-        "delta(ms)" "rounds(ms)" "speedup";
+      Format.printf "%-28s %8s %8s %12s %12s %10s %12s %10s@." "case" "facts"
+        "blocks" "delta(ms)" "rounds(ms)" "speedup" "compile(ms)" "e2e";
       List.iter
         (fun (c : Benchkit.Report.case) ->
           let ms alg =
@@ -824,18 +824,31 @@ let bench_run profile seed output budget_s catalog =
             | Some _ -> "timeout"
             | None -> "-"
           in
-          Format.printf "%-28s %8d %8d %12s %12s %10s@." c.Benchkit.Report.name
-            c.Benchkit.Report.n_facts c.Benchkit.Report.n_blocks
-            (ms "certk-delta") (ms "certk-rounds")
-            (match c.Benchkit.Report.speedup_vs_rounds with
+          let ratio = function
             | Some s -> Printf.sprintf "%.1fx" s
-            | None -> "-"))
+            | None -> "-"
+          in
+          Format.printf "%-28s %8d %8d %12s %12s %10s %12s %10s@."
+            c.Benchkit.Report.name c.Benchkit.Report.n_facts
+            c.Benchkit.Report.n_blocks (ms "certk-delta") (ms "certk-rounds")
+            (ratio c.Benchkit.Report.speedup_vs_rounds)
+            (match c.Benchkit.Report.compile_ms with
+            | Some ms -> Printf.sprintf "%.2f" ms
+            | None -> "-")
+            (ratio c.Benchkit.Report.speedup_e2e))
         report.Benchkit.Report.cases;
       (match report.Benchkit.Report.geomean_speedup with
       | Some s -> Format.printf "geomean speedup vs rounds baseline: %.1fx@." s
       | None -> ());
+      (match report.Benchkit.Report.geomean_e2e with
+      | Some s ->
+          Format.printf "geomean end-to-end speedup (compiled plane): %.1fx@." s
+      | None -> ());
       Format.printf "cross-algorithm agreement: %b@."
         report.Benchkit.Report.agreement;
+      (match report.Benchkit.Report.plane_equivalence with
+      | Some eq -> Format.printf "plane equivalence: %b@." eq
+      | None -> ());
       (* The emitted document must parse back identical — the report is only
          useful if downstream tooling can rely on it. *)
       (match Benchkit.Report.validate_round_trip report with
@@ -843,7 +856,11 @@ let bench_run profile seed output budget_s catalog =
       | Error msg -> invalid_arg ("benchmark report: " ^ msg));
       Benchkit.Report.write output report;
       Format.printf "wrote %s@." output;
-      if report.Benchkit.Report.agreement then 0 else exit_error
+      if
+        report.Benchkit.Report.agreement
+        && report.Benchkit.Report.plane_equivalence <> Some false
+      then 0
+      else exit_error
 
 let bench_cmd =
   let profile_arg =

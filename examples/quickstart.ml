@@ -25,7 +25,7 @@ let () =
   in
   Format.printf "database (%d facts, %d blocks, consistent: %b):@.%a@.@."
     (Relational.Database.size db)
-    (List.length (Relational.Database.blocks db))
+    (Relational.Database.block_count db)
     (Relational.Database.is_consistent db)
     Relational.Database.pp db;
 

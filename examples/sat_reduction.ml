@@ -29,7 +29,7 @@ let () =
     let db = Core.Gadget.database gadget phi in
     Format.printf "D[%s]: %d facts, %d blocks@." name
       (Relational.Database.size db)
-      (List.length (Relational.Database.blocks db));
+      (Relational.Database.block_count db);
     let sat = Satsolver.Dpll.is_sat phi in
     let certain = Cqa.Exact.certain_query q2 db in
     Format.printf "satisfiable(%s) = %b,  CERTAIN(q2, D[%s]) = %b@." name sat name certain;

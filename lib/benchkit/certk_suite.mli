@@ -10,7 +10,16 @@
     frozen round-driven {!Cqa.Certk_rounds} baseline, plus the
     {!Cqa.Certk_naive} and {!Cqa.Exact} oracles where affordable, and the
     report records both the speedups and a cross-algorithm agreement bit —
-    a benchmark that also differentially tests what it measures. *)
+    a benchmark that also differentially tests what it measures.
+
+    Since schema v3 each case also reports the compile-phase split: the
+    median cost of building the interned execution plane and its solution
+    graph ([compile_ms]), an end-to-end run pair ([certk-e2e-compiled] vs
+    [certk-e2e-persistent], graph construction included each repeat) whose
+    ratio is [speedup_e2e], and a [plane_equivalent] bit asserting the
+    compiled graph is structurally identical
+    ({!Qlang.Solution_graph.equal}) to the frozen persistent-plane
+    reference builder's. *)
 
 type profile =
   | Smoke  (** Tiny sizes, 2 repeats — wired into [dune runtest]. *)

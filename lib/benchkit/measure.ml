@@ -43,3 +43,14 @@ let sample ?budget_s ~repeats f =
       (0, []) runs
   in
   { median_ms = median times; repeats; verdict; timed_out; steps; sites }
+
+let time_ms ~repeats f =
+  if repeats < 1 then invalid_arg "Measure.time_ms: repeats must be >= 1";
+  let one () =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    ((Unix.gettimeofday () -. t0) *. 1000., r)
+  in
+  let runs = List.init repeats (fun _ -> one ()) in
+  let times = List.sort Float.compare (List.map fst runs) in
+  (median times, snd (List.hd runs))

@@ -27,3 +27,10 @@ type outcome = {
     @raise Invalid_argument when [repeats < 1]. *)
 val sample :
   ?budget_s:float -> repeats:int -> (Harness.Budget.t -> bool) -> outcome
+
+(** [time_ms ~repeats f] is the median wall-clock of [f ()] in milliseconds
+    over [repeats] runs, paired with the first run's result. For unbudgeted
+    phase timing (e.g. the compile phase of the v3 report), where the
+    budget/verdict machinery of {!sample} has nothing to say.
+    @raise Invalid_argument when [repeats < 1]. *)
+val time_ms : repeats:int -> (unit -> 'a) -> float * 'a

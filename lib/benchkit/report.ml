@@ -1,8 +1,11 @@
 module Json = Analysis.Json
 
 (* v2 added the per-run "sites" object (per-site budget step breakdown);
-   the decoder still accepts v1 documents, reading them with empty sites. *)
-let schema_version = 2
+   v3 added the compile-phase split (per-case "compile_ms", "speedup_e2e",
+   "plane_equivalent"; summary "plane_equivalence", "geomean_e2e"). The
+   decoder still accepts v1 and v2 documents, reading the newer fields as
+   absent ([None]). *)
+let schema_version = 3
 
 type run = {
   algorithm : string;
@@ -21,8 +24,11 @@ type case = {
   n_facts : int;
   n_blocks : int;
   budget_s : float;
+  compile_ms : float option;
   runs : run list;
   speedup_vs_rounds : float option;
+  speedup_e2e : float option;
+  plane_equivalent : bool option;
 }
 
 type t = {
@@ -31,7 +37,9 @@ type t = {
   seed : int;
   cases : case list;
   agreement : bool;
+  plane_equivalence : bool option;
   geomean_speedup : float option;
+  geomean_e2e : float option;
 }
 
 (* Encoding *)
@@ -59,8 +67,11 @@ let encode_case c =
       ("n_facts", Json.Int c.n_facts);
       ("n_blocks", Json.Int c.n_blocks);
       ("budget_s", Json.Float c.budget_s);
+      ("compile_ms", opt (fun f -> Json.Float f) c.compile_ms);
       ("runs", Json.List (List.map encode_run c.runs));
       ("speedup_vs_rounds", opt (fun f -> Json.Float f) c.speedup_vs_rounds);
+      ("speedup_e2e", opt (fun f -> Json.Float f) c.speedup_e2e);
+      ("plane_equivalent", opt (fun b -> Json.Bool b) c.plane_equivalent);
     ]
 
 let encode t =
@@ -76,8 +87,11 @@ let encode t =
           [
             ("cases", Json.Int (List.length t.cases));
             ("agreement", Json.Bool t.agreement);
+            ( "plane_equivalence",
+              opt (fun b -> Json.Bool b) t.plane_equivalence );
             ( "geomean_speedup_vs_rounds",
               opt (fun f -> Json.Float f) t.geomean_speedup );
+            ("geomean_e2e", opt (fun f -> Json.Float f) t.geomean_e2e);
           ] );
     ]
 
@@ -140,15 +154,32 @@ let decode_case j =
   let* n_facts = field "n_facts" "case" Json.to_int_opt j in
   let* n_blocks = field "n_blocks" "case" Json.to_int_opt j in
   let* budget_s = field "budget_s" "case" Json.to_float_opt j in
+  (* compile_ms / speedup_e2e / plane_equivalent are absent before v3. *)
+  let* compile_ms = opt_field "compile_ms" Json.to_float_opt j in
   let* runs = field "runs" "case" Json.to_list_opt j in
   let* runs = map_m decode_run runs in
   let* speedup_vs_rounds = opt_field "speedup_vs_rounds" Json.to_float_opt j in
-  Ok { name; query; k; n_facts; n_blocks; budget_s; runs; speedup_vs_rounds }
+  let* speedup_e2e = opt_field "speedup_e2e" Json.to_float_opt j in
+  let* plane_equivalent = opt_field "plane_equivalent" Json.to_bool_opt j in
+  Ok
+    {
+      name;
+      query;
+      k;
+      n_facts;
+      n_blocks;
+      budget_s;
+      compile_ms;
+      runs;
+      speedup_vs_rounds;
+      speedup_e2e;
+      plane_equivalent;
+    }
 
 let decode j =
   let* version = field "schema_version" "report" Json.to_int_opt j in
   let* () =
-    if version = 1 || version = schema_version then Ok ()
+    if version >= 1 && version <= schema_version then Ok ()
     else Error (Printf.sprintf "unsupported schema_version %d" version)
   in
   let* suite = field "suite" "report" Json.to_string_opt j in
@@ -158,10 +189,24 @@ let decode j =
   let* cases = map_m decode_case cases in
   let* summary = field "summary" "report" Option.some j in
   let* agreement = field "agreement" "summary" Json.to_bool_opt summary in
+  let* plane_equivalence =
+    opt_field "plane_equivalence" Json.to_bool_opt summary
+  in
   let* geomean_speedup =
     opt_field "geomean_speedup_vs_rounds" Json.to_float_opt summary
   in
-  Ok { suite; profile; seed; cases; agreement; geomean_speedup }
+  let* geomean_e2e = opt_field "geomean_e2e" Json.to_float_opt summary in
+  Ok
+    {
+      suite;
+      profile;
+      seed;
+      cases;
+      agreement;
+      plane_equivalence;
+      geomean_speedup;
+      geomean_e2e;
+    }
 
 let of_string s =
   let* j = Json.of_string s in

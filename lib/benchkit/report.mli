@@ -6,24 +6,30 @@
     alias) guarantees that what lands on disk parses back to the identical
     report.
 
-    Schema (version 2, one object per file; v2 added the per-run ["sites"]
-    object — version-1 documents still decode, with empty sites):
+    Schema (version 3, one object per file; v2 added the per-run ["sites"]
+    object, v3 the compile-phase split — older documents still decode, with
+    empty sites and absent compile fields):
     {v
-    { "schema_version": 2,
+    { "schema_version": 3,
       "suite": "certk-fixpoint",
       "profile": "smoke" | "default",
       "seed": <int>,
       "cases": [
         { "name": <string>, "query": <string>, "k": <int>,
           "n_facts": <int>, "n_blocks": <int>, "budget_s": <float>,
+          "compile_ms": <float> | null,
           "runs": [
             { "algorithm": <string>, "status": "ok" | "timeout",
               "median_ms": <float>, "repeats": <int>,
               "certain": <bool> | null, "steps": <int>,
               "sites": { <site>: <int>, ... } } ],
-          "speedup_vs_rounds": <float> | null } ],
+          "speedup_vs_rounds": <float> | null,
+          "speedup_e2e": <float> | null,
+          "plane_equivalent": <bool> | null } ],
       "summary": { "cases": <int>, "agreement": <bool>,
-                   "geomean_speedup_vs_rounds": <float> | null } }
+                   "plane_equivalence": <bool> | null,
+                   "geomean_speedup_vs_rounds": <float> | null,
+                   "geomean_e2e": <float> | null } }
     v} *)
 
 val schema_version : int
@@ -47,9 +53,23 @@ type case = {
   n_facts : int;
   n_blocks : int;
   budget_s : float;
+  compile_ms : float option;
+      (** Median wall-clock of compiling the case's database to the
+          execution plane and building the solution graph on it — the
+          one-off cost the compiled end-to-end runs amortise. [None] in
+          pre-v3 documents. *)
   runs : run list;
   speedup_vs_rounds : float option;
       (** [rounds.median_ms / delta.median_ms] when both completed. *)
+  speedup_e2e : float option;
+      (** End-to-end persistent-plane vs compiled-plane speedup:
+          [e2e-persistent.median_ms / e2e-compiled.median_ms], both runs
+          rebuilding their graph from scratch each repeat. [None] in
+          pre-v3 documents. *)
+  plane_equivalent : bool option;
+      (** The compiled-plane solution graph is structurally identical
+          ({!Qlang.Solution_graph.equal}) to the persistent-plane
+          reference one. [None] in pre-v3 documents. *)
 }
 
 type t = {
@@ -59,8 +79,13 @@ type t = {
   cases : case list;
   agreement : bool;
       (** All completed algorithms agreed on every case's verdict. *)
+  plane_equivalence : bool option;
+      (** [plane_equivalent] held on every case ([None] pre-v3). A [false]
+          here fails [cqa bench] and the [@bench-smoke] alias. *)
   geomean_speedup : float option;
       (** Geometric mean of the per-case speedups. *)
+  geomean_e2e : float option;
+      (** Geometric mean of the per-case end-to-end speedups. *)
 }
 
 val encode : t -> Analysis.Json.t

@@ -1,20 +1,24 @@
 module Query = Qlang.Query
 module Database = Relational.Database
+module Compiled = Relational.Compiled
 module Solution_graph = Qlang.Solution_graph
 
 type t = {
   report : Dichotomy.report;
   database : Database.t;
+  plane : Compiled.t Lazy.t;
   graph : Solution_graph.t Lazy.t;
   answer : (int, bool * Solver.algorithm) Hashtbl.t;  (* keyed by k *)
 }
 
 let of_report report database =
   let q = report.Dichotomy.query in
+  let plane = lazy (Compiled.compile database) in
   {
     report;
     database;
-    graph = lazy (Solution_graph.of_query q database);
+    plane;
+    graph = lazy (Solution_graph.of_query_compiled q (Lazy.force plane));
     answer = Hashtbl.create 4;
   }
 
@@ -31,16 +35,18 @@ let database s = s.database
 let add_fact s f = of_report s.report (Database.add s.database f)
 let remove_fact s f = of_report s.report (Database.remove s.database f)
 
+let compiled s = Lazy.force s.plane
+
 let certain ?(k = 3) s =
   match Hashtbl.find_opt s.answer k with
   | Some cached -> cached
   | None ->
-      let result = Solver.certain ~k s.report s.database in
+      let result = Solver.certain_graph ~k s.report ~plane:s.plane ~graph:s.graph in
       Hashtbl.add s.answer k result;
       result
 
 let estimate s rng ~trials =
-  Cqa.Montecarlo.estimate rng ~trials (query s) s.database
+  Cqa.Montecarlo.estimate_g rng ~trials (Lazy.force s.graph)
 
 let certificate ?(k = 3) s =
   let g = Lazy.force s.graph in

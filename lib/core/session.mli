@@ -1,11 +1,18 @@
-(** A classify-once, query-many session.
+(** A classify-once, compile-once, query-many session.
 
     Classification (in particular the tripath search) is orders of magnitude
     more expensive than solving one instance, and it depends only on the
     query. A session classifies up front and then serves certainty checks,
     estimates and explanations against an evolving database, caching the
     answer per database state. Sessions are immutable values: updates return
-    new sessions sharing the classification. *)
+    new sessions sharing the classification.
+
+    Each session state also caches its {e compiled execution plane}
+    ({!Relational.Compiled.t}) and the solution graph built on it, lazily:
+    the first operation that needs them pays the compilation, every later
+    one — [certain], [estimate], [certificate], [falsifying_repair] —
+    reuses them. Updating the database invalidates both (facts changed),
+    but keeps the classification. *)
 
 type t
 
@@ -18,6 +25,10 @@ val query : t -> Qlang.Query.t
 val report : t -> Dichotomy.report
 val database : t -> Relational.Database.t
 
+(** [compiled s] is the session's cached compiled execution plane (built on
+    first use, shared by every solver the session runs). *)
+val compiled : t -> Relational.Compiled.t
+
 (** [add_fact s f] / [remove_fact s f] update the database (classification
     is reused; the cached answer is invalidated). *)
 val add_fact : t -> Relational.Fact.t -> t
@@ -28,7 +39,10 @@ val remove_fact : t -> Relational.Fact.t -> t
     designates, memoized per session state. *)
 val certain : ?k:int -> t -> bool * Solver.algorithm
 
-(** [estimate s rng ~trials] is the Monte-Carlo repair-sampling estimate. *)
+(** [estimate s rng ~trials] is the Monte-Carlo repair-sampling estimate,
+    sampling on the session's cached solution graph
+    ({!Cqa.Montecarlo.estimate_g}); seeded runs agree with the
+    persistent-plane estimator. *)
 val estimate : t -> Random.State.t -> trials:int -> Cqa.Montecarlo.estimate
 
 (** [certificate ?k s] is the [Cert_k] derivation certificate, when [Cert_k]

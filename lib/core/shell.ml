@@ -103,7 +103,7 @@ let load state path =
                 let session = Session.create q db in
                 ( { state with session = Some session },
                   fmt "loaded %d facts in %d blocks" (Database.size db)
-                    (List.length (Database.blocks db)) )))
+                    (Database.block_count db) )))
 
 let show state =
   need_session state (fun session ->
@@ -112,19 +112,20 @@ let show state =
         fmt "%a@.%s@.%d facts, %d blocks, consistent: %b@.%a" Query.pp
           (Session.query session)
           (Dichotomy.verdict_summary (Session.report session).Dichotomy.verdict)
-          (Database.size db)
-          (List.length (Database.blocks db))
+          (Database.size db) (Database.block_count db)
           (Database.is_consistent db) Database.pp db ))
 
 let blocks state =
   need_session state (fun session ->
-      let bs = Database.blocks (Session.database session) in
       let lines =
-        List.map
-          (fun b ->
+        Database.fold_blocks
+          (fun acc b ->
             fmt "%a%s" Relational.Block.pp b
-              (if Relational.Block.size b > 1 then "   <-- conflict" else ""))
-          bs
+              (if Relational.Block.size b > 1 then "   <-- conflict" else "")
+            :: acc)
+          []
+          (Session.database session)
+        |> List.rev
       in
       (state, if lines = [] then "empty database" else String.concat "\n" lines))
 

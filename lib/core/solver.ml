@@ -2,6 +2,7 @@ module Query = Qlang.Query
 module Atom = Qlang.Atom
 module Term = Qlang.Term
 module Database = Relational.Database
+module Compiled = Relational.Compiled
 
 type algorithm =
   | Alg_one_atom
@@ -75,39 +76,54 @@ let conjunction_atom (q : Query.t) =
     Some (Atom.of_array q.Query.a.Atom.rel args)
   with Conflict -> None
 
-let matches atom fact =
-  Option.is_some (Qlang.Unify.match_fact Qlang.Subst.empty atom fact)
+let certain_one_atom_plane atom plane =
+  let p = Qlang.Pattern.single plane atom in
+  Array.exists
+    (fun members -> Array.for_all (Qlang.Pattern.matches p) members)
+    plane.Compiled.blocks
 
-let certain_one_atom atom db =
-  List.exists
-    (fun (block : Relational.Block.t) ->
-      List.for_all (matches atom) block.Relational.Block.facts)
-    (Database.blocks db)
+let certain_one_atom atom db = certain_one_atom_plane atom (Compiled.compile db)
 
-let certain_trivial (q : Query.t) triviality db =
+let certain_trivial (q : Query.t) triviality plane =
   match triviality with
-  | Query.Hom_a_to_b -> certain_one_atom q.Query.b db
-  | Query.Hom_b_to_a -> certain_one_atom q.Query.a db
+  | Query.Hom_a_to_b -> certain_one_atom_plane q.Query.b plane
+  | Query.Hom_b_to_a -> certain_one_atom_plane q.Query.a plane
   | Query.Equal_key_tuples -> (
       match conjunction_atom q with
       | None -> false (* no single fact can match both atoms *)
-      | Some c -> certain_one_atom c db)
+      | Some c -> certain_one_atom_plane c plane)
 
-let certain ?(k = 3) ?(exact = `Backtracking) ?budget (report : Dichotomy.report) db =
+(* The dispatch core: both planes arrive lazily so each verdict forces only
+   what it needs — the trivial tier touches the compiled plane but never
+   builds the solution graph. *)
+let certain_lazy ?(k = 3) ?(exact = `Backtracking) ?budget
+    (report : Dichotomy.report) ~plane ~graph =
   let q = report.Dichotomy.query in
   match report.Dichotomy.verdict with
-  | Dichotomy.Ptime (Dichotomy.Trivial t) -> (certain_trivial q t db, Alg_one_atom)
+  | Dichotomy.Ptime (Dichotomy.Trivial t) ->
+      (certain_trivial q t (Lazy.force plane), Alg_one_atom)
   | Dichotomy.Ptime Dichotomy.Cert2 ->
-      (Cqa.Certk.certain_query ?budget ~k:2 q db, Alg_cert2)
+      (Cqa.Certk.run ?budget ~k:2 (Lazy.force graph), Alg_cert2)
   | Dichotomy.Ptime Dichotomy.Certk_no_tripath ->
-      (Cqa.Certk.certain_query ?budget ~k q db, Alg_certk k)
+      (Cqa.Certk.run ?budget ~k (Lazy.force graph), Alg_certk k)
   | Dichotomy.Ptime (Dichotomy.Combined_triangle _) ->
-      (Cqa.Combined.certain_query ?budget ~k q db, Alg_combined k)
+      (Cqa.Combined.run ?budget ~k (Lazy.force graph), Alg_combined k)
   | Dichotomy.Conp_complete _ -> (
-      let g = Qlang.Solution_graph.of_query q db in
       match exact with
-      | `Backtracking -> (Cqa.Exact.certain ?budget g, Alg_exact_backtracking)
-      | `Sat -> (Cqa.Satreduce.certain ?budget g, Alg_exact_sat))
+      | `Backtracking ->
+          (Cqa.Exact.certain ?budget (Lazy.force graph), Alg_exact_backtracking)
+      | `Sat -> (Cqa.Satreduce.certain ?budget (Lazy.force graph), Alg_exact_sat))
+
+let certain_graph ?k ?exact ?budget report ~plane ~graph =
+  certain_lazy ?k ?exact ?budget report ~plane ~graph
+
+let certain_plane ?k ?exact ?budget (report : Dichotomy.report) plane =
+  let q = report.Dichotomy.query in
+  certain_lazy ?k ?exact ?budget report ~plane:(lazy plane)
+    ~graph:(lazy (Qlang.Solution_graph.of_query_compiled q plane))
+
+let certain ?k ?exact ?budget (report : Dichotomy.report) db =
+  certain_plane ?k ?exact ?budget report (Compiled.compile db)
 
 let certain_query ?opts ?k ?exact ?budget q db =
   certain ?k ?exact ?budget (Dichotomy.classify ?opts q) db
@@ -303,32 +319,31 @@ let run_tiers ?(verify = false) ?fallback ?budget ?trace tiers =
   (outcome, attempts)
 
 let tiers ?(k = 3) ?(exact_only = false) ?check_certificate ~budget
-    (report : Dichotomy.report) db =
+    (report : Dichotomy.report) ~plane ~graph =
   let q = report.Dichotomy.query in
-  let g = lazy (Qlang.Solution_graph.of_query q db) in
   let ptime =
     if exact_only then []
     else
       match report.Dichotomy.verdict with
       | Dichotomy.Ptime (Dichotomy.Trivial t) ->
-          [ (Tier_ptime, Alg_one_atom, fun () -> certain_trivial q t db) ]
+          [ (Tier_ptime, Alg_one_atom, fun () -> certain_trivial q t (plane ())) ]
       | Dichotomy.Ptime Dichotomy.Cert2 ->
           [
             ( Tier_ptime,
               Alg_cert2,
-              fun () -> Cqa.Certk.run ~budget ~k:2 (Lazy.force g) );
+              fun () -> Cqa.Certk.run ~budget ~k:2 (graph ()) );
           ]
       | Dichotomy.Ptime Dichotomy.Certk_no_tripath ->
           [
             ( Tier_ptime,
               Alg_certk k,
-              fun () -> Cqa.Certk.run ~budget ~k (Lazy.force g) );
+              fun () -> Cqa.Certk.run ~budget ~k (graph ()) );
           ]
       | Dichotomy.Ptime (Dichotomy.Combined_triangle _) ->
           [
             ( Tier_ptime,
               Alg_combined k,
-              fun () -> Cqa.Combined.run ~budget ~k (Lazy.force g) );
+              fun () -> Cqa.Combined.run ~budget ~k (graph ()) );
           ]
       | Dichotomy.Conp_complete _ -> []
   in
@@ -357,10 +372,10 @@ let tiers ?(k = 3) ?(exact_only = false) ?check_certificate ~budget
   in
   ptime
   @ [
-      (Tier_sat, Alg_exact_sat, fun () -> Cqa.Satreduce.certain ~budget (Lazy.force g));
+      (Tier_sat, Alg_exact_sat, fun () -> Cqa.Satreduce.certain ~budget (graph ()));
       ( Tier_exact,
         Alg_exact_backtracking,
-        fun () -> Cqa.Exact.certain ~budget (Lazy.force g) );
+        fun () -> Cqa.Exact.certain ~budget (graph ()) );
     ]
 
 let outcome_label : outcome -> string = function
@@ -381,9 +396,58 @@ let solve ?k ?exact_only ?check_certificate
         Cqa.Montecarlo.estimate rng ~trials report.Dichotomy.query db)
       estimate_trials
   in
+  (* The whole chain shares ONE compiled plane and ONE solution graph,
+     built on first demand by whichever tier needs them. Memoization is
+     success-only (not [lazy], which would also memoize a transient
+     injected fault and poison every later tier); the thunks are forced
+     {e inside} a tier's [decide], so compile-phase budget exhaustion or
+     chaos is charged to that tier's attempt, exactly as the per-solver
+     index builds used to be. *)
+  let memo f =
+    let cache = ref None in
+    fun () ->
+      match !cache with
+      | Some v -> v
+      | None ->
+          let v = f () in
+          cache := Some v;
+          v
+  in
+  let tick () = Harness.Budget.tick ~site:Harness.Sites.compile budget in
+  let in_compile_span phase attrs f =
+    match trace with
+    | None -> f ()
+    | Some tr ->
+        Obs.Trace.with_span tr "compile"
+          ~attrs:(("phase", Obs.Trace.String phase) :: attrs ())
+          f
+  in
+  let plane =
+    memo (fun () ->
+        in_compile_span "plane"
+          (fun () -> [ ("facts", Obs.Trace.Int (Database.size db)) ])
+          (fun () ->
+            let p = Compiled.compile ~tick db in
+            (match trace with
+            | None -> ()
+            | Some tr ->
+                Obs.Trace.add_attr tr "blocks"
+                  (Obs.Trace.Int (Compiled.n_blocks p));
+                Obs.Trace.add_attr tr "values"
+                  (Obs.Trace.Int (Compiled.n_values p)));
+            p))
+  in
+  let graph =
+    memo (fun () ->
+        let p = plane () in
+        in_compile_span "graph"
+          (fun () -> [ ("facts", Obs.Trace.Int (Compiled.n_facts p)) ])
+          (fun () ->
+            Qlang.Solution_graph.of_query_compiled ~tick report.Dichotomy.query p))
+  in
   let run () =
     run_tiers ?verify ?fallback ~budget ?trace
-      (tiers ?k ?exact_only ?check_certificate ~budget report db)
+      (tiers ?k ?exact_only ?check_certificate ~budget report ~plane ~graph)
   in
   match trace with
   | None -> run ()

@@ -27,8 +27,15 @@ val pp_algorithm : Format.formatter -> algorithm -> unit
 val conjunction_atom : Qlang.Query.t -> Qlang.Atom.t option
 
 (** [certain_one_atom atom db] decides certainty of the one-atom query
-    [∃* atom]: some block has all its facts matching [atom]. *)
+    [∃* atom]: some block has all its facts matching [atom]. Compiles [db]
+    on the fly; use {!certain_one_atom_plane} when a compiled plane is
+    already at hand. *)
 val certain_one_atom : Qlang.Atom.t -> Relational.Database.t -> bool
+
+(** {!certain_one_atom} on an already-compiled execution plane: the block
+    scan runs over the plane's int-tuple block partition with a compiled
+    {!Qlang.Pattern}, never touching the persistent database. *)
+val certain_one_atom_plane : Qlang.Atom.t -> Relational.Compiled.t -> bool
 
 (** [certain ?k report db] answers CERTAIN for the classified query on [db],
     returning the algorithm used. [k] bounds the fixpoint parameter of
@@ -37,13 +44,39 @@ val certain_one_atom : Qlang.Atom.t -> Relational.Database.t -> bool
     EXPERIMENTS.md). For coNP-complete queries [exact] selects the
     exponential solver (default [`Backtracking]). When [budget] is given it
     is threaded into the designated algorithm and {!Harness.Budget.Budget_exceeded}
-    propagates; use {!solve} for the graceful-degradation behaviour. *)
+    propagates; use {!solve} for the graceful-degradation behaviour.
+
+    Compiles [db] once and dispatches through {!certain_plane}. *)
 val certain :
   ?k:int ->
   ?exact:[ `Backtracking | `Sat ] ->
   ?budget:Harness.Budget.t ->
   Dichotomy.report ->
   Relational.Database.t ->
+  bool * algorithm
+
+(** [certain_plane report plane] is {!certain} on a pre-compiled execution
+    plane: the solution graph is built from [plane] only when the designated
+    algorithm needs it (trivial queries never build it). *)
+val certain_plane :
+  ?k:int ->
+  ?exact:[ `Backtracking | `Sat ] ->
+  ?budget:Harness.Budget.t ->
+  Dichotomy.report ->
+  Relational.Compiled.t ->
+  bool * algorithm
+
+(** [certain_graph report ~plane ~graph] is the fully-shared form: both the
+    compiled plane and the solution graph arrive as lazy values (typically
+    cached in a {!Session.t}), and only what the designated algorithm needs
+    is forced. *)
+val certain_graph :
+  ?k:int ->
+  ?exact:[ `Backtracking | `Sat ] ->
+  ?budget:Harness.Budget.t ->
+  Dichotomy.report ->
+  plane:Relational.Compiled.t Lazy.t ->
+  graph:Qlang.Solution_graph.t Lazy.t ->
   bool * algorithm
 
 (** [certain_query ?opts ?k ?exact q db] classifies then solves. *)
@@ -143,6 +176,16 @@ val run_tiers :
     closure (rather than a library dependency) so that [core] stays
     independent of the [analysis] audit kernel — the CLI's
     [--verify-certificate] passes [Analysis.Check.audit_report].
+
+    The chain compiles the database {e once}: the compiled execution plane
+    and the solution graph built on it are shared by every tier, created on
+    first demand inside the first tier that needs them. Compilation ticks
+    [budget] at site {!Harness.Sites.compile} (one tick per fact for the
+    plane, one per candidate row for the graph), so compile cost shows up
+    in the attempts' per-site breakdown, and — when traced — as nested
+    [compile] spans (attrs [phase=plane] / [phase=graph]). Memoization is
+    success-only: a transient injected fault during compilation fails only
+    the current tier, and the next tier retries the build.
 
     [trace] makes the run explain itself: a root [solve] span (attrs:
     [query], [verdict], [outcome], [total_steps]) wrapping the per-tier

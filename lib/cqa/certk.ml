@@ -286,3 +286,6 @@ let paper_k q =
   let kap = kappa q in
   if kap >= 30 then max_int
   else (1 lsl ((2 * kap) + 1)) + kap - 1
+
+let certain_plane ?budget ~k q plane =
+  run ?budget ~k (Solution_graph.of_query_compiled q plane)

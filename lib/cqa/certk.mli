@@ -66,3 +66,15 @@ val kappa : Qlang.Query.t -> int
     Proposition 10 and Theorem 18 are stated. Saturates at [max_int] for
     large key lengths. *)
 val paper_k : Qlang.Query.t -> int
+
+(** [certain_plane ?budget ~k q plane] is {!certain_query} on the compiled
+    execution plane ([Relational.Compiled]): the solution graph is built
+    directly on the plane's interned arrays, with no recompilation of the
+    database. Verdicts are identical to the persistent-plane path (pinned by
+    the differential suite). *)
+val certain_plane :
+  ?budget:Harness.Budget.t ->
+  k:int ->
+  Qlang.Query.t ->
+  Relational.Compiled.t ->
+  bool

@@ -26,3 +26,12 @@ type witness =
   | Neither  (** Both algorithms answered no. *)
 
 val explain : ?budget:Harness.Budget.t -> k:int -> Qlang.Solution_graph.t -> witness
+
+(** [certain_plane ?budget ~k q plane] is {!certain_query} on the compiled
+    execution plane ([Relational.Compiled]). *)
+val certain_plane :
+  ?budget:Harness.Budget.t ->
+  k:int ->
+  Qlang.Query.t ->
+  Relational.Compiled.t ->
+  bool

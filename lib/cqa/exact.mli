@@ -31,3 +31,8 @@ val certain_sjf :
     @raise Invalid_argument if [db] has more than [2^20] repairs. *)
 val certain_enum :
   ?budget:Harness.Budget.t -> Qlang.Query.t -> Relational.Database.t -> bool
+
+(** [certain_plane ?budget q plane] is {!certain_query} on the compiled
+    execution plane ([Relational.Compiled]). *)
+val certain_plane :
+  ?budget:Harness.Budget.t -> Qlang.Query.t -> Relational.Compiled.t -> bool

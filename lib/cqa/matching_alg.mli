@@ -28,3 +28,8 @@ val certain_query :
 (** [bipartite g] exposes the graph [H(D, q)] for inspection: the left side
     indexes blocks, the right side indexes cliques. *)
 val bipartite : Qlang.Solution_graph.t -> Graphs.Bipartite.t
+
+(** [certain_plane ?budget q plane] is {!certain_query} on the compiled
+    execution plane ([Relational.Compiled]). *)
+val certain_plane :
+  ?budget:Harness.Budget.t -> Qlang.Query.t -> Relational.Compiled.t -> bool

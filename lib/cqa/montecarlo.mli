@@ -30,6 +30,19 @@ val estimate :
   Relational.Database.t ->
   estimate
 
+(** [estimate_g rng ~trials g] is {!estimate} on a solution graph (the
+    compiled execution plane's view of the instance): sampling walks the
+    graph's block partition and satisfaction is read off the self-loop and
+    adjacency structure. The RNG consumption is identical to {!estimate} —
+    one uniform choice per block in block order — so a seeded estimate
+    agrees with the persistent-plane one, counterexample included. *)
+val estimate_g :
+  ?budget:Harness.Budget.t ->
+  Random.State.t ->
+  trials:int ->
+  Qlang.Solution_graph.t ->
+  estimate
+
 (** [refute rng ~trials q db] is a one-sided test: [Some repair] disproves
     CERTAIN(q); [None] means all sampled repairs satisfied [q] (which
     {e suggests} certainty but proves nothing). Returns as soon as the first
@@ -43,4 +56,13 @@ val refute :
   trials:int ->
   Qlang.Query.t ->
   Relational.Database.t ->
+  Relational.Repair.t option
+
+(** [refute_g rng ~trials g] is {!refute} on a solution graph; same
+    cross-plane agreement guarantee as {!estimate_g}. *)
+val refute_g :
+  ?budget:Harness.Budget.t ->
+  Random.State.t ->
+  trials:int ->
+  Qlang.Solution_graph.t ->
   Relational.Repair.t option

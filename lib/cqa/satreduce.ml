@@ -31,3 +31,6 @@ let falsifying_repair ?budget g =
 
 let certain ?budget g = Option.is_none (falsifying_repair ?budget g)
 let certain_query ?budget q db = certain ?budget (Solution_graph.of_query q db)
+
+let certain_plane ?budget q plane =
+  certain ?budget (Solution_graph.of_query_compiled q plane)

@@ -24,3 +24,8 @@ val certain_query :
     encoding is satisfiable. Same budget contract as {!certain}. *)
 val falsifying_repair :
   ?budget:Harness.Budget.t -> Qlang.Solution_graph.t -> int list option
+
+(** [certain_plane ?budget q plane] is {!certain_query} on the compiled
+    execution plane ([Relational.Compiled]). *)
+val certain_plane :
+  ?budget:Harness.Budget.t -> Qlang.Query.t -> Relational.Compiled.t -> bool

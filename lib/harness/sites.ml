@@ -1,3 +1,4 @@
+let compile = "compile"
 let certk = "certk"
 let certk_rounds = "certk-rounds"
 let certk_naive = "certk-naive"
@@ -8,4 +9,14 @@ let exact = "exact"
 let montecarlo = "montecarlo"
 
 let all =
-  [ certk; certk_rounds; certk_naive; matching; dpll; brute; exact; montecarlo ]
+  [
+    compile;
+    certk;
+    certk_rounds;
+    certk_naive;
+    matching;
+    dpll;
+    brute;
+    exact;
+    montecarlo;
+  ]

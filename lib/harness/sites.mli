@@ -10,6 +10,11 @@
 
     The loops behind each site:
 
+    - {!compile} — construction of the compiled execution plane
+      ([Relational.Compiled.compile] ticks once per fact) and of the solution
+      graph built on it ([Qlang.Solution_graph] ticks once per candidate
+      fact row). The degradation chain compiles once and shares the result
+      across its tiers, so these ticks are charged at most once per solve.
     - {!certk} — the delta-driven [Cqa.Certk] worklist (one tick per
       derivation step explored).
     - {!certk_rounds} — the frozen round-driven baseline
@@ -33,6 +38,7 @@
     linter for that is the [@obs-smoke] alias plus the site table in the
     manual. *)
 
+val compile : string
 val certk : string
 val certk_rounds : string
 val certk_naive : string
@@ -42,6 +48,7 @@ val brute : string
 val exact : string
 val montecarlo : string
 
-(** All canonical site names, in degradation-chain order (PTIME loops
-    first, then SAT, then exact, then the estimate fallback). *)
+(** All canonical site names, in degradation-chain order (the shared
+    compilation first, then PTIME loops, then SAT, then exact, then the
+    estimate fallback). *)
 val all : string list

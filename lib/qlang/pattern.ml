@@ -1,0 +1,112 @@
+module Compiled = Relational.Compiled
+
+(* One tuple position of a compiled atom. [Bind] is the first occurrence of
+   a variable anywhere in the pattern (claims its environment slot); [Check]
+   is every later occurrence. Environment slots hold interned value ids,
+   [-1] when unbound. *)
+type slot = Const of int | Bind of int | Check of int
+
+type atom = {
+  rel : int;  (* index into the plane's schemas; -1 when unsatisfiable *)
+  slots : slot array;
+  ok : bool;  (* relation known and every constant interned *)
+}
+
+type pair = { plane : Compiled.t; pa : atom; pb : atom; n_vars : int }
+type single = { splane : Compiled.t; satom : atom; senv : int array }
+
+let compile_atom plane vars (a : Atom.t) =
+  let ok = ref true in
+  let slots =
+    Array.map
+      (function
+        | Term.Cst v -> (
+            match Compiled.find_value plane v with
+            | Some id -> Const id
+            | None ->
+                (* The constant occurs nowhere in the database: no fact can
+                   match. *)
+                ok := false;
+                Const (-1))
+        | Term.Var x -> (
+            match Hashtbl.find_opt vars x with
+            | Some slot -> Check slot
+            | None ->
+                let slot = Hashtbl.length vars in
+                Hashtbl.add vars x slot;
+                Bind slot))
+      a.Atom.args
+  in
+  let rel =
+    match Compiled.rel_index plane a.Atom.rel with
+    | Some r -> r
+    | None ->
+        ok := false;
+        -1
+  in
+  { rel; slots; ok = !ok }
+
+let pair plane a b =
+  let vars = Hashtbl.create 8 in
+  let pa = compile_atom plane vars a in
+  let pb = compile_atom plane vars b in
+  { plane; pa; pb; n_vars = Hashtbl.length vars }
+
+(* Match one atom against the interned tuple, binding fresh variables into
+   [env] and recording them on [trail] so the caller can undo. *)
+let match_atom p (tuple : int array) env trail =
+  Array.length tuple = Array.length p.slots
+  &&
+  let n = Array.length tuple in
+  let rec go i =
+    i >= n
+    ||
+    let v = tuple.(i) in
+    (match p.slots.(i) with
+    | Const c -> v = c
+    | Check x -> env.(x) = v
+    | Bind x ->
+        if env.(x) = -1 then begin
+          env.(x) <- v;
+          trail := x :: !trail;
+          true
+        end
+        else env.(x) = v)
+    && go (i + 1)
+  in
+  go 0
+
+let undo env trail = List.iter (fun x -> env.(x) <- -1) !trail
+
+let iter_pairs ?tick p f =
+  if p.pa.ok && p.pb.ok then begin
+    let plane = p.plane in
+    let env = Array.make (max 1 p.n_vars) (-1) in
+    let alo, ahi = plane.Compiled.rel_range.(p.pa.rel) in
+    let blo, bhi = plane.Compiled.rel_range.(p.pb.rel) in
+    for i = alo to ahi - 1 do
+      (match tick with Some tick -> tick () | None -> ());
+      let trail_a = ref [] in
+      if match_atom p.pa plane.Compiled.tuples.(i) env trail_a then
+        for j = blo to bhi - 1 do
+          let trail_b = ref [] in
+          if match_atom p.pb plane.Compiled.tuples.(j) env trail_b then f i j;
+          undo env trail_b
+        done;
+      undo env trail_a
+    done
+  end
+
+let single plane a =
+  let vars = Hashtbl.create 8 in
+  let satom = compile_atom plane vars a in
+  { splane = plane; satom; senv = Array.make (max 1 (Hashtbl.length vars)) (-1) }
+
+let matches p i =
+  p.satom.ok
+  && p.splane.Compiled.rel_of.(i) = p.satom.rel
+  &&
+  let trail = ref [] in
+  let r = match_atom p.satom p.splane.Compiled.tuples.(i) p.senv trail in
+  undo p.senv trail;
+  r

@@ -1,0 +1,36 @@
+(** Compiled atom patterns: matching atoms against interned tuples with
+    nothing but [int] comparisons.
+
+    A pattern translates an atom once against a plane ([Relational.Compiled]):
+    constants become interned ids (a constant the interner has never seen
+    matches nothing, so the pattern is unsatisfiable up front), variables
+    become environment slots shared across the pattern. Matching a fact is
+    then a single pass over its int tuple — no substitution maps, no
+    structural [Value.compare].
+
+    Matching an atom against a ground fact is deterministic (at most one
+    assignment of the atom's variables), so enumeration in ascending fact
+    index order reproduces exactly the solution list of
+    {!Solutions.pairs} — the property the plane-equivalence suite pins. *)
+
+type pair
+(** A compiled two-atom pattern [a ∧ b] with a shared environment. *)
+
+type single
+(** A compiled single-atom pattern. *)
+
+(** [pair plane a b] compiles the atom pair against the plane. *)
+val pair : Relational.Compiled.t -> Atom.t -> Atom.t -> pair
+
+(** [iter_pairs ?tick p f] applies [f i j] to every solution pair — every
+    [(i, j)] such that one assignment sends [a] to fact [i] and [b] to fact
+    [j] — in lexicographic index order. [tick] is invoked once per candidate
+    row (per fact matched against [a]); the degradation chain points it at
+    its budget. *)
+val iter_pairs : ?tick:(unit -> unit) -> pair -> (int -> int -> unit) -> unit
+
+(** [single plane a] compiles one atom. *)
+val single : Relational.Compiled.t -> Atom.t -> single
+
+(** [matches p i] decides whether fact [i] of the plane matches the atom. *)
+val matches : single -> int -> bool

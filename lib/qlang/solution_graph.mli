@@ -6,7 +6,19 @@
     [a] iff [D ⊨ q(aa)]. The structure also records the block partition and
     the full directed solution list, and is the common input of all CERTAIN
     solvers in the [cqa] library: both a genuine self-join query and its
-    self-join-free variant reduce to it. *)
+    self-join-free variant reduce to it.
+
+    The graph is constructed on the compiled execution plane
+    ({!Relational.Compiled}): the vertex array and block partition are
+    shared with the plane (which stores them in exactly the order this
+    graph defines), and the solution enumeration runs over compiled
+    patterns ({!Pattern}) — interned int tuples, no substitution maps.
+    {!of_atoms} compiles the database on the fly; callers holding a plane
+    (sessions, the degradation chain) use {!of_compiled} /
+    {!of_query_compiled} to build the graph without recompiling. Both
+    constructions produce a graph structurally identical to the frozen
+    persistent-plane reference {!of_atoms_reference}, which the
+    plane-equivalence tests pin via {!equal}. *)
 
 type t = private {
   facts : Relational.Fact.t array;  (** Vertex [i] is [facts.(i)]. *)
@@ -17,11 +29,34 @@ type t = private {
   directed : (int * int) list;  (** All ordered solutions, including [(i, i)]. *)
 }
 
-(** [of_atoms a b db] builds the solution graph of [a ∧ b] over [db]. *)
-val of_atoms : Atom.t -> Atom.t -> Relational.Database.t -> t
+(** [of_atoms a b db] builds the solution graph of [a ∧ b] over [db],
+    compiling the database first. [tick] (when given) is invoked once per
+    fact during compilation and once per candidate row during solution
+    enumeration — the degradation chain points it at its budget's
+    ["compile"] site. *)
+val of_atoms : ?tick:(unit -> unit) -> Atom.t -> Atom.t -> Relational.Database.t -> t
 
 (** [of_query q db] is [of_atoms q.a q.b db]. *)
-val of_query : Query.t -> Relational.Database.t -> t
+val of_query : ?tick:(unit -> unit) -> Query.t -> Relational.Database.t -> t
+
+(** [of_compiled a b plane] builds the graph on an already-compiled plane
+    (vertex array and block partition are shared with it, not rebuilt). *)
+val of_compiled :
+  ?tick:(unit -> unit) -> Atom.t -> Atom.t -> Relational.Compiled.t -> t
+
+(** [of_query_compiled q plane] is [of_compiled q.a q.b plane]. *)
+val of_query_compiled :
+  ?tick:(unit -> unit) -> Query.t -> Relational.Compiled.t -> t
+
+(** The frozen pre-compilation builder ([Fact.Map] index preamble +
+    substitution-based {!Solutions.pairs}), kept as the reference the
+    plane-equivalence suite and the benchmark's persistent-plane baseline
+    compare against. Produces a graph {!equal} to {!of_atoms}'s. *)
+val of_atoms_reference : Atom.t -> Atom.t -> Relational.Database.t -> t
+
+(** Structural equality of graphs (facts, blocks, adjacency, self-loops,
+    directed solution list). *)
+val equal : t -> t -> bool
 
 val n_facts : t -> int
 val n_blocks : t -> int

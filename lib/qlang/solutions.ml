@@ -54,6 +54,11 @@ let satisfies a b facts =
           List.exists (fun g -> Option.is_some (Unify.match_fact s b' g)) facts)
     facts
 
+let pairs_compiled a b plane =
+  let acc = ref [] in
+  Pattern.iter_pairs (Pattern.pair plane a b) (fun i j -> acc := (i, j) :: !acc);
+  List.rev !acc
+
 let holds a b db f g = Database.mem db f && Database.mem db g && solution_pair a b f g
 let query_pairs (q : Query.t) db = pairs q.Query.a q.Query.b db
 let query_satisfies (q : Query.t) facts = satisfies q.Query.a q.Query.b facts

@@ -20,6 +20,14 @@ val solution_pair_sym : Atom.t -> Atom.t -> Relational.Fact.t -> Relational.Fact
     both atoms. *)
 val pairs : Atom.t -> Atom.t -> Relational.Database.t -> (Relational.Fact.t * Relational.Fact.t) list
 
+(** [pairs_compiled a b plane] is {!pairs} on the compiled execution plane:
+    the same solutions, as vertex index pairs in the same lexicographic
+    order ([plane.facts.(i)] is the fact behind index [i]). This is the
+    enumeration {!Solution_graph.of_compiled} is built on; the
+    plane-equivalence suite pins its agreement with {!pairs}. *)
+val pairs_compiled :
+  Atom.t -> Atom.t -> Relational.Compiled.t -> (int * int) list
+
 (** [satisfies a b facts] decides [facts ⊨ a ∧ b] for a set of facts given as
     a list (e.g. a repair). *)
 val satisfies : Atom.t -> Atom.t -> Relational.Fact.t list -> bool

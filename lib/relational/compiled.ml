@@ -1,0 +1,105 @@
+type t = {
+  interner : Interner.t;
+  schemas : Schema.t array;
+  facts : Fact.t array;
+  tuples : int array array;
+  rel_of : int array;
+  rel_range : (int * int) array;
+  blocks : int array array;
+  block_of : int array;
+  adom : int array;
+}
+
+let compile ?tick db =
+  let schemas = Array.of_list (Database.schemas db) in
+  let facts = Array.of_list (Database.facts db) in
+  let n = Array.length facts in
+  let n_rels = Array.length schemas in
+  let interner = Interner.create ~initial_size:(max 64 (2 * n)) () in
+  let tuples =
+    Array.map
+      (fun (f : Fact.t) ->
+        (match tick with Some tick -> tick () | None -> ());
+        Array.map (Interner.intern interner) f.Fact.tuple)
+      facts
+  in
+  (* Sorted fact order is (relation, tuple) order and [schemas] is sorted by
+     name, so one forward walk assigns both [rel_of] and the ranges. *)
+  let rel_of = Array.make n (-1) in
+  let rel_range = Array.make n_rels (0, 0) in
+  let cursor = ref 0 in
+  Array.iteri
+    (fun r (s : Schema.t) ->
+      let start = !cursor in
+      while
+        !cursor < n && String.equal facts.(!cursor).Fact.rel s.Schema.name
+      do
+        rel_of.(!cursor) <- r;
+        incr cursor
+      done;
+      rel_range.(r) <- (start, !cursor))
+    schemas;
+  (* Keys are tuple prefixes, so blocks are consecutive runs of facts with
+     equal relation and key prefix — and the runs appear in exactly the
+     (relation, key) order of [Database.blocks]. *)
+  let block_of = Array.make n (-1) in
+  let same_block i j =
+    rel_of.(i) = rel_of.(j)
+    &&
+    let l = schemas.(rel_of.(i)).Schema.key_len in
+    let rec eq p = p >= l || (tuples.(i).(p) = tuples.(j).(p) && eq (p + 1)) in
+    eq 0
+  in
+  let blocks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let start = !i in
+    let b = List.length !blocks in
+    incr i;
+    while !i < n && same_block start !i do
+      incr i
+    done;
+    let members = Array.init (!i - start) (fun d -> start + d) in
+    Array.iter (fun v -> block_of.(v) <- b) members;
+    blocks := members :: !blocks
+  done;
+  let blocks = Array.of_list (List.rev !blocks) in
+  let adom = Array.init (Interner.size interner) Fun.id in
+  { interner; schemas; facts; tuples; rel_of; rel_range; blocks; block_of; adom }
+
+let decompile c =
+  let fact_of_tuple i =
+    let s = c.schemas.(c.rel_of.(i)) in
+    Fact.of_array s.Schema.name (Array.map (Interner.value c.interner) c.tuples.(i))
+  in
+  Database.of_facts
+    (Array.to_list c.schemas)
+    (List.init (Array.length c.tuples) fact_of_tuple)
+
+let n_facts c = Array.length c.facts
+let n_blocks c = Array.length c.blocks
+let n_values c = Interner.size c.interner
+let n_relations c = Array.length c.schemas
+let fact c i = c.facts.(i)
+let value c id = Interner.value c.interner id
+let find_value c v = Interner.find c.interner v
+
+let rel_index c name =
+  (* [schemas] is sorted by name; binary search. *)
+  let lo = ref 0 and hi = ref (Array.length c.schemas) in
+  let found = ref None in
+  while !found = None && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let cmp = String.compare name c.schemas.(mid).Schema.name in
+    if cmp = 0 then found := Some mid
+    else if cmp < 0 then hi := mid
+    else lo := mid + 1
+  done;
+  !found
+
+let schema_of_fact c i = c.schemas.(c.rel_of.(i))
+let is_consistent c = Array.for_all (fun b -> Array.length b = 1) c.blocks
+
+let pp ppf c =
+  Format.fprintf ppf "compiled plane: %d facts, %d blocks, %d values, %d relations"
+    (n_facts c) (n_blocks c) (n_values c) (n_relations c)

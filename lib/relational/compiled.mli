@@ -1,0 +1,84 @@
+(** The compiled execution plane: an interned, array-backed image of a
+    {!Database.t}.
+
+    Every CERTAIN solver consumes the same derived structure — the fact set,
+    the block partition, and (one level up, in [qlang]) the solution graph.
+    The persistent {!Database} is the authoring plane: immutable, indexed for
+    incremental updates, paying a structural {!Value.compare} per lookup.
+    [Compiled.t] is the execution plane the solvers actually run on: facts
+    are dense vertex indices [0 .. n-1], values are interned ids, and the
+    block partition is a pair of int arrays. {!compile} is the only bridge
+    from one plane to the other, and {!decompile} inverts it exactly
+    ([Database.equal (decompile (compile db)) db] always holds — the qcheck
+    suite pins this).
+
+    Layout invariants, all load-bearing for solver-output stability:
+
+    - [facts] is in sorted fact order, i.e. exactly [Database.facts db];
+      vertex [i] of any solution graph built on the plane is [facts.(i)].
+    - Facts of one relation are contiguous ([rel_range]), because sorted
+      fact order is (relation, tuple) order.
+    - Keys are tuple prefixes, so each block is a {e consecutive run} of the
+      sorted fact array; [blocks] lists the runs in the same (relation, key)
+      order that [Database.blocks] produces.
+    - Interner ids are assigned in first-occurrence order over the sorted
+      facts, so compiling equal databases yields identical planes.
+
+    The interner belongs to the plane and lives exactly as long as it: ids
+    never migrate between planes, and recompiling after an update yields a
+    fresh interner (sessions cache the plane, so this happens once per
+    database state, not once per solver). *)
+
+type t = private {
+  interner : Interner.t;  (** Owns the id [<->] value bijection. *)
+  schemas : Schema.t array;  (** Sorted by relation name. *)
+  facts : Fact.t array;  (** [Database.facts] order (sorted). *)
+  tuples : int array array;  (** [tuples.(i)] is [facts.(i)] interned. *)
+  rel_of : int array;  (** Index into [schemas] per fact. *)
+  rel_range : (int * int) array;
+      (** Per relation, the fact index range [\[start, stop)]. *)
+  blocks : int array array;  (** Block partition, [Database.blocks] order. *)
+  block_of : int array;  (** Block id of each fact. *)
+  adom : int array;  (** Active domain as sorted interned ids. *)
+}
+
+(** [compile ?tick db] compiles the database; [tick] (when given) is invoked
+    once per fact, which is how the degradation chain charges compilation to
+    its step budget (site ["compile"]) without this library depending on the
+    harness. *)
+val compile : ?tick:(unit -> unit) -> Database.t -> t
+
+(** [decompile c] reconstructs the persistent database from the interned
+    tuples (a genuine round trip through the interner, not a cached copy). *)
+val decompile : t -> Database.t
+
+val n_facts : t -> int
+val n_blocks : t -> int
+
+(** Number of distinct interned values (the active-domain size). *)
+val n_values : t -> int
+
+val n_relations : t -> int
+
+(** [fact c i] is the persistent fact behind vertex [i]. *)
+val fact : t -> int -> Fact.t
+
+(** [value c id] resolves an interned id. *)
+val value : t -> int -> Value.t
+
+(** [find_value c v] is the interned id of [v], or [None] if [v] occurs
+    nowhere in the database. *)
+val find_value : t -> Value.t -> int option
+
+(** [rel_index c name] is the index of relation [name] into [schemas]. *)
+val rel_index : t -> string -> int option
+
+(** [schema_of_fact c i] is the schema governing vertex [i]. *)
+val schema_of_fact : t -> int -> Schema.t
+
+(** Consistency on the plane: every block is a singleton. Agrees with
+    [Database.is_consistent] on the source database. *)
+val is_consistent : t -> bool
+
+(** One-line summary ([n] facts, [b] blocks, [v] values, [r] relations). *)
+val pp : Format.formatter -> t -> unit

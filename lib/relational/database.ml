@@ -79,13 +79,13 @@ let facts db = Fact.Set.elements db.facts
 let fact_set db = db.facts
 let schemas db = List.map snd (String_map.bindings db.schemas)
 
-let blocks db =
+let fold_blocks f acc db =
   Key_map.fold
-    (fun (rel, _) fs acc ->
-      let s = schema db rel in
-      Block.make s (Fact.Set.elements fs) :: acc)
-    db.by_key []
-  |> List.rev
+    (fun (rel, _) fs acc -> f acc (Block.make (schema db rel) (Fact.Set.elements fs)))
+    db.by_key acc
+
+let blocks db = List.rev (fold_blocks (fun acc b -> b :: acc) [] db)
+let block_count db = Key_map.cardinal db.by_key
 
 let block_of db f =
   match Key_map.find_opt (fact_key db f) db.by_key with
@@ -114,15 +114,33 @@ let union d1 d2 =
             (Printf.sprintf "Database.union: conflicting schemas for %s" name))
       d1.schemas d2.schemas
   in
-  let base = { schemas; facts = Fact.Set.empty; by_key = Key_map.empty } in
-  Fact.Set.fold (fun f db -> add db f) (Fact.Set.union d1.facts d2.facts) base
+  (* Facts in either database were validated and indexed by their [add];
+     merging the persistent sets and index buckets directly skips the
+     redundant membership test and [fact_key] revalidation a re-[add] of
+     every fact would pay. Key collisions across the two databases merge
+     buckets — same relation, same schema (checked above), same key. *)
+  {
+    schemas;
+    facts = Fact.Set.union d1.facts d2.facts;
+    by_key =
+      Key_map.union
+        (fun _ b1 b2 -> Some (Fact.Set.union b1 b2))
+        d1.by_key d2.by_key;
+  }
 
 let filter p db =
-  let keep = Fact.Set.filter p db.facts in
-  Fact.Set.fold
-    (fun f acc -> add acc f)
-    keep
-    { db with facts = Fact.Set.empty; by_key = Key_map.empty }
+  (* Filter the index buckets in place (dropping emptied keys) rather than
+     re-validating and re-indexing every surviving fact through [add]. *)
+  {
+    db with
+    facts = Fact.Set.filter p db.facts;
+    by_key =
+      Key_map.filter_map
+        (fun _ bucket ->
+          let bucket = Fact.Set.filter p bucket in
+          if Fact.Set.is_empty bucket then None else Some bucket)
+        db.by_key;
+  }
 
 let adom db =
   Fact.Set.fold (fun f acc -> Value.Set.union (Fact.adom f) acc) db.facts

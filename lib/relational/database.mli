@@ -41,8 +41,17 @@ val schema : t -> string -> Schema.t
     @raise Invalid_argument if [f]'s relation is undeclared. *)
 val schema_of : t -> Fact.t -> Schema.t
 
-(** All blocks of the database, over all relations. *)
+(** All blocks of the database, over all relations, in (relation, key)
+    order. *)
 val blocks : t -> Block.t list
+
+(** [block_count db] is [List.length (blocks db)] without materializing the
+    block list (the count is the index cardinality). *)
+val block_count : t -> int
+
+(** [fold_blocks f acc db] folds over the blocks in the same (relation, key)
+    order as {!blocks}, without materializing the list. *)
+val fold_blocks : ('a -> Block.t -> 'a) -> 'a -> t -> 'a
 
 (** [block_of db f] is the block of [f] in [db] (whether or not [f] is in
     [db]: the block of facts of [db] key-equal to [f], which may be empty and

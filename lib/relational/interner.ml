@@ -1,0 +1,51 @@
+module Table = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type t = {
+  ids : int Table.t;
+  mutable values : Value.t array;  (* slots [0 .. next - 1] are live *)
+  mutable next : int;
+}
+
+let dummy = Value.Int 0
+
+let create ?(initial_size = 64) () =
+  {
+    ids = Table.create initial_size;
+    values = Array.make (max 1 initial_size) dummy;
+    next = 0;
+  }
+
+let size t = t.next
+
+let grow t =
+  let values = Array.make (2 * Array.length t.values) dummy in
+  Array.blit t.values 0 values 0 t.next;
+  t.values <- values
+
+let intern t v =
+  match Table.find_opt t.ids v with
+  | Some id -> id
+  | None ->
+      let id = t.next in
+      if id = Array.length t.values then grow t;
+      t.values.(id) <- v;
+      t.next <- id + 1;
+      Table.add t.ids v id;
+      id
+
+let find t v = Table.find_opt t.ids v
+
+let value t id =
+  if id < 0 || id >= t.next then
+    invalid_arg (Printf.sprintf "Interner.value: unassigned id %d" id);
+  t.values.(id)
+
+let iter f t =
+  for id = 0 to t.next - 1 do
+    f id t.values.(id)
+  done

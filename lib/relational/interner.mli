@@ -1,0 +1,36 @@
+(** Value interning: dense integer ids for {!Value.t}.
+
+    The compiled execution plane ({!Compiled}) replaces every structural
+    [Value.compare] with an [int] comparison; the interner is the bridge. Ids
+    are assigned densely in first-intern order starting from [0], so a plane
+    compiled from a database assigns ids deterministically (facts are
+    interned in sorted fact order, positions left to right) and an [int
+    array] indexed by id is a valid side table for the whole domain.
+
+    An interner is a mutable append-only table: values are never forgotten,
+    and an id, once assigned, always resolves to the same value. *)
+
+type t
+
+(** [create ()] is an empty interner. *)
+val create : ?initial_size:int -> unit -> t
+
+(** [intern t v] is the id of [v], assigning the next dense id on first
+    sight. *)
+val intern : t -> Value.t -> int
+
+(** [find t v] is the id of [v] if it has been interned, without assigning
+    one. This is how compiled query patterns translate constants: a constant
+    absent from the interner occurs nowhere in the database and the pattern
+    can be declared unsatisfiable up front. *)
+val find : t -> Value.t -> int option
+
+(** [value t id] resolves an id back to its value.
+    @raise Invalid_argument if [id] was never assigned. *)
+val value : t -> int -> Value.t
+
+(** Number of interned values (ids are [0 .. size - 1]). *)
+val size : t -> int
+
+(** [iter f t] applies [f id value] in increasing id order. *)
+val iter : (int -> Value.t -> unit) -> t -> unit

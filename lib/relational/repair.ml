@@ -22,13 +22,15 @@ let enumerate db =
   Seq.map (List.sort Fact.compare) (product blocks)
 
 let is_repair db r =
-  let sorted = List.sort Fact.compare r in
+  (* One block-list materialization, shared by the cardinality test and the
+     per-block coverage test. *)
+  let blocks = Database.blocks db in
   List.for_all (Database.mem db) r
   && List.length (List.sort_uniq Fact.compare r) = List.length r
-  && List.length sorted = List.length (Database.blocks db)
+  && List.length r = Database.block_count db
   && List.for_all
        (fun (b : Block.t) -> List.exists (fun f -> Block.mem f b) r)
-       (Database.blocks db)
+       blocks
 
 let for_all db p = Seq.for_all p (enumerate db)
 let exists db p = Seq.exists p (enumerate db)

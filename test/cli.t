@@ -72,10 +72,10 @@ mask them:
   $ printf 'R(1 | 2)\nR(2 | 1)\n' > certain.db
   $ cqa certain --verify --explain "R(x | y) R(y | x)" certain.db 2>/dev/null | sed -E 's/[0-9]+\.[0-9]+ ms/_ ms/g'
   degradation chain:
-    1. ptime tier (Cert_3): decided true [_ ms; 2 steps: certk=2]
+    1. ptime tier (Cert_3): decided true [_ ms; 6 steps: compile=4, certk=2]
     2. sat tier (exact (SAT)): decided true [_ ms; 2 steps: dpll=2]
     3. exact tier (exact (backtracking)): decided true [_ ms; 3 steps: exact=3]
-  budget: 7 steps (exact=3, certk=2, dpll=2)
+  budget: 11 steps (compile=4, exact=3, certk=2, dpll=2)
   CERTAIN: true (via Cert_3)
 
 --trace and --metrics write schema-versioned JSON documents (round-trip
@@ -93,9 +93,9 @@ interleaving is buffering-dependent):
 
   $ cqa certain --max-steps 1 --exact --explain "R(x | y) R(y | x)" certain.db 2>/dev/null | sed -E 's/[0-9]+\.[0-9]+ ms/_ ms/g'
   degradation chain:
-    1. sat tier (exact (SAT)): ran out of step budget after 1 steps (hottest site dpll=1) [_ ms; 1 step: dpll=1]
-  budget: 1 step (dpll=1)
+    1. sat tier (exact (SAT)): ran out of step budget after 1 steps (hottest site compile=1) [_ ms; 1 step: compile=1]
+  budget: 1 step (compile=1)
   $ cqa certain --max-steps 1 --exact "R(x | y) R(y | x)" certain.db 2>&1 >/dev/null
-  note: sat tier (exact (SAT)): ran out of step budget after 1 steps (hottest site dpll=1)
-  budget exhausted after 1 steps (hottest site dpll=1): no solver tier finished (re-run with a larger --max-steps or with --estimate)
+  note: sat tier (exact (SAT)): ran out of step budget after 1 steps (hottest site compile=1)
+  budget exhausted after 1 steps (hottest site compile=1): no solver tier finished (re-run with a larger --max-steps or with --estimate)
   [3]

@@ -97,6 +97,90 @@ let test_sound_vs_exact () =
         [ 1; 2; 3 ])
     instances
 
+(* Cross-plane differential: every solver must answer identically whether it
+   is fed the frozen persistent-plane graph builder's output or runs through
+   the compiled execution plane ([Relational.Compiled] + the new [_plane]
+   entry points). Stronger than verdict agreement where possible: the
+   solution graphs must be structurally identical, the solution-pair
+   enumerations must coincide index-for-index, the Cert_k minimal antichains
+   must match set-for-set, and seeded Monte-Carlo estimates must agree
+   sample-for-sample. *)
+let test_cross_plane_agreement () =
+  let checked = ref 0 in
+  List.iter
+    (fun ((q : Query.t), db) ->
+      let plane = Relational.Compiled.compile db in
+      let g_ref = Solution_graph.of_atoms_reference q.Query.a q.Query.b db in
+      let g = Solution_graph.of_query_compiled q plane in
+      if not (Solution_graph.equal g g_ref) then
+        Alcotest.failf "solution graphs differ across planes on %s"
+          (Query.to_string q);
+      let pairs_ref =
+        List.map
+          (fun (f1, f2) ->
+            (Solution_graph.index g_ref f1, Solution_graph.index g_ref f2))
+          (Qlang.Solutions.query_pairs q db)
+      in
+      if Qlang.Solutions.pairs_compiled q.Query.a q.Query.b plane <> pairs_ref
+      then
+        Alcotest.failf "solution pairs differ across planes on %s"
+          (Query.to_string q);
+      List.iter
+        (fun k ->
+          let pairings =
+            [
+              ( Printf.sprintf "certk-%d" k,
+                Cqa.Certk.run ~k g_ref,
+                Cqa.Certk.certain_plane ~k q plane );
+              ( Printf.sprintf "certk-rounds-%d" k,
+                Cqa.Certk_rounds.run ~k g_ref,
+                Cqa.Certk_rounds.certain_plane ~k q plane );
+              ( Printf.sprintf "certk-naive-%d" k,
+                Cqa.Certk_naive.run ~k g_ref,
+                Cqa.Certk_naive.certain_plane ~k q plane );
+            ]
+          in
+          List.iter
+            (fun (name, persistent, compiled) ->
+              if persistent <> compiled then
+                Alcotest.failf "%s: persistent %b / compiled %b on %s" name
+                  persistent compiled (Query.to_string q))
+            pairings;
+          if Cqa.Certk.derived ~k g_ref <> Cqa.Certk.derived ~k g then
+            Alcotest.failf "Cert_%d antichains differ across planes on %s" k
+              (Query.to_string q))
+        [ 1; 2; 3 ];
+      List.iter
+        (fun (name, persistent, compiled) ->
+          if persistent <> compiled then
+            Alcotest.failf "%s: persistent %b / compiled %b on %s" name
+              persistent compiled (Query.to_string q))
+        [
+          ("exact", Cqa.Exact.certain g_ref, Cqa.Exact.certain_plane q plane);
+          ( "satreduce",
+            Cqa.Satreduce.certain g_ref,
+            Cqa.Satreduce.certain_plane q plane );
+          ( "matching",
+            not (Cqa.Matching_alg.run g_ref),
+            Cqa.Matching_alg.certain_plane q plane );
+        ];
+      let trials = 30 in
+      let e_db =
+        Cqa.Montecarlo.estimate (Random.State.make [| 0xCAFE |]) ~trials q db
+      in
+      let e_g =
+        Cqa.Montecarlo.estimate_g (Random.State.make [| 0xCAFE |]) ~trials g
+      in
+      if
+        e_db.Cqa.Montecarlo.satisfying <> e_g.Cqa.Montecarlo.satisfying
+        || e_db.Cqa.Montecarlo.counterexample <> e_g.Cqa.Montecarlo.counterexample
+      then
+        Alcotest.failf "seeded Monte-Carlo estimates differ across planes on %s"
+          (Query.to_string q);
+      incr checked)
+    instances;
+  if !checked = 0 then Alcotest.fail "cross-plane suite saw no instances"
+
 (* Structural soundness of a Cert_k derivation certificate: every leaf is a
    genuine solution of the instance, every internal node covers its block,
    and each node's set is exactly what its reason derives. *)
@@ -190,6 +274,7 @@ let test_bench_report_round_trip () =
             n_facts = 34;
             n_blocks = 10;
             budget_s = 5.0;
+            compile_ms = Some 0.042;
             runs =
               [
                 {
@@ -212,10 +297,14 @@ let test_bench_report_round_trip () =
                 };
               ];
             speedup_vs_rounds = None;
+            speedup_e2e = Some 1.75;
+            plane_equivalent = Some true;
           };
         ];
       agreement = true;
+      plane_equivalence = Some true;
       geomean_speedup = Some 2.5000000000000004;
+      geomean_e2e = Some 1.75;
     }
   in
   match Benchkit.Report.validate_round_trip report with
@@ -232,6 +321,8 @@ let () =
           Alcotest.test_case "minimal antichains identical" `Quick
             test_minimal_antichains_identical;
           Alcotest.test_case "sound vs exact" `Quick test_sound_vs_exact;
+          Alcotest.test_case "cross-plane agreement" `Quick
+            test_cross_plane_agreement;
           Alcotest.test_case "derivation certificates valid" `Quick
             test_derivation_certificates_valid;
         ] );

@@ -154,6 +154,49 @@ let test_siblings () =
   let db = db2 [ [ 1; 1 ]; [ 1; 2 ]; [ 1; 3 ]; [ 2; 1 ] ] in
   Alcotest.(check int) "two siblings" 2 (List.length (Database.siblings db (fact [ 1; 1 ])))
 
+let test_block_count_and_fold () =
+  let db = db2 [ [ 1; 1 ]; [ 1; 2 ]; [ 2; 1 ]; [ 3; 1 ] ] in
+  Alcotest.(check int) "block_count" 3 (Database.block_count db);
+  Alcotest.(check int)
+    "block_count agrees with blocks" (List.length (Database.blocks db))
+    (Database.block_count db);
+  let folded =
+    List.rev (Database.fold_blocks (fun acc b -> b :: acc) [] db)
+  in
+  Alcotest.(check int) "fold visits every block" 3 (List.length folded);
+  List.iter2
+    (fun (b : Block.t) (b' : Block.t) ->
+      Alcotest.(check bool) "fold order matches blocks" true
+        (List.for_all2 Fact.equal b.Block.facts b'.Block.facts))
+    (Database.blocks db) folded
+
+let test_filter_keeps_structure () =
+  let db = db2 [ [ 1; 1 ]; [ 1; 2 ]; [ 2; 1 ]; [ 3; 1 ] ] in
+  (* Drops the whole key-1 block, so an emptied bucket must disappear. *)
+  let keep (f : Fact.t) = not (Value.equal f.Fact.tuple.(0) (vi 1)) in
+  let filtered = Database.filter keep db in
+  Alcotest.(check int) "facts filtered" 2 (Database.size filtered);
+  Alcotest.(check int) "empty buckets dropped" 2 (Database.block_count filtered);
+  Alcotest.(check bool) "equals the rebuilt database" true
+    (Database.equal filtered
+       (Database.of_facts (Database.schemas db)
+          (List.filter keep (Database.facts db))));
+  Alcotest.(check bool) "filter to empty" true
+    (Database.is_empty (Database.filter (fun _ -> false) db));
+  Alcotest.(check int) "no residual blocks" 0
+    (Database.block_count (Database.filter (fun _ -> false) db))
+
+let test_union_merges () =
+  let d1 = db2 [ [ 1; 1 ]; [ 2; 1 ] ] and d2 = db2 [ [ 1; 2 ]; [ 3; 1 ] ] in
+  let u = Database.union d1 d2 in
+  Alcotest.(check int) "union size" 4 (Database.size u);
+  Alcotest.(check int) "union blocks" 3 (Database.block_count u);
+  Alcotest.(check bool) "equals the rebuilt database" true
+    (Database.equal u
+       (Database.of_facts (Database.schemas d1)
+          (Database.facts d1 @ Database.facts d2)));
+  Alcotest.(check bool) "idempotent" true (Database.equal u (Database.union u u))
+
 (* ------------------------------------------------------------------ *)
 (* Repair *)
 
@@ -225,6 +268,68 @@ let prop_repairs_maximal =
                          (Repair.to_database db (f :: r))))
                (Database.facts db)))
 
+(* ------------------------------------------------------------------ *)
+(* Compiled execution plane *)
+
+module Compiled = Relational.Compiled
+
+let test_compiled_structure () =
+  let db = db2 [ [ 1; 1 ]; [ 1; 2 ]; [ 2; 1 ]; [ 3; 7 ] ] in
+  let p = Compiled.compile db in
+  Alcotest.(check int) "n_facts" (Database.size db) (Compiled.n_facts p);
+  Alcotest.(check int) "n_blocks" (Database.block_count db) (Compiled.n_blocks p);
+  Alcotest.(check int) "n_relations" 1 (Compiled.n_relations p);
+  Alcotest.(check int)
+    "n_values = |adom|"
+    (Value.Set.cardinal (Database.adom db))
+    (Compiled.n_values p);
+  (* Fact order is Database.facts order; block partition mirrors
+     Database.blocks in order and size. *)
+  List.iteri
+    (fun i f ->
+      Alcotest.(check bool) "fact order" true (Fact.equal f (Compiled.fact p i)))
+    (Database.facts db);
+  List.iteri
+    (fun bi (b : Block.t) ->
+      Alcotest.(check int)
+        "block sizes" (Block.size b)
+        (Array.length p.Compiled.blocks.(bi));
+      Array.iter
+        (fun v ->
+          Alcotest.(check int) "block_of inverts blocks" bi
+            p.Compiled.block_of.(v))
+        p.Compiled.blocks.(bi))
+    (Database.blocks db);
+  Alcotest.(check bool) "consistency agrees" (Database.is_consistent db)
+    (Compiled.is_consistent p)
+
+let test_compiled_tick_per_fact () =
+  let db = db2 [ [ 1; 1 ]; [ 1; 2 ]; [ 2; 1 ] ] in
+  let ticks = ref 0 in
+  ignore (Compiled.compile ~tick:(fun () -> incr ticks) db);
+  Alcotest.(check int) "one tick per fact" (Database.size db) !ticks
+
+let prop_compile_round_trip =
+  QCheck2.Test.make ~name:"decompile (compile db) = db" ~count:200 random_db_gen
+    (fun db -> Database.equal (Compiled.decompile (Compiled.compile db)) db)
+
+let prop_compile_round_trip_randdb =
+  (* Same property over the benchmark workload generator, whose databases
+     have multiple relations' worth of structure (planted query matches,
+     larger domains) than the tiny hand-rolled generator above. *)
+  QCheck2.Test.make ~name:"round trip over Workload.Randdb" ~count:50
+    QCheck2.Gen.(
+      let* seed = int_range 0 10_000 in
+      let* n = int_range 0 60 in
+      return (seed, n))
+    (fun (seed, n) ->
+      let rng = Random.State.make [| seed |] in
+      let db =
+        Workload.Randdb.random_for_query rng Workload.Catalog.q3 ~n_facts:n
+          ~domain:5
+      in
+      Database.equal (Compiled.decompile (Compiled.compile db)) db)
+
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "relational"
@@ -258,7 +363,19 @@ let () =
           Alcotest.test_case "unknown relation" `Quick test_database_rejects_unknown_relation;
           Alcotest.test_case "union conflict" `Quick test_database_union_conflict;
           Alcotest.test_case "siblings" `Quick test_siblings;
+          Alcotest.test_case "block_count and fold_blocks" `Quick
+            test_block_count_and_fold;
+          Alcotest.test_case "filter" `Quick test_filter_keeps_structure;
+          Alcotest.test_case "union merges" `Quick test_union_merges;
         ] );
+      ( "compiled",
+        [
+          Alcotest.test_case "structure mirrors the database" `Quick
+            test_compiled_structure;
+          Alcotest.test_case "one tick per fact" `Quick
+            test_compiled_tick_per_fact;
+        ]
+        @ qt [ prop_compile_round_trip; prop_compile_round_trip_randdb ] );
       ( "repair",
         [
           Alcotest.test_case "count" `Quick test_repair_count;
