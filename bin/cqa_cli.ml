@@ -37,6 +37,17 @@ let read_file = function
         ~finally:(fun () -> close_in_noerr ic)
         (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Database ingestion goes through the same structured path as the serve
+   frame decoder (Serve.Ingest): parse errors, undeclared relations and
+   arity mismatches all surface as one stable-coded error line and exit 2 —
+   no raw [Invalid_argument] noise, no per-command formatting drift. *)
+let with_db path f =
+  match Serve.Ingest.database (read_file path) with
+  | Error { Serve.Protocol.code; message } ->
+      Format.eprintf "error [%s]: %s@." (Serve.Protocol.code_name code) message;
+      exit_error
+  | Ok db -> f db
+
 let query_conv =
   let parse s =
     match Qlang.Parse.query s with
@@ -265,11 +276,7 @@ let record_attempt_metrics metrics outcome (attempts : Core.Solver.attempt list)
 let certain_run query db_path k exact_only timeout max_steps estimate_flag trials
     seed verify verify_certificate trace_out metrics_out explain =
   guard @@ fun () ->
-  match Qlang.Parse.database (read_file db_path) with
-  | Error e ->
-      Format.eprintf "error: %s@." (Qlang.Parse.error_to_string e);
-      exit_error
-  | Ok db ->
+  with_db db_path @@ fun db ->
       let metrics = Option.map (fun _ -> Obs.Metrics.create ()) metrics_out in
       let trace = Option.map (fun _ -> Obs.Trace.create ()) trace_out in
       let budget =
@@ -598,11 +605,7 @@ let gadget_cmd =
 
 let answers_run query db_path free_spec =
   guard @@ fun () ->
-  match Qlang.Parse.database (read_file db_path) with
-  | Error e ->
-      Format.eprintf "error: %s@." (Qlang.Parse.error_to_string e);
-      exit_error
-  | Ok db -> (
+  with_db db_path @@ fun db -> (
       let free =
         String.split_on_char ',' free_spec
         |> List.map String.trim
@@ -645,11 +648,7 @@ let answers_cmd =
 
 let explain_run query db_path k =
   guard @@ fun () ->
-  match Qlang.Parse.database (read_file db_path) with
-  | Error e ->
-      Format.eprintf "error: %s@." (Qlang.Parse.error_to_string e);
-      exit_error
-  | Ok db -> (
+  with_db db_path @@ fun db -> (
       let g = Qlang.Solution_graph.of_query query db in
       match Cqa.Certk.certificate ~k g with
       | Some cert ->
@@ -688,11 +687,7 @@ let explain_cmd =
 
 let dot_run query db_path directed =
   guard @@ fun () ->
-  match Qlang.Parse.database (read_file db_path) with
-  | Error e ->
-      Format.eprintf "error: %s@." (Qlang.Parse.error_to_string e);
-      exit_error
-  | Ok db ->
+  with_db db_path @@ fun db ->
       let g = Qlang.Solution_graph.of_query query db in
       print_string (Qlang.Dot.solution_graph ~directed g);
       0
@@ -748,11 +743,7 @@ let atlas_cmd =
 
 let estimate_run query db_path trials seed =
   guard @@ fun () ->
-  match Qlang.Parse.database (read_file db_path) with
-  | Error e ->
-      Format.eprintf "error: %s@." (Qlang.Parse.error_to_string e);
-      exit_error
-  | Ok db ->
+  with_db db_path @@ fun db ->
       let rng = Random.State.make [| seed |] in
       let e = Cqa.Montecarlo.estimate rng ~trials query db in
       Format.printf "sampled %d repairs: %d satisfied the query (frequency %.3f)@."
@@ -778,6 +769,225 @@ let estimate_cmd =
     Term.(const estimate_run $ query_arg $ db_arg $ trials_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve *)
+
+let serve_run pipe socket fast_timeout heavy_timeout fast_max_steps
+    heavy_max_steps trials retries backoff max_facts planes capacity refill
+    chaos_fail chaos_delay chaos_pressure chaos_seed chaos_sites seed k =
+  guard @@ fun () ->
+  let chaos =
+    if chaos_fail > 0.0 || chaos_delay > 0.0 || chaos_pressure > 0.0 then
+      Some
+        {
+          Serve.Daemon.fail_p = chaos_fail;
+          delay_p = chaos_delay;
+          delay_s = 0.0005;
+          pressure_p = chaos_pressure;
+          chaos_seed;
+          sites = chaos_sites;
+        }
+    else None
+  in
+  let config =
+    {
+      Serve.Daemon.default_config with
+      Serve.Daemon.fast_timeout;
+      heavy_timeout;
+      fast_max_steps;
+      heavy_max_steps;
+      estimate_trials = trials;
+      retries;
+      backoff_s = backoff;
+      max_facts;
+      plane_capacity = planes;
+      admission =
+        {
+          Serve.Admission.default_config with
+          Serve.Admission.capacity;
+          refill_per_s = refill;
+        };
+      chaos;
+      seed;
+      k;
+    }
+  in
+  let daemon = Serve.Daemon.create config in
+  match (pipe, socket) with
+  | true, Some _ ->
+      Format.eprintf "error: pass either --pipe or --socket, not both@.";
+      exit_error
+  | false, None ->
+      Format.eprintf "error: pass --pipe or --socket PATH@.";
+      exit_error
+  | true, None ->
+      Serve.Daemon.run_pipe daemon stdin stdout;
+      0
+  | false, Some path ->
+      Serve.Daemon.run_socket daemon ~path;
+      0
+
+let serve_cmd =
+  let pipe_arg =
+    Arg.(
+      value & flag
+      & info [ "pipe" ]
+          ~doc:"Serve newline-framed JSON requests on stdin/stdout.")
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Serve on a Unix-domain socket at $(docv) (connections are \
+             accepted sequentially; the socket file is removed on exit).")
+  in
+  let dc = Serve.Daemon.default_config in
+  let fast_timeout_arg =
+    Arg.(
+      value
+      & opt (some float) dc.Serve.Daemon.fast_timeout
+      & info [ "fast-timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-request deadline for PTIME-tier requests.")
+  in
+  let heavy_timeout_arg =
+    Arg.(
+      value
+      & opt (some float) dc.Serve.Daemon.heavy_timeout
+      & info [ "heavy-timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-request deadline for coNP-tier requests.")
+  in
+  let fast_steps_arg =
+    Arg.(
+      value
+      & opt (some int) dc.Serve.Daemon.fast_max_steps
+      & info [ "fast-max-steps" ] ~docv:"N"
+          ~doc:"Per-request step budget for PTIME-tier requests.")
+  in
+  let heavy_steps_arg =
+    Arg.(
+      value
+      & opt (some int) dc.Serve.Daemon.heavy_max_steps
+      & info [ "heavy-max-steps" ] ~docv:"N"
+          ~doc:"Per-request step budget for coNP-tier requests.")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int dc.Serve.Daemon.estimate_trials
+      & info [ "trials" ] ~docv:"N"
+          ~doc:
+            "Sampled repairs for downgraded requests and the estimate \
+             fallback (per-request override: the 'trials' field).")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int dc.Serve.Daemon.retries
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Re-runs allowed when a request hits a transient fault.")
+  in
+  let backoff_arg =
+    Arg.(
+      value & opt float dc.Serve.Daemon.backoff_s
+      & info [ "backoff" ] ~docv:"SECONDS"
+          ~doc:"Initial backoff between retries (doubles per retry).")
+  in
+  let max_facts_arg =
+    Arg.(
+      value & opt int dc.Serve.Daemon.max_facts
+      & info [ "max-facts" ] ~docv:"N"
+          ~doc:"Refuse databases larger than $(docv) facts (db-too-large).")
+  in
+  let planes_arg =
+    Arg.(
+      value & opt int dc.Serve.Daemon.plane_capacity
+      & info [ "planes" ] ~docv:"N"
+          ~doc:"LRU capacity of the compiled-plane cache.")
+  in
+  let capacity_arg =
+    Arg.(
+      value
+      & opt float dc.Serve.Daemon.admission.Serve.Admission.capacity
+      & info [ "admission-capacity" ] ~docv:"UNITS"
+          ~doc:"Token-bucket capacity in heavy work units (burst headroom).")
+  in
+  let refill_arg =
+    Arg.(
+      value
+      & opt float dc.Serve.Daemon.admission.Serve.Admission.refill_per_s
+      & info [ "admission-refill" ] ~docv:"UNITS"
+          ~doc:"Heavy work units restored per second.")
+  in
+  let chaos_fail_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "chaos-fail" ] ~docv:"P"
+          ~doc:"Per-tick probability of an injected transient fault.")
+  in
+  let chaos_delay_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "chaos-delay" ] ~docv:"P"
+          ~doc:"Per-tick probability of an injected delay (0.5 ms).")
+  in
+  let chaos_pressure_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "chaos-pressure" ] ~docv:"P"
+          ~doc:"Per-tick probability of injected budget pressure.")
+  in
+  let chaos_seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "chaos-seed" ] ~docv:"SEED"
+          ~doc:"Seed of the chaos injection schedule (replayable).")
+  in
+  let chaos_sites_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "chaos-site" ] ~docv:"SITE"
+          ~doc:"Restrict injection to this tick site (repeatable; default all).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Seed of the estimate RNG.")
+  in
+  let k_arg =
+    Arg.(
+      value & opt int dc.Serve.Daemon.k
+      & info [ "k" ] ~docv:"K" ~doc:"Fixpoint parameter of Cert_k.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the fault-tolerant answering daemon (newline-framed JSON)."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Loads and compiles databases into a fingerprint-keyed plane \
+              cache and answers classify / certain / lint / stats requests \
+              over a newline-framed JSON protocol, either on stdin/stdout \
+              ($(b,--pipe)) or a Unix-domain socket ($(b,--socket)). Every \
+              request runs under its own budget (deadline and step caps \
+              derived from its dichotomy tier) and its own metrics registry; \
+              admission control sheds or downgrades coNP-tier requests to \
+              Monte-Carlo estimates under load; transient faults are retried \
+              with backoff. Malformed frames, injected faults, budget \
+              exhaustion and oversized databases each produce a structured \
+              error response — the loop never dies. See the manual's \
+              \"Serving\" section for the protocol grammar and error codes.";
+           `S Manpage.s_exit_status;
+           `P "0 — clean shutdown (EOF or a shutdown request).";
+           `P "2 — usage error.";
+         ])
+    Term.(
+      const serve_run $ pipe_arg $ socket_arg $ fast_timeout_arg
+      $ heavy_timeout_arg $ fast_steps_arg $ heavy_steps_arg $ trials_arg
+      $ retries_arg $ backoff_arg $ max_facts_arg $ planes_arg $ capacity_arg
+      $ refill_arg $ chaos_fail_arg $ chaos_delay_arg $ chaos_pressure_arg
+      $ chaos_seed_arg $ chaos_sites_arg $ seed_arg $ k_arg)
+
+(* ------------------------------------------------------------------ *)
 (* bench *)
 
 (* Queries from an examples/queries.catalog-style file: one query per line,
@@ -796,11 +1006,42 @@ let parse_query_catalog path =
                     (Qlang.Parse.error_to_string e)))
   |> List.mapi (fun i q -> (Printf.sprintf "catalog-%d" i, q))
 
+let serve_bench_run seed output =
+  let report = Benchkit.Serve_suite.run ~seed () in
+  Format.printf "%-8s %10s %12s %10s@." "tier" "requests" "wall(ms)" "req/s";
+  List.iter
+    (fun (t : Benchkit.Serve_suite.tier_stat) ->
+      Format.printf "%-8s %10d %12.2f %10.0f@." t.Benchkit.Serve_suite.tier
+        t.Benchkit.Serve_suite.requests t.Benchkit.Serve_suite.wall_ms
+        t.Benchkit.Serve_suite.rps;
+      List.iter
+        (fun (code, n) -> Format.printf "  %-24s %d@." code n)
+        t.Benchkit.Serve_suite.codes)
+    report.Benchkit.Serve_suite.tiers;
+  Format.printf
+    "admission: %d admitted, %d downgraded, %d shed; planes: %d hits, %d \
+     misses@."
+    report.Benchkit.Serve_suite.admitted
+    report.Benchkit.Serve_suite.downgraded report.Benchkit.Serve_suite.shed
+    report.Benchkit.Serve_suite.plane_hits
+    report.Benchkit.Serve_suite.plane_misses;
+  (* The default output name is the Cert_k suite's; give the serve profile
+     its own document unless the user named one explicitly. *)
+  let output = if output = "BENCH_certk.json" then "BENCH_serve.json" else output in
+  Benchkit.Serve_suite.write output report;
+  Format.printf "wrote %s@." output;
+  0
+
 let bench_run profile seed output budget_s catalog =
   guard @@ fun () ->
+  if profile = "serve-throughput" then serve_bench_run seed output
+  else
   match Benchkit.Certk_suite.profile_of_string profile with
   | None ->
-      Format.eprintf "error: unknown profile %S (expected smoke or default)@." profile;
+      Format.eprintf
+        "error: unknown profile %S (expected smoke, default or \
+         serve-throughput)@."
+        profile;
       exit_error
   | Some profile ->
       let extra_queries =
@@ -867,7 +1108,11 @@ let bench_cmd =
     Arg.(
       value & opt string "default"
       & info [ "profile" ] ~docv:"PROFILE"
-          ~doc:"Workload profile: $(b,smoke) (tiny, CI-friendly) or $(b,default).")
+          ~doc:
+            "Workload profile: $(b,smoke) (tiny, CI-friendly), $(b,default), \
+             or $(b,serve-throughput) (drive the serve daemon in-process and \
+             measure requests/sec by tier plus shed/downgrade counts; writes \
+             BENCH_serve.json).")
   in
   let seed_arg =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload generation seed.")
@@ -915,6 +1160,7 @@ let main_cmd =
       dot_cmd;
       atlas_cmd;
       estimate_cmd;
+      serve_cmd;
       bench_cmd;
     ]
 

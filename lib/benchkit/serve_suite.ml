@@ -1,0 +1,192 @@
+module Json = Analysis.Json
+
+type tier_stat = {
+  tier : string;
+  requests : int;
+  wall_ms : float;
+  rps : float;
+  codes : (string * int) list;
+}
+
+type report = {
+  suite : string;
+  seed : int;
+  requests : int;
+  wall_ms : float;
+  rps : float;
+  tiers : tier_stat list;
+  admitted : int;
+  downgraded : int;
+  shed : int;
+  plane_hits : int;
+  plane_misses : int;
+}
+
+(* Render a database back to the facts-file syntax the protocol carries
+   inline (one fact per line, "R(key | rest)"). *)
+let facts_text db =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (f : Relational.Fact.t) ->
+      let schema = Relational.Database.schema_of db f in
+      let token i = Relational.Value.to_token (Relational.Fact.nth f i) in
+      let join ps = String.concat " " (List.map token ps) in
+      Buffer.add_string buf
+        (Printf.sprintf "%s(%s | %s)\n" f.Relational.Fact.rel
+           (join (Relational.Schema.key_positions schema))
+           (join (Relational.Schema.nonkey_positions schema))))
+    (Relational.Database.facts db);
+  Buffer.contents buf
+
+let frame ~query ~facts ~trials =
+  Json.to_string
+    (Json.Obj
+       [
+         ("op", Json.String "certain");
+         ("query", Json.String query);
+         ("facts", Json.String facts);
+         ("trials", Json.Int trials);
+       ])
+
+(* 4 fast : 1 heavy, tails appended — the heavy stream arrives as a burst
+   spread through the run, which is what outruns the admission refill. *)
+let interleave fast heavy =
+  let rec go fs hs acc i =
+    match (fs, hs) with
+    | [], [] -> List.rev acc
+    | [], h :: hs -> go [] hs (h :: acc) (i + 1)
+    | f :: fs, [] -> go fs [] (f :: acc) (i + 1)
+    | f :: fs', h :: hs' ->
+        if i mod 5 = 4 then go fs hs' (h :: acc) (i + 1)
+        else go fs' hs (f :: acc) (i + 1)
+  in
+  go fast heavy [] 0
+
+let code_of_response line =
+  match Json.of_string line with
+  | Ok j -> (
+      match Json.member "code" j with
+      | Some (Json.String c) -> c
+      | _ -> "unparseable")
+  | Error _ -> "unparseable"
+
+let bump tbl key =
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let run ?(fast_requests = 400) ?(heavy_requests = 100) ?(clock_step_s = 0.01)
+    ?(seed = 42) () =
+  let rng = Random.State.make [| seed |] in
+  let fast_query = Workload.Catalog.q3 and heavy_query = Workload.Catalog.q2 in
+  let dbs_for q =
+    List.init 3 (fun _ ->
+        facts_text (Workload.Randdb.random_for_query rng q ~n_facts:40 ~domain:5))
+  in
+  let fast_dbs = dbs_for fast_query and heavy_dbs = dbs_for heavy_query in
+  let frames_for ~tier query dbs n =
+    List.init n (fun i ->
+        ( tier,
+          frame
+            ~query:(Qlang.Query.to_string query)
+            ~facts:(List.nth dbs (i mod List.length dbs))
+            ~trials:50 ))
+  in
+  let stream =
+    interleave
+      (frames_for ~tier:"fast" fast_query fast_dbs fast_requests)
+      (frames_for ~tier:"heavy" heavy_query heavy_dbs heavy_requests)
+  in
+  (* Virtual admission clock: one fixed step per reading, so the
+     shed/downgrade pattern depends only on the request mix, never on how
+     fast this machine solves. *)
+  let vnow = ref 0.0 in
+  let clock () =
+    let v = !vnow in
+    vnow := v +. clock_step_s;
+    v
+  in
+  let daemon = Serve.Daemon.create ~clock Serve.Daemon.default_config in
+  let per_tier = Hashtbl.create 4 in
+  let tier_codes = Hashtbl.create 16 in
+  let started = Unix.gettimeofday () in
+  List.iter
+    (fun (tier, frame) ->
+      let t0 = Unix.gettimeofday () in
+      let response = Serve.Daemon.handle_line daemon frame in
+      let dt = Unix.gettimeofday () -. t0 in
+      let n, wall = Option.value ~default:(0, 0.0) (Hashtbl.find_opt per_tier tier) in
+      Hashtbl.replace per_tier tier (n + 1, wall +. dt);
+      bump tier_codes
+        (tier, match response with Some r -> code_of_response r | None -> "none"))
+    stream;
+  let wall_s = Unix.gettimeofday () -. started in
+  let stats_of tier =
+    let requests, wall = Option.value ~default:(0, 0.0) (Hashtbl.find_opt per_tier tier) in
+    let codes =
+      Hashtbl.fold
+        (fun (t, code) n acc -> if t = tier then (code, n) :: acc else acc)
+        tier_codes []
+      |> List.sort compare
+    in
+    {
+      tier;
+      requests;
+      wall_ms = wall *. 1000.;
+      rps = (if wall > 0.0 then float_of_int requests /. wall else 0.0);
+      codes;
+    }
+  in
+  let m = Serve.Daemon.metrics daemon in
+  let total = List.length stream in
+  {
+    suite = "serve-throughput";
+    seed;
+    requests = total;
+    wall_ms = wall_s *. 1000.;
+    rps = (if wall_s > 0.0 then float_of_int total /. wall_s else 0.0);
+    tiers = [ stats_of "fast"; stats_of "heavy" ];
+    admitted = Obs.Metrics.counter_value m "serve.admission.admit";
+    downgraded = Obs.Metrics.counter_value m "serve.admission.downgrade";
+    shed = Obs.Metrics.counter_value m "serve.admission.shed";
+    plane_hits = Obs.Metrics.counter_value m "serve.plane.hit";
+    plane_misses = Obs.Metrics.counter_value m "serve.plane.miss";
+  }
+
+let to_json r =
+  Json.Obj
+    [
+      ("suite", Json.String r.suite);
+      ("seed", Json.Int r.seed);
+      ("requests", Json.Int r.requests);
+      ("wall_ms", Json.Float r.wall_ms);
+      ("rps", Json.Float r.rps);
+      ( "tiers",
+        Json.List
+          (List.map
+             (fun t ->
+               Json.Obj
+                 [
+                   ("tier", Json.String t.tier);
+                   ("requests", Json.Int t.requests);
+                   ("wall_ms", Json.Float t.wall_ms);
+                   ("rps", Json.Float t.rps);
+                   ( "codes",
+                     Json.Obj (List.map (fun (c, n) -> (c, Json.Int n)) t.codes)
+                   );
+                 ])
+             r.tiers) );
+      ( "admission",
+        Json.Obj
+          [
+            ("admitted", Json.Int r.admitted);
+            ("downgraded", Json.Int r.downgraded);
+            ("shed", Json.Int r.shed);
+          ] );
+      ( "planes",
+        Json.Obj
+          [
+            ("hits", Json.Int r.plane_hits);
+            ("misses", Json.Int r.plane_misses);
+          ] );
+    ]
+
+let write path r = Analysis.Obs_codec.write path Json.to_string (to_json r)

@@ -1,0 +1,55 @@
+(** The [serve-throughput] benchmark profile: drive the daemon's request
+    loop in-process and measure requests per second by dichotomy tier.
+
+    The workload is a seeded burst: PTIME-tier requests (the catalogue's
+    [q3]) and coNP-tier requests ([q2], fork-tripath hard) over a small pool
+    of generated databases, sent back-to-back through
+    {!Serve.Daemon.handle_line}. Because the burst outruns the admission
+    bucket's refill, the heavy stream exercises all three admission
+    outcomes — admit, downgrade to a Monte-Carlo estimate, shed — and the
+    report records their counts alongside per-tier throughput and the
+    response-code histogram, so a regression in either raw speed or
+    degradation policy shows up in the same document.
+
+    The report is deterministic up to wall-clock fields ([*_ms], [rps]):
+    request mix, response codes, admission and plane-cache counters depend
+    only on [seed] (admission time is pinned to a virtual clock). *)
+
+type tier_stat = {
+  tier : string;  (** ["fast"] or ["heavy"]. *)
+  requests : int;
+  wall_ms : float;
+  rps : float;
+  codes : (string * int) list;  (** Response-code histogram, sorted. *)
+}
+
+type report = {
+  suite : string;  (** ["serve-throughput"]. *)
+  seed : int;
+  requests : int;  (** Total frames sent. *)
+  wall_ms : float;
+  rps : float;
+  tiers : tier_stat list;
+  admitted : int;
+  downgraded : int;
+  shed : int;
+  plane_hits : int;
+  plane_misses : int;
+}
+
+(** [run ()] builds a fresh daemon (chaos off, virtual admission clock
+    advancing [clock_step_s] per decision, default 10 ms) and drives
+    [fast_requests] PTIME-tier and [heavy_requests] coNP-tier frames
+    (defaults 400 / 100) in an interleaved burst. *)
+val run :
+  ?fast_requests:int ->
+  ?heavy_requests:int ->
+  ?clock_step_s:float ->
+  ?seed:int ->
+  unit ->
+  report
+
+val to_json : report -> Analysis.Json.t
+
+(** [write path report] writes the JSON document to [path]. *)
+val write : string -> report -> unit

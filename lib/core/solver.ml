@@ -172,6 +172,7 @@ let status_label = function
   | Attempt_failed _ -> "failed"
   | Attempt_out_of_budget Harness.Budget.Deadline -> "out-of-budget-deadline"
   | Attempt_out_of_budget Harness.Budget.Steps -> "out-of-budget-steps"
+  | Attempt_out_of_budget (Harness.Budget.Pressure _) -> "out-of-budget-pressure"
 
 (* Per-site step deltas between two [Budget.steps_by_site] snapshots: what
    this tier alone burned, hottest first. *)
@@ -310,7 +311,8 @@ let run_tiers ?(verify = false) ?fallback ?budget ?trace tiers =
             in
             match out_of_budget with
             | Some Harness.Budget.Deadline -> Harness.Outcome.Timeout
-            | Some Harness.Budget.Steps -> Harness.Outcome.Budget_exhausted
+            | Some (Harness.Budget.Steps | Harness.Budget.Pressure _) ->
+                Harness.Outcome.Budget_exhausted
             | None ->
                 Harness.Outcome.Solver_error
                   (if attempts = [] then "no solver tier available"
@@ -386,6 +388,28 @@ let outcome_label : outcome -> string = function
   | Harness.Outcome.Budget_exhausted -> "budget-exhausted"
   | Harness.Outcome.Solver_error _ -> "solver-error"
 
+(* The root [solve] span shared by every chain entry point: wraps [run] and
+   stamps the outcome and total budget steps once the chain returns. *)
+let in_solve_span ?trace (report : Dichotomy.report) budget run =
+  match trace with
+  | None -> run ()
+  | Some tr ->
+      Obs.Trace.with_span tr "solve"
+        ~attrs:
+          [
+            ( "query",
+              Obs.Trace.String (Qlang.Query.to_string report.Dichotomy.query) );
+            ( "verdict",
+              Obs.Trace.String (Dichotomy.verdict_summary report.Dichotomy.verdict)
+            );
+          ]
+        (fun () ->
+          let ((outcome, _) as result) = run () in
+          Obs.Trace.add_attr tr "outcome" (Obs.Trace.String (outcome_label outcome));
+          Obs.Trace.add_attr tr "total_steps"
+            (Obs.Trace.Int (Harness.Budget.steps budget));
+          result)
+
 let solve ?k ?exact_only ?check_certificate
     ?(budget = Harness.Budget.unlimited ()) ?verify ?estimate_trials ?(seed = 0)
     ?trace (report : Dichotomy.report) db =
@@ -445,28 +469,55 @@ let solve ?k ?exact_only ?check_certificate
           (fun () ->
             Qlang.Solution_graph.of_query_compiled ~tick report.Dichotomy.query p))
   in
-  let run () =
-    run_tiers ?verify ?fallback ~budget ?trace
-      (tiers ?k ?exact_only ?check_certificate ~budget report ~plane ~graph)
+  in_solve_span ?trace report budget (fun () ->
+      run_tiers ?verify ?fallback ~budget ?trace
+        (tiers ?k ?exact_only ?check_certificate ~budget report ~plane ~graph))
+
+let solve_plane ?k ?exact_only ?check_certificate
+    ?(budget = Harness.Budget.unlimited ()) ?verify ?estimate_trials ?(seed = 0)
+    ?trace (report : Dichotomy.report) plane =
+  let q = report.Dichotomy.query in
+  (* The plane arrives pre-compiled (typically from a serve-side cache that
+     charged its own compilation when it first built it), so only the
+     solution graph is built here — memoized success-only, exactly as in
+     {!solve}. The estimate fallback reuses the cached graph when a tier
+     already built it, and otherwise builds it {e unbudgeted}: by the time
+     the fallback runs the shared budget is exhausted, and the estimate is
+     the last resort. *)
+  let graph_cache = ref None in
+  let build_graph ?tick () =
+    match !graph_cache with
+    | Some g -> g
+    | None ->
+        let build () =
+          let g = Qlang.Solution_graph.of_query_compiled ?tick q plane in
+          graph_cache := Some g;
+          g
+        in
+        (match trace with
+        | None -> build ()
+        | Some tr ->
+            Obs.Trace.with_span tr "compile"
+              ~attrs:
+                [
+                  ("phase", Obs.Trace.String "graph");
+                  ("facts", Obs.Trace.Int (Compiled.n_facts plane));
+                ]
+              build)
   in
-  match trace with
-  | None -> run ()
-  | Some tr ->
-      Obs.Trace.with_span tr "solve"
-        ~attrs:
-          [
-            ( "query",
-              Obs.Trace.String (Qlang.Query.to_string report.Dichotomy.query) );
-            ( "verdict",
-              Obs.Trace.String (Dichotomy.verdict_summary report.Dichotomy.verdict)
-            );
-          ]
-        (fun () ->
-          let ((outcome, _) as result) = run () in
-          Obs.Trace.add_attr tr "outcome" (Obs.Trace.String (outcome_label outcome));
-          Obs.Trace.add_attr tr "total_steps"
-            (Obs.Trace.Int (Harness.Budget.steps budget));
-          result)
+  let tick () = Harness.Budget.tick ~site:Harness.Sites.compile budget in
+  let graph () = build_graph ~tick () in
+  let fallback =
+    Option.map
+      (fun trials () ->
+        let rng = Random.State.make [| seed; 0xE571 |] in
+        Cqa.Montecarlo.estimate_g rng ~trials (build_graph ()))
+      estimate_trials
+  in
+  in_solve_span ?trace report budget (fun () ->
+      run_tiers ?verify ?fallback ~budget ?trace
+        (tiers ?k ?exact_only ?check_certificate ~budget report
+           ~plane:(fun () -> plane) ~graph))
 
 let solve_query ?opts ?k ?exact_only ?check_certificate ?budget ?verify
     ?estimate_trials ?seed ?trace q db =

@@ -205,6 +205,27 @@ val solve :
   Relational.Database.t ->
   outcome * attempt list
 
+(** [solve_plane report plane] is {!solve} atop a {e pre-compiled} execution
+    plane: the plane is taken as-is (its compilation was charged by whoever
+    built it — typically a serve-side plane cache), and only the solution
+    graph is built here, memoized success-only and charged to [budget] at
+    site {!Harness.Sites.compile}. The Monte-Carlo fallback samples on the
+    graph ({!Cqa.Montecarlo.estimate_g}), which agrees with the
+    persistent-plane estimator for equal seeds — so degraded answers are
+    byte-identical whichever entry point served them. *)
+val solve_plane :
+  ?k:int ->
+  ?exact_only:bool ->
+  ?check_certificate:(Dichotomy.report -> (unit, string list) result) ->
+  ?budget:Harness.Budget.t ->
+  ?verify:bool ->
+  ?estimate_trials:int ->
+  ?seed:int ->
+  ?trace:Obs.Trace.t ->
+  Dichotomy.report ->
+  Relational.Compiled.t ->
+  outcome * attempt list
+
 (** [solve_query q db] classifies then runs {!solve}. *)
 val solve_query :
   ?opts:Tripath_search.options ->

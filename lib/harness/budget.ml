@@ -1,10 +1,13 @@
-type exhaustion = Deadline | Steps
+type exhaustion = Deadline | Steps | Pressure of string
 
 exception Budget_exceeded of exhaustion
 
 let pp_exhaustion ppf = function
   | Deadline -> Format.pp_print_string ppf "wall-clock deadline"
   | Steps -> Format.pp_print_string ppf "step budget"
+  | Pressure site ->
+      Format.fprintf ppf "step budget (injected pressure at site %s)"
+        (if site = "" then "(unnamed)" else site)
 
 type t = {
   deadline : float;  (* absolute Unix time; [infinity] when unbounded *)
@@ -114,7 +117,10 @@ let tick ?(site = "") b =
   (match b.sink with None -> () | Some f -> f site);
   (match b.chaos with
   | None -> ()
-  | Some c -> ( match Chaos.tick c ~site with Chaos.Pass -> () | Chaos.Pressure -> stop b Steps));
+  | Some c -> (
+      match Chaos.tick c ~site with
+      | Chaos.Pass -> ()
+      | Chaos.Pressure -> stop b (Pressure site)));
   if b.steps >= b.max_steps then stop b Steps;
   if b.deadline < infinity && b.steps mod b.check_every = 0
      && Unix.gettimeofday () >= b.deadline then stop b Deadline

@@ -25,6 +25,11 @@
 type exhaustion =
   | Deadline  (** The wall-clock deadline passed. *)
   | Steps  (** The step counter reached [max_steps]. *)
+  | Pressure of string
+      (** A {!Chaos} schedule injected budget pressure; the payload is the
+          tick-site label that drew the injection, so exhaustion diagnostics
+          (and the serve daemon's error responses) can name the faulting
+          loop instead of reporting a bare step exhaustion. *)
 
 exception Budget_exceeded of exhaustion
 

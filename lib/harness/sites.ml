@@ -7,9 +7,11 @@ let dpll = "dpll"
 let brute = "brute"
 let exact = "exact"
 let montecarlo = "montecarlo"
+let serve = "serve"
 
 let all =
   [
+    serve;
     compile;
     certk;
     certk_rounds;

@@ -32,6 +32,10 @@
     - {!montecarlo} — one tick per sampled repair in [Cqa.Montecarlo]
       (only when a budget is passed; the degradation chain's estimate
       fallback deliberately runs it unbudgeted).
+    - {!serve} — the [cqa serve] daemon's per-request admission point
+      ([Serve.Daemon] ticks once per accepted frame before routing it), so
+      chaos schedules can fault the service loop itself, not just the
+      solvers it drives.
 
     The empty string is the default label of a {!Budget.tick} call that
     does not name a site; no loop in this repository uses it, and the
@@ -47,8 +51,9 @@ val dpll : string
 val brute : string
 val exact : string
 val montecarlo : string
+val serve : string
 
-(** All canonical site names, in degradation-chain order (the shared
-    compilation first, then PTIME loops, then SAT, then exact, then the
-    estimate fallback). *)
+(** All canonical site names, in request order (the serve admission point
+    first, then the shared compilation, then PTIME loops, then SAT, then
+    exact, then the estimate fallback). *)
 val all : string list

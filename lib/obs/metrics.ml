@@ -96,3 +96,30 @@ let snapshot (t : t) =
   }
 
 let empty_snapshot = { counters = []; histograms = [] }
+
+let merge t (s : snapshot) =
+  List.iter (fun (name, n) -> incr ~by:n t name) s.counters;
+  List.iter
+    (fun (name, (hs : histogram_snapshot)) ->
+      match Hashtbl.find_opt t.histograms name with
+      | None ->
+          validate_bounds hs.bounds;
+          let counts = Array.of_list hs.counts in
+          if Array.length counts <> List.length hs.bounds + 1 then
+            invalid_arg "Metrics.merge: counts/bounds length mismatch";
+          Hashtbl.add t.histograms name
+            {
+              h_bounds = Array.of_list hs.bounds;
+              h_counts = counts;
+              h_count = hs.count;
+              h_sum = hs.sum;
+            }
+      | Some h ->
+          if Array.to_list h.h_bounds <> hs.bounds then
+            invalid_arg
+              (Printf.sprintf "Metrics.merge: histogram %s has different bounds"
+                 name);
+          List.iteri (fun i n -> h.h_counts.(i) <- h.h_counts.(i) + n) hs.counts;
+          h.h_count <- h.h_count + hs.count;
+          h.h_sum <- h.h_sum +. hs.sum)
+    s.histograms

@@ -59,3 +59,15 @@ val snapshot : t -> snapshot
 
 (** An empty snapshot (what [create |> snapshot] yields). *)
 val empty_snapshot : snapshot
+
+(** [merge t s] folds snapshot [s] into registry [t]: counters add, and each
+    histogram adds bucket-wise into the histogram of the same name (created
+    with the snapshot's bounds when absent). This is the {e per-request
+    scoping} primitive of the serve daemon: every request runs against its
+    own fresh registry — so a request that dies mid-flight can never leave
+    the shared registry half-updated — and only a {e completed} request's
+    snapshot is merged into the daemon-wide registry the [stats] endpoint
+    serves.
+    @raise Invalid_argument when a histogram of the same name already exists
+    with different bounds (bucket counts would not be comparable). *)
+val merge : t -> snapshot -> unit

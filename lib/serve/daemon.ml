@@ -1,0 +1,562 @@
+module Json = Analysis.Json
+module Budget = Harness.Budget
+module Chaos = Harness.Chaos
+
+type chaos_spec = {
+  fail_p : float;
+  delay_p : float;
+  delay_s : float;
+  pressure_p : float;
+  chaos_seed : int;
+  sites : string list;
+}
+
+type config = {
+  fast_timeout : float option;
+  fast_max_steps : int option;
+  heavy_timeout : float option;
+  heavy_max_steps : int option;
+  estimate_trials : int;
+  retries : int;
+  backoff_s : float;
+  max_frame_bytes : int;
+  max_facts : int;
+  plane_capacity : int;
+  admission : Admission.config;
+  chaos : chaos_spec option;
+  seed : int;
+  k : int;
+}
+
+let default_config =
+  {
+    fast_timeout = Some 1.0;
+    fast_max_steps = Some 200_000;
+    heavy_timeout = Some 10.0;
+    heavy_max_steps = Some 5_000_000;
+    estimate_trials = 200;
+    retries = 2;
+    backoff_s = 0.01;
+    max_frame_bytes = 1 lsl 20;
+    max_facts = 100_000;
+    plane_capacity = 8;
+    admission = Admission.default_config;
+    chaos = None;
+    seed = 0;
+    k = 3;
+  }
+
+type t = {
+  config : config;
+  sleep : float -> unit;
+  admission : Admission.t;
+  planes : Plane_cache.t;
+  named : (string, string * Relational.Database.t) Hashtbl.t;
+      (* name -> (fingerprint, database); the plane itself lives in the
+         LRU cache and is recompiled from the database after eviction. *)
+  reports : (string, Core.Dichotomy.report) Hashtbl.t;
+  chaos : Chaos.t option;
+  metrics : Obs.Metrics.t;
+  mutable requests : int;
+  mutable stopped : bool;
+}
+
+let create ?(clock = Unix.gettimeofday) ?(sleep = Unix.sleepf) config =
+  if config.estimate_trials < 1 then
+    invalid_arg "Daemon.create: estimate_trials must be >= 1";
+  if config.retries < 0 then invalid_arg "Daemon.create: retries must be >= 0";
+  if config.max_frame_bytes < 2 then
+    invalid_arg "Daemon.create: max_frame_bytes must be >= 2";
+  if config.max_facts < 1 then
+    invalid_arg "Daemon.create: max_facts must be >= 1";
+  if config.k < 2 then invalid_arg "Daemon.create: k must be >= 2";
+  let chaos =
+    Option.map
+      (fun s ->
+        Chaos.make ~seed:s.chaos_seed ~fail_p:s.fail_p ~delay_p:s.delay_p
+          ~delay_s:s.delay_s ~pressure_p:s.pressure_p ~sites:s.sites ())
+      config.chaos
+  in
+  {
+    config;
+    sleep;
+    admission = Admission.make ~clock config.admission;
+    planes = Plane_cache.make ~capacity:config.plane_capacity ();
+    named = Hashtbl.create 16;
+    reports = Hashtbl.create 16;
+    chaos;
+    metrics = Obs.Metrics.create ();
+    requests = 0;
+    stopped = false;
+  }
+
+let requests t = t.requests
+let stopped t = t.stopped
+let metrics t = t.metrics
+
+(* ------------------------------------------------------------------ *)
+(* Request plumbing                                                    *)
+
+let classify_cached t q =
+  let key = Qlang.Query.to_string q in
+  match Hashtbl.find_opt t.reports key with
+  | Some r -> r
+  | None ->
+      let r = Core.Dichotomy.classify q in
+      Hashtbl.replace t.reports key r;
+      r
+
+let tier_of_report (r : Core.Dichotomy.report) =
+  match r.Core.Dichotomy.verdict with
+  | Core.Dichotomy.Ptime _ -> Admission.Fast
+  | Core.Dichotomy.Conp_complete _ -> Admission.Heavy
+
+(* Run [f] under a fresh per-attempt budget (tier-derived caps, the
+   daemon's chaos schedule, the request's metrics registry as tick sink),
+   preceded by one tick at the serve admission site. Transient faults are
+   retried with backoff on a fresh budget — budgets are sticky, so reuse
+   would re-raise the stale exhaustion. *)
+let run_budgeted t ~mreq ~tier f =
+  let timeout, max_steps =
+    match tier with
+    | Admission.Fast -> (t.config.fast_timeout, t.config.fast_max_steps)
+    | Admission.Heavy -> (t.config.heavy_timeout, t.config.heavy_max_steps)
+  in
+  Harness.Retry.run
+    ~max_attempts:(t.config.retries + 1)
+    ~backoff_s:t.config.backoff_s ~sleep:t.sleep
+    ~on_retry:(fun ~attempt:_ _ -> Obs.Metrics.incr mreq "serve.retry")
+    ~retryable:Harness.Retry.transient
+    (fun () ->
+      let budget =
+        Budget.make ?timeout ?max_steps ?chaos:t.chaos
+          ~sink:(Obs.Metrics.tick_sink mreq) ()
+      in
+      Budget.tick ~site:Harness.Sites.serve budget;
+      f budget)
+
+(* The degradation chain absorbs injected faults by falling through to the
+   next tier; only when EVERY tier failed and at least one failure was an
+   injection is the whole solve transient — re-raise it so [run_budgeted]
+   retries on a fresh budget. *)
+let transient_site outcome (attempts : Core.Solver.attempt list) =
+  match outcome with
+  | Harness.Outcome.Solver_error _ ->
+      let prefix = "injected fault at " in
+      let plen = String.length prefix in
+      List.find_map
+        (fun (a : Core.Solver.attempt) ->
+          match a.Core.Solver.status with
+          | Core.Solver.Attempt_failed msg
+            when String.length msg > plen && String.sub msg 0 plen = prefix ->
+              Some (String.sub msg plen (String.length msg - plen))
+          | _ -> None)
+        attempts
+  | _ -> None
+
+let error_fields (e : Protocol.error) =
+  (e.Protocol.code, [ ("error", Json.String e.Protocol.message) ])
+
+let code_of_exn = function
+  | Chaos.Injected_fault site ->
+      ( Protocol.Fault_injected,
+        [
+          ("error", Json.String ("injected fault at " ^ site));
+          ("site", Json.String site);
+        ] )
+  | Budget.Budget_exceeded Budget.Deadline ->
+      (Protocol.Timeout, [ ("error", Json.String "wall-clock deadline passed") ])
+  | Budget.Budget_exceeded Budget.Steps ->
+      ( Protocol.Budget_exhausted,
+        [ ("error", Json.String "step budget exhausted") ] )
+  | Budget.Budget_exceeded (Budget.Pressure site) ->
+      ( Protocol.Budget_exhausted,
+        [
+          ("error", Json.String "step budget exhausted (injected pressure)");
+          ("site", Json.String site);
+        ] )
+  | e ->
+      ( Protocol.Solver_error,
+        [ ("error", Json.String ("internal: " ^ Printexc.to_string e)) ] )
+
+let algorithm_name alg = Format.asprintf "%a" Core.Solver.pp_algorithm alg
+let tier_label tier = Format.asprintf "%a" Core.Solver.pp_tier tier
+
+let attempts_field (attempts : Core.Solver.attempt list) =
+  ( "attempts",
+    Json.List
+      (List.map
+         (fun (a : Core.Solver.attempt) ->
+           Json.Obj
+             [
+               ("tier", Json.String (tier_label a.Core.Solver.tier));
+               ("algorithm", Json.String (algorithm_name a.Core.Solver.algorithm));
+               ("status", Json.String (Core.Solver.status_label a.Core.Solver.status));
+               ("steps", Json.Int a.Core.Solver.steps);
+             ])
+         attempts) )
+
+let estimate_fields ~reason (e : Cqa.Montecarlo.estimate) =
+  [
+    ("reason", Json.String reason);
+    ("trials", Json.Int e.Cqa.Montecarlo.trials);
+    ("satisfying", Json.Int e.Cqa.Montecarlo.satisfying);
+    ("frequency", Json.Float e.Cqa.Montecarlo.frequency);
+    ("refuted", Json.Bool (e.Cqa.Montecarlo.counterexample <> None));
+  ]
+
+let retries_fields = function
+  | 0 -> []
+  | n -> [ ("retries", Json.Int n) ]
+
+(* ------------------------------------------------------------------ *)
+(* Handlers                                                            *)
+
+(* Resolve a db reference to a cached plane entry. Compilation on a miss
+   is charged to [tick] (site "compile"), so oversized work is bounded by
+   the per-request budget and a mid-compile fault caches nothing. *)
+let resolve_entry t ~tick db_ref =
+  match db_ref with
+  | Protocol.Named name -> (
+      match Hashtbl.find_opt t.named name with
+      | None ->
+          Error
+            {
+              Protocol.code = Protocol.Unknown_db;
+              message = "no database loaded under name " ^ name;
+            }
+      | Some (fp, db) -> (
+          match Plane_cache.find t.planes fp with
+          | Some entry -> Ok (entry, true)
+          | None -> Ok (Plane_cache.find_or_compile ~tick t.planes db)))
+  | Protocol.Inline text ->
+      Result.map
+        (fun db -> Plane_cache.find_or_compile ~tick t.planes db)
+        (Ingest.database ~max_facts:t.config.max_facts text)
+
+type solved =
+  | R_error of Protocol.error
+  | R_solved of {
+      outcome : Core.Solver.outcome;
+      attempts : Core.Solver.attempt list;
+      steps : int;
+      hit : bool;
+    }
+  | R_downgraded of { est : Cqa.Montecarlo.estimate; hit : bool }
+
+let do_certain t ~mreq ~query ~db ~trials ~explain =
+  match Ingest.query query with
+  | Error e -> error_fields e
+  | Ok q -> (
+      let report = classify_cached t q in
+      let tier = tier_of_report report in
+      let decision = Admission.decide t.admission tier in
+      Obs.Metrics.incr mreq
+        ("serve.admission." ^ Admission.decision_name decision);
+      match decision with
+      | Admission.Shed ->
+          ( Protocol.Overloaded,
+            [
+              ("tier", Json.String (Admission.tier_name tier));
+              ("error", Json.String "admission bucket empty; request shed");
+            ] )
+      | Admission.Admit | Admission.Downgrade -> (
+          let trials =
+            Option.value trials ~default:t.config.estimate_trials
+          in
+          (* Seed the estimate RNG per request index: deterministic given
+             the request sequence, distinct across requests. *)
+          let rng_seed = [| t.config.seed; t.requests |] in
+          let { Harness.Retry.result; retries } =
+            run_budgeted t ~mreq ~tier (fun budget ->
+                let tick () =
+                  Budget.tick ~site:Harness.Sites.compile budget
+                in
+                match resolve_entry t ~tick db with
+                | Error e -> R_error e
+                | Ok (entry, hit) -> (
+                    match decision with
+                    | Admission.Downgrade ->
+                        let g =
+                          Qlang.Solution_graph.of_query_compiled ~tick q
+                            entry.Plane_cache.plane
+                        in
+                        let est =
+                          Cqa.Montecarlo.estimate_g ~budget
+                            (Random.State.make rng_seed) ~trials g
+                        in
+                        R_downgraded { est; hit }
+                    | _ -> (
+                        let outcome, attempts =
+                          Core.Solver.solve_plane ~k:t.config.k ~budget
+                            ~estimate_trials:trials ~seed:t.config.seed report
+                            entry.Plane_cache.plane
+                        in
+                        match transient_site outcome attempts with
+                        | Some site -> raise (Chaos.Injected_fault site)
+                        | None ->
+                            R_solved
+                              {
+                                outcome;
+                                attempts;
+                                steps = Budget.steps budget;
+                                hit;
+                              })))
+          in
+          let count_plane hit =
+            Obs.Metrics.incr mreq
+              (if hit then "serve.plane.hit" else "serve.plane.miss")
+          in
+          match result with
+          | Error e -> code_of_exn e
+          | Ok (R_error e) -> error_fields e
+          | Ok (R_downgraded { est; hit }) ->
+              count_plane hit;
+              ( Protocol.Degraded_estimate,
+                [
+                  ("tier", Json.String (Admission.tier_name tier));
+                  ("downgraded", Json.Bool true);
+                ]
+                @ estimate_fields ~reason:"admission" est
+                @ [ ("cache", Json.String (if hit then "hit" else "miss")) ]
+                @ retries_fields retries )
+          | Ok (R_solved { outcome; attempts; steps; hit }) ->
+              count_plane hit;
+              let common =
+                [
+                  ("cache", Json.String (if hit then "hit" else "miss"));
+                  ("steps", Json.Int steps);
+                ]
+                @ retries_fields retries
+                @ (if explain then [ attempts_field attempts ] else [])
+              in
+              let code, fields =
+                match outcome with
+                | Harness.Outcome.Decided (answer, alg) ->
+                    ( (if answer then Protocol.Ok_code else Protocol.Not_certain),
+                      [
+                        ("answer", Json.Bool answer);
+                        ("algorithm", Json.String (algorithm_name alg));
+                      ] )
+                | Harness.Outcome.Estimated est ->
+                    (Protocol.Degraded_estimate, estimate_fields ~reason:"budget" est)
+                | Harness.Outcome.Timeout ->
+                    ( Protocol.Timeout,
+                      [ ("error", Json.String "wall-clock deadline passed") ] )
+                | Harness.Outcome.Budget_exhausted ->
+                    (* When injected pressure (rather than the step cap)
+                       stopped the chain, the attempt records the site —
+                       surface it. *)
+                    let pressure_site =
+                      List.find_map
+                        (fun (a : Core.Solver.attempt) ->
+                          match a.Core.Solver.status with
+                          | Core.Solver.Attempt_out_of_budget
+                              (Budget.Pressure site) ->
+                              Some ("site", Json.String site)
+                          | _ -> None)
+                        attempts
+                    in
+                    ( Protocol.Budget_exhausted,
+                      ("error", Json.String "step budget exhausted")
+                      :: Option.to_list pressure_site )
+                | Harness.Outcome.Solver_error msg ->
+                    (Protocol.Solver_error, [ ("error", Json.String msg) ])
+              in
+              (code, fields @ common)))
+
+let do_classify t ~mreq ~query =
+  match Ingest.query query with
+  | Error e -> error_fields e
+  | Ok q -> (
+      let { Harness.Retry.result; retries } =
+        run_budgeted t ~mreq ~tier:Admission.Fast (fun _budget ->
+            classify_cached t q)
+      in
+      match result with
+      | Error e -> code_of_exn e
+      | Ok report ->
+          let tier = tier_of_report report in
+          ( Protocol.Ok_code,
+            [
+              ( "verdict",
+                Json.String
+                  (Core.Dichotomy.verdict_summary report.Core.Dichotomy.verdict)
+              );
+              ( "class",
+                Json.String
+                  (match report.Core.Dichotomy.verdict with
+                  | Core.Dichotomy.Ptime _ -> "ptime"
+                  | Core.Dichotomy.Conp_complete _ -> "conp-complete") );
+              ("tier", Json.String (Admission.tier_name tier));
+              ( "bounded_search",
+                Json.Bool report.Core.Dichotomy.bounded_search );
+            ]
+            @ retries_fields retries ))
+
+let do_load t ~mreq ~name ~text =
+  match Ingest.database ~max_facts:t.config.max_facts text with
+  | Error e -> error_fields e
+  | Ok db -> (
+      let { Harness.Retry.result; retries } =
+        run_budgeted t ~mreq ~tier:Admission.Heavy (fun budget ->
+            let tick () = Budget.tick ~site:Harness.Sites.compile budget in
+            Plane_cache.find_or_compile ~tick t.planes db)
+      in
+      match result with
+      | Error e -> code_of_exn e
+      | Ok (entry, hit) ->
+          Obs.Metrics.incr mreq
+            (if hit then "serve.plane.hit" else "serve.plane.miss");
+          Hashtbl.replace t.named name (entry.Plane_cache.fingerprint, db);
+          ( Protocol.Ok_code,
+            [
+              ("name", Json.String name);
+              ("fingerprint", Json.String entry.Plane_cache.fingerprint);
+              ("facts", Json.Int (Relational.Database.size db));
+              ("cache", Json.String (if hit then "hit" else "miss"));
+            ]
+            @ retries_fields retries ))
+
+let do_lint ~query =
+  let diagnostics = Analysis.Lint.lint_source query in
+  let severity =
+    match Analysis.Lint.max_severity diagnostics with
+    | None -> "none"
+    | Some s -> Analysis.Lint.severity_to_string s
+  in
+  let lint_fields =
+    match Analysis.Encode.lint_result diagnostics with
+    | Json.Obj fields -> fields
+    | j -> [ ("lint", j) ]
+  in
+  (Protocol.Ok_code, (("max_severity", Json.String severity) :: lint_fields))
+
+let stats_fields t =
+  let snap = Obs.Metrics.snapshot t.metrics in
+  let planes = Plane_cache.stats t.planes in
+  [
+    ("requests", Json.Int t.requests);
+    ( "admission",
+      Json.Obj
+        [
+          ("admitted", Json.Int (Admission.admitted t.admission));
+          ("downgraded", Json.Int (Admission.downgraded t.admission));
+          ("shed", Json.Int (Admission.shed t.admission));
+        ] );
+    ( "planes",
+      Json.Obj
+        [
+          ("entries", Json.Int planes.Plane_cache.entries);
+          ("hits", Json.Int planes.Plane_cache.hits);
+          ("misses", Json.Int planes.Plane_cache.misses);
+          ("evictions", Json.Int planes.Plane_cache.evictions);
+        ] );
+    ( "chaos",
+      match t.chaos with
+      | None -> Json.Null
+      | Some c ->
+          Json.Obj
+            [
+              ("ticks", Json.Int (Chaos.ticks c));
+              ("faults", Json.Int (Chaos.faults c));
+              ("delays", Json.Int (Chaos.delays c));
+              ("pressures", Json.Int (Chaos.pressures c));
+            ] );
+    ( "counters",
+      Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) snap.Obs.Metrics.counters)
+    );
+  ]
+
+let handle_request t ~mreq = function
+  | Protocol.Ping -> (Protocol.Ok_code, [])
+  | Protocol.Stats -> (Protocol.Ok_code, stats_fields t)
+  | Protocol.Shutdown ->
+      t.stopped <- true;
+      (Protocol.Ok_code, [ ("stopping", Json.Bool true) ])
+  | Protocol.Classify { query } -> do_classify t ~mreq ~query
+  | Protocol.Lint { query } -> do_lint ~query
+  | Protocol.Load { name; text } -> do_load t ~mreq ~name ~text
+  | Protocol.Certain { query; db; trials; explain } ->
+      do_certain t ~mreq ~query ~db ~trials ~explain
+
+(* ------------------------------------------------------------------ *)
+(* The loop                                                            *)
+
+let finalize t ~mreq ?id ~op code fields =
+  Obs.Metrics.incr mreq ("serve.response." ^ Protocol.code_name code);
+  (* Per-request isolation ends here: only a COMPLETED request's metrics
+     reach the daemon-wide registry. *)
+  Obs.Metrics.merge t.metrics (Obs.Metrics.snapshot mreq);
+  Protocol.to_frame (Protocol.response ?id ~op code fields)
+
+let handle_line t line =
+  if String.trim line = "" then None
+  else begin
+    t.requests <- t.requests + 1;
+    Obs.Metrics.incr t.metrics "serve.requests";
+    let frame =
+      match Protocol.decode ~max_bytes:t.config.max_frame_bytes line with
+      | Error (id, { Protocol.code; message }) ->
+          finalize t
+            ~mreq:(Obs.Metrics.create ())
+            ?id ~op:"error" code
+            [ ("error", Json.String message) ]
+      | Ok (id, req) -> (
+          let op = Protocol.op_name req in
+          let mreq = Obs.Metrics.create () in
+          Obs.Metrics.incr mreq ("serve.request." ^ op);
+          match handle_request t ~mreq req with
+          | code, fields -> finalize t ~mreq ?id ~op code fields
+          | exception e ->
+              (* The last line of defence: NOTHING kills the loop. *)
+              let code, fields = code_of_exn e in
+              finalize t ~mreq ?id ~op code fields)
+    in
+    Some frame
+  end
+
+let run_pipe t ic oc =
+  let rec loop () =
+    if t.stopped then ()
+    else
+      match input_line ic with
+      | exception End_of_file -> ()
+      | line ->
+          (match handle_line t line with
+          | None -> ()
+          | Some frame ->
+              output_string oc frame;
+              flush oc);
+          loop ()
+  in
+  loop ()
+
+let run_socket t ~path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 16;
+      let rec accept_loop () =
+        if t.stopped then ()
+        else
+          match Unix.accept sock with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+          | fd, _ ->
+              let ic = Unix.in_channel_of_descr fd in
+              let oc = Unix.out_channel_of_descr fd in
+              (* A broken connection drops the client, not the daemon. *)
+              (try run_pipe t ic oc
+               with Sys_error _ | Unix.Unix_error _ -> ());
+              (try flush oc with Sys_error _ -> ());
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              accept_loop ()
+      in
+      accept_loop ())

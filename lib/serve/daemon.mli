@@ -1,0 +1,97 @@
+(** The [cqa serve] daemon: a fault-tolerant request loop over the compiled
+    solver stack.
+
+    One daemon value owns the long-lived state — the plane cache, the named
+    database registry, the classification cache, the admission controller,
+    the daemon-wide metrics registry, and the (optional) chaos schedule —
+    and serves decoded {!Protocol} requests against it. Robustness
+    invariants, enforced by construction and pinned by the soak suite:
+
+    - {b The loop never dies.} Every frame, however malformed, and every
+      fault raised while serving it — chaos injections, budget exhaustion,
+      schema violations, oversized databases — produces exactly one
+      well-formed response frame with a stable {!Protocol.code}.
+    - {b Requests are isolated.} Each request runs under its own
+      {!Harness.Budget} (timeout and step caps derived from its dichotomy
+      tier) and its own {!Obs.Metrics} registry, merged into the daemon-wide
+      registry only when the request completes — a request that dies
+      mid-flight leaves no half-recorded shared state.
+    - {b Transient faults are retried.} A {!Harness.Chaos.Injected_fault}
+      (at the serve admission point or inside every solver tier) is retried
+      with exponential backoff on a fresh budget; only when retries are
+      exhausted does the client see a [fault-injected] response naming the
+      faulting site.
+    - {b Degradation is graceful and explicit.} Admission control
+      ({!Admission}) sheds or downgrades coNP-tier work under load; budget
+      exhaustion inside an admitted solve falls back to the Monte-Carlo
+      estimate tier. Both surface as [degraded-estimate] / [overloaded]
+      responses, never as silence.
+
+    The [stats] request exposes the daemon-wide registry (request, response,
+    retry, fault, downgrade and shed counters, plus the per-site budget tick
+    counters merged from every completed request). *)
+
+type chaos_spec = {
+  fail_p : float;
+  delay_p : float;
+  delay_s : float;
+  pressure_p : float;
+  chaos_seed : int;
+  sites : string list;  (** Empty = every tick site. *)
+}
+
+type config = {
+  fast_timeout : float option;  (** Per-request deadline, PTIME tier. *)
+  fast_max_steps : int option;
+  heavy_timeout : float option;  (** Per-request deadline, coNP tier. *)
+  heavy_max_steps : int option;
+  estimate_trials : int;
+      (** Sampled repairs for downgraded requests and for the degradation
+          chain's estimate fallback. *)
+  retries : int;  (** Re-runs allowed on a transient fault. *)
+  backoff_s : float;  (** Initial backoff between retries (doubles). *)
+  max_frame_bytes : int;
+  max_facts : int;  (** Ingestion cap; larger databases are refused. *)
+  plane_capacity : int;  (** LRU capacity of the plane cache. *)
+  admission : Admission.config;
+  chaos : chaos_spec option;
+  seed : int;  (** Seed of the per-request estimate RNG. *)
+  k : int;  (** Cert_k fixpoint parameter. *)
+}
+
+(** Fast tier: 1 s / 200k steps; heavy tier: 10 s / 5M steps; 200 trials;
+    2 retries with 10 ms initial backoff; 1 MiB frames; 100k facts;
+    8 planes; {!Admission.default_config}; no chaos. *)
+val default_config : config
+
+type t
+
+(** [create config] — [clock] feeds the admission token bucket (default
+    [Unix.gettimeofday]); [sleep] implements retry backoff (default
+    [Unix.sleepf]); both injectable for deterministic tests. *)
+val create : ?clock:(unit -> float) -> ?sleep:(float -> unit) -> config -> t
+
+(** [handle_line t line] serves one frame: [None] for a blank line (framing
+    tolerance), otherwise exactly one newline-terminated response frame.
+    Never raises. *)
+val handle_line : t -> string -> string option
+
+(** Total non-blank frames received. *)
+val requests : t -> int
+
+(** Set once a [shutdown] request was served; the loops exit. *)
+val stopped : t -> bool
+
+(** The daemon-wide metrics registry (what [stats] reports). *)
+val metrics : t -> Obs.Metrics.t
+
+(** [run_pipe t ic oc] serves frames from [ic] to [oc] (one response per
+    request, flushed) until EOF or [shutdown]. *)
+val run_pipe : t -> in_channel -> out_channel -> unit
+
+(** [run_socket t ~path] binds a Unix-domain socket at [path] (unlinking a
+    stale one), then accepts connections sequentially, serving each with
+    {!run_pipe} semantics until the client disconnects. Returns after a
+    [shutdown] request; the socket file is removed on exit. I/O errors on a
+    connection drop that connection, never the daemon. *)
+val run_socket : t -> path:string -> unit

@@ -1,0 +1,33 @@
+let database ?max_facts text =
+  match Qlang.Parse.database text with
+  | Error e ->
+      Error
+        {
+          Protocol.code = Protocol.Bad_db;
+          message = Qlang.Parse.error_to_string e;
+        }
+  | exception Invalid_argument msg ->
+      (* Schema violations (undeclared relation, arity mismatch) raise out
+         of the database constructors; fold them into the same path. *)
+      Error { Protocol.code = Protocol.Bad_db; message = msg }
+  | Ok db -> (
+      match max_facts with
+      | Some cap when Relational.Database.size db > cap ->
+          Error
+            {
+              Protocol.code = Protocol.Db_too_large;
+              message =
+                Printf.sprintf "database has %d facts, over the cap of %d"
+                  (Relational.Database.size db) cap;
+            }
+      | _ -> Ok db)
+
+let query src =
+  match Qlang.Parse.query src with
+  | Ok q -> Ok q
+  | Error e ->
+      Error
+        {
+          Protocol.code = Protocol.Bad_query;
+          message = Qlang.Parse.error_to_string e;
+        }

@@ -1,0 +1,26 @@
+(** Structured database and query ingestion, shared by the serve frame
+    decoder and the CLI.
+
+    Before this module, malformed facts and schema violations surfaced as a
+    mix of raw parse errors and bare [Invalid_argument] noise, formatted
+    differently by every command that read a database. Both front ends now
+    route ingestion through one total function: any failure — a parse error
+    with its source position, an undeclared relation, an arity mismatch, a
+    fact cap overflow — becomes a {!Protocol.error} whose stable code maps
+    to the documented exit contract (always exit 2, except [db-too-large]
+    which the daemon also answers with exit 2). Nothing escapes as an
+    exception. *)
+
+(** [database ?max_facts text] parses and validates a database file body
+    (one fact per line, [#] comments, optional [R\[k,l\]] schema
+    declarations). [Error {code = Bad_db; _}] on malformed input or schema
+    violations; [Error {code = Db_too_large; _}] when the parsed database
+    holds more than [max_facts] facts (no cap by default). *)
+val database :
+  ?max_facts:int ->
+  string ->
+  (Relational.Database.t, Protocol.error) result
+
+(** [query src] parses a two-atom self-join query;
+    [Error {code = Bad_query; _}] with the parser's positioned message. *)
+val query : string -> (Qlang.Query.t, Protocol.error) result

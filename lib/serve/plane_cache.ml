@@ -1,0 +1,95 @@
+type entry = {
+  fingerprint : string;
+  db : Relational.Database.t;
+  plane : Relational.Compiled.t;
+}
+
+type slot = { entry : entry; mutable used : int }
+
+type t = {
+  capacity : int;
+  slots : (string, slot) Hashtbl.t;
+  mutable tick : int;  (* LRU clock: bumped on every touch *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let make ?(capacity = 8) () =
+  if capacity < 1 then invalid_arg "Plane_cache.make: capacity must be >= 1";
+  {
+    capacity;
+    slots = Hashtbl.create 16;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let fingerprint db =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Format.asprintf "%a" Relational.Schema.pp s);
+      Buffer.add_char buf ';')
+    (Relational.Database.schemas db);
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (Relational.Fact.to_string f);
+      Buffer.add_char buf '\n')
+    (Relational.Database.facts db);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let touch t slot =
+  t.tick <- t.tick + 1;
+  slot.used <- t.tick
+
+let find t fp =
+  match Hashtbl.find_opt t.slots fp with
+  | None -> None
+  | Some slot ->
+      touch t slot;
+      Some slot.entry
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun fp slot acc ->
+        match acc with
+        | Some (_, used) when used <= slot.used -> acc
+        | _ -> Some (fp, slot.used))
+      t.slots None
+  in
+  match victim with
+  | None -> ()
+  | Some (fp, _) ->
+      Hashtbl.remove t.slots fp;
+      t.evictions <- t.evictions + 1
+
+let find_or_compile ?tick t db =
+  let fp = fingerprint db in
+  match Hashtbl.find_opt t.slots fp with
+  | Some slot ->
+      touch t slot;
+      t.hits <- t.hits + 1;
+      (slot.entry, true)
+  | None ->
+      (* Compile before touching the table: a chaos fault or budget stop
+         raised mid-compilation must leave the cache unchanged. *)
+      let plane = Relational.Compiled.compile ?tick db in
+      let entry = { fingerprint = fp; db; plane } in
+      t.misses <- t.misses + 1;
+      if Hashtbl.length t.slots >= t.capacity then evict_lru t;
+      t.tick <- t.tick + 1;
+      Hashtbl.add t.slots fp { entry; used = t.tick };
+      (entry, false)
+
+type stats = { entries : int; hits : int; misses : int; evictions : int }
+
+let stats t =
+  {
+    entries = Hashtbl.length t.slots;
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+  }

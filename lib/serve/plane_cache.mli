@@ -1,0 +1,47 @@
+(** An LRU cache of compiled execution planes, keyed by database
+    fingerprint.
+
+    The PR-5 two-plane architecture made compilation a one-shot cost
+    amortized over many queries {e within} one [Core.Session]; the daemon
+    amortizes it {e across requests}: the first request to mention a
+    database pays the interning (charged to that request's budget at site
+    ["compile"]), every later request — whether it named the database or
+    inlined byte-identical facts — reuses the plane. The key is a
+    content fingerprint (digest of the canonical sorted-fact rendering), so
+    equality is semantic: two databases with equal fact sets and schemas
+    share one plane regardless of how they reached the daemon.
+
+    Capacity is bounded; eviction is least-recently-used. The cache stores
+    the authoring-plane database alongside the compiled plane so evicted
+    entries can be recompiled from a [load]ed registry without re-parsing. *)
+
+type entry = {
+  fingerprint : string;
+  db : Relational.Database.t;
+  plane : Relational.Compiled.t;
+}
+
+type t
+
+(** [make ~capacity ()] — at most [capacity] planes are retained (≥ 1). *)
+val make : ?capacity:int -> unit -> t
+
+(** Content fingerprint: hex digest over schemas and the sorted fact list.
+    [Database.equal db db'] implies equal fingerprints. *)
+val fingerprint : Relational.Database.t -> string
+
+(** [find t fp] returns the cached entry and marks it most recently used. *)
+val find : t -> string -> entry option
+
+(** [find_or_compile ?tick t db] returns the entry for [db]'s fingerprint,
+    compiling (and caching, evicting the LRU entry if full) on a miss; the
+    boolean is [true] on a hit. [tick] is threaded into
+    {!Relational.Compiled.compile} on the miss path, so the requesting
+    budget is charged one tick per fact — and a chaos fault or budget stop
+    during compilation caches nothing. *)
+val find_or_compile :
+  ?tick:(unit -> unit) -> t -> Relational.Database.t -> entry * bool
+
+type stats = { entries : int; hits : int; misses : int; evictions : int }
+
+val stats : t -> stats

@@ -99,3 +99,29 @@ interleaving is buffering-dependent):
   note: sat tier (exact (SAT)): ran out of step budget after 1 steps (hottest site compile=1)
   budget exhausted after 1 steps (hottest site compile=1): no solver tier finished (re-run with a larger --max-steps or with --estimate)
   [3]
+
+The serve daemon in pipeline mode: newline-framed JSON in, one response
+frame per request out, structured errors instead of a dead loop, and the
+same exit-code taxonomy carried in every frame:
+
+  $ cqa serve --pipe <<'REQS'
+  > {"op": "classify", "query": "R(x | y) R(y | x)"}
+  > {"op": "load", "name": "db1", "facts": "R(1 | 2)\nR(1 | 3)\nR(2 | 2)"}
+  > {"op": "certain", "query": "R(x | y) R(y | x)", "db": "db1", "id": 1}
+  > {"op": "certain", "query": "R(x | y) R(y | x)", "db": "nope", "id": 2}
+  > not json at all
+  > {"op": "shutdown"}
+  > REQS
+  {"op": "classify", "status": "ok", "code": "ok", "exit": 0, "verdict": "PTIME (Theorem 9: no tripath, Cert_k exact)", "class": "ptime", "tier": "fast", "bounded_search": true}
+  {"op": "load", "status": "ok", "code": "ok", "exit": 0, "name": "db1", "fingerprint": "74573e787c9ffce39d773d5e9a4611dc", "facts": 3, "cache": "miss"}
+  {"id": 1, "op": "certain", "status": "ok", "code": "ok", "exit": 0, "answer": true, "algorithm": "Cert_3", "cache": "hit", "steps": 5}
+  {"id": 2, "op": "certain", "status": "error", "code": "unknown-db", "exit": 2, "error": "no database loaded under name nope"}
+  {"op": "error", "status": "error", "code": "bad-frame", "exit": 2, "error": "frame is not valid JSON: offset 0: expected null"}
+  {"op": "shutdown", "status": "ok", "code": "ok", "exit": 0, "stopping": true}
+
+Ingestion errors are structured and shared with the daemon's decoder — the
+same stable code a serve client would see, spoken on stderr:
+
+  $ printf 'R(1 | 2)\nR(1 2 | 3)\n' | cqa certain "R(x | y) R(y | x)" -
+  error [bad-db]: Database: fact R(1 2 3) has wrong arity for schema R[2,1]
+  [2]

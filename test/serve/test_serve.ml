@@ -1,0 +1,651 @@
+(* Tests for the serve subsystem: protocol totality, structured ingestion,
+   admission control, the plane cache, retries, per-request metrics
+   isolation, the daemon's response contract — and the chaos soak: ≥1000
+   randomized mixed requests with fault injection across every tick site,
+   asserting the loop answers every frame with a contract-conformant
+   response and never dies. *)
+
+module Json = Analysis.Json
+module Protocol = Serve.Protocol
+module Budget = Harness.Budget
+module Chaos = Harness.Chaos
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol *)
+
+let all_codes =
+  [
+    Protocol.Ok_code;
+    Protocol.Not_certain;
+    Protocol.Bad_frame;
+    Protocol.Bad_request;
+    Protocol.Bad_query;
+    Protocol.Bad_db;
+    Protocol.Db_too_large;
+    Protocol.Unknown_db;
+    Protocol.Solver_error;
+    Protocol.Overloaded;
+    Protocol.Degraded_estimate;
+    Protocol.Budget_exhausted;
+    Protocol.Fault_injected;
+    Protocol.Timeout;
+  ]
+
+let test_exit_contract () =
+  (* The stable code → exit mapping mirrors the CLI contract; pin every
+     pair so a renumbering cannot slip through. *)
+  let expected =
+    [
+      ("ok", 0);
+      ("not-certain", 1);
+      ("bad-frame", 2);
+      ("bad-request", 2);
+      ("bad-query", 2);
+      ("bad-db", 2);
+      ("db-too-large", 2);
+      ("unknown-db", 2);
+      ("solver-error", 2);
+      ("overloaded", 3);
+      ("degraded-estimate", 3);
+      ("budget-exhausted", 3);
+      ("fault-injected", 3);
+      ("timeout", 124);
+    ]
+  in
+  List.iter2
+    (fun code (name, exit_code) ->
+      checks "code name" name (Protocol.code_name code);
+      checki ("exit of " ^ name) exit_code (Protocol.exit_of_code code))
+    all_codes expected;
+  List.iter
+    (fun code ->
+      let status = Protocol.status_of_code code in
+      let expected =
+        match Protocol.exit_of_code code with
+        | 0 | 1 -> "ok"
+        | 3 -> "degraded"
+        | 124 -> "timeout"
+        | _ -> "error"
+      in
+      checks "status" expected status)
+    all_codes
+
+let decode s = Protocol.decode ~max_bytes:4096 s
+
+let expect_error name expected_code = function
+  | Error (_, { Protocol.code; _ }) ->
+      checks name (Protocol.code_name expected_code) (Protocol.code_name code)
+  | Ok _ -> Alcotest.failf "%s: expected a decode error" name
+
+let test_decode_errors () =
+  expect_error "not json" Protocol.Bad_frame (decode "certainly not json");
+  expect_error "not an object" Protocol.Bad_frame (decode "[1, 2]");
+  expect_error "oversized" Protocol.Bad_frame
+    (Protocol.decode ~max_bytes:8 {|{"op": "ping"}|});
+  expect_error "missing op" Protocol.Bad_request (decode "{}");
+  expect_error "unknown op" Protocol.Bad_request (decode {|{"op": "evaluate"}|});
+  expect_error "missing query" Protocol.Bad_request (decode {|{"op": "classify"}|});
+  expect_error "ill-typed query" Protocol.Bad_request
+    (decode {|{"op": "classify", "query": 3}|});
+  expect_error "db and facts" Protocol.Bad_request
+    (decode {|{"op": "certain", "query": "q", "db": "a", "facts": "b"}|});
+  expect_error "neither db nor facts" Protocol.Bad_request
+    (decode {|{"op": "certain", "query": "q"}|});
+  expect_error "bad trials" Protocol.Bad_request
+    (decode {|{"op": "certain", "query": "q", "db": "a", "trials": 0}|});
+  (* The id is echoed even on a decode failure, when it parsed far enough. *)
+  match decode {|{"op": "nope", "id": 9}|} with
+  | Error (Some (Json.Int 9), _) -> ()
+  | _ -> Alcotest.fail "id not recovered from a bad request"
+
+let test_decode_ok () =
+  (match decode {|{"op": "certain", "query": "q", "db": "d", "id": 1}|} with
+  | Ok (Some (Json.Int 1), Protocol.Certain { db = Protocol.Named "d"; trials = None; explain = false; _ }) -> ()
+  | _ -> Alcotest.fail "named certain");
+  (match decode {|{"op": "certain", "query": "q", "facts": "R(1 | 2)", "trials": 7, "explain": true}|} with
+  | Ok (None, Protocol.Certain { db = Protocol.Inline _; trials = Some 7; explain = true; _ }) -> ()
+  | _ -> Alcotest.fail "inline certain");
+  match decode {|{"op": "load", "name": "n", "facts": "R(1 | 2)"}|} with
+  | Ok (None, Protocol.Load { name = "n"; _ }) -> ()
+  | _ -> Alcotest.fail "load"
+
+(* ------------------------------------------------------------------ *)
+(* Ingest *)
+
+let test_ingest () =
+  (match Serve.Ingest.database "R(1 | 2)\nR(2 | 3)" with
+  | Ok db -> checki "facts" 2 (Relational.Database.size db)
+  | Error _ -> Alcotest.fail "well-formed database refused");
+  (match Serve.Ingest.database "R(1 | 2)\nR(1 2 | 3)" with
+  | Error { Protocol.code = Protocol.Bad_db; _ } -> ()
+  | _ -> Alcotest.fail "arity mismatch must be bad-db");
+  (match Serve.Ingest.database "not a fact" with
+  | Error { Protocol.code = Protocol.Bad_db; _ } -> ()
+  | _ -> Alcotest.fail "parse error must be bad-db");
+  (match Serve.Ingest.database ~max_facts:2 "R(1 | 2)\nR(2 | 3)\nR(3 | 4)" with
+  | Error { Protocol.code = Protocol.Db_too_large; _ } -> ()
+  | _ -> Alcotest.fail "cap overflow must be db-too-large");
+  (match Serve.Ingest.query "R(x | y) R(y | x)" with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "well-formed query refused");
+  match Serve.Ingest.query "R(x | y) S(" with
+  | Error { Protocol.code = Protocol.Bad_query; _ } -> ()
+  | _ -> Alcotest.fail "parse error must be bad-query"
+
+(* ------------------------------------------------------------------ *)
+(* Admission *)
+
+let test_admission () =
+  (* Pinned clock: no refill unless we advance it. Capacity 2 heavy units,
+     estimate cost 0.5 → two admits, then downgrades while ≥ 0.5 remains
+     — the bucket is empty after the admits, so straight to shed. *)
+  let now = ref 0.0 in
+  let config =
+    {
+      Serve.Admission.capacity = 2.0;
+      refill_per_s = 1.0;
+      heavy_cost = 1.0;
+      fast_cost = 0.1;
+      estimate_cost = 0.5;
+    }
+  in
+  let a = Serve.Admission.make ~clock:(fun () -> !now) config in
+  let d () = Serve.Admission.decide a Serve.Admission.Heavy in
+  checkb "admit 1" true (d () = Serve.Admission.Admit);
+  checkb "admit 2" true (d () = Serve.Admission.Admit);
+  checkb "shed" true (d () = Serve.Admission.Shed);
+  (* Refill half a unit: enough for a downgrade, not an admit. *)
+  now := 0.5;
+  checkb "downgrade" true (d () = Serve.Admission.Downgrade);
+  checkb "shed again" true (d () = Serve.Admission.Shed);
+  (* Fast requests always admit, even on an empty bucket. *)
+  checkb "fast admits" true
+    (Serve.Admission.decide a Serve.Admission.Fast = Serve.Admission.Admit);
+  checki "admitted" 3 (Serve.Admission.admitted a);
+  checki "downgraded" 1 (Serve.Admission.downgraded a);
+  checki "shed" 2 (Serve.Admission.shed a);
+  Alcotest.check_raises "estimate_cost > heavy_cost"
+    (Invalid_argument "Admission.make: estimate_cost must be <= heavy_cost")
+    (fun () ->
+      ignore
+        (Serve.Admission.make
+           { config with Serve.Admission.estimate_cost = 2.0 }))
+
+(* ------------------------------------------------------------------ *)
+(* Plane cache *)
+
+let db_of_text text =
+  match Serve.Ingest.database text with
+  | Ok db -> db
+  | Error _ -> Alcotest.fail "test database refused"
+
+let test_plane_cache () =
+  let cache = Serve.Plane_cache.make ~capacity:2 () in
+  let d1 = db_of_text "R(1 | 2)\nR(1 | 3)" in
+  let d1' = db_of_text "R(1 | 3)\nR(1 | 2)" in
+  let d2 = db_of_text "R(2 | 2)" in
+  let d3 = db_of_text "R(3 | 3)" in
+  checks "fingerprint is content-addressed"
+    (Serve.Plane_cache.fingerprint d1)
+    (Serve.Plane_cache.fingerprint d1');
+  let _, hit = Serve.Plane_cache.find_or_compile cache d1 in
+  checkb "first is a miss" false hit;
+  let _, hit = Serve.Plane_cache.find_or_compile cache d1' in
+  checkb "same content hits" true hit;
+  let _, _ = Serve.Plane_cache.find_or_compile cache d2 in
+  (* Touch d1 so d2 is the LRU victim when d3 arrives. *)
+  ignore (Serve.Plane_cache.find cache (Serve.Plane_cache.fingerprint d1));
+  let _, _ = Serve.Plane_cache.find_or_compile cache d3 in
+  let stats = Serve.Plane_cache.stats cache in
+  checki "entries bounded" 2 stats.Serve.Plane_cache.entries;
+  checki "one eviction" 1 stats.Serve.Plane_cache.evictions;
+  checkb "d2 evicted" true
+    (Serve.Plane_cache.find cache (Serve.Plane_cache.fingerprint d2) = None);
+  checkb "d1 retained" true
+    (Serve.Plane_cache.find cache (Serve.Plane_cache.fingerprint d1) <> None);
+  (* A fault mid-compile caches nothing. *)
+  let d4 = db_of_text "R(4 | 4)\nR(4 | 5)" in
+  (try
+     ignore
+       (Serve.Plane_cache.find_or_compile
+          ~tick:(fun () -> raise (Chaos.Injected_fault "compile"))
+          cache d4);
+     Alcotest.fail "fault swallowed"
+   with Chaos.Injected_fault _ -> ());
+  checkb "faulted compile cached nothing" true
+    (Serve.Plane_cache.find cache (Serve.Plane_cache.fingerprint d4) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Retry *)
+
+let test_retry () =
+  let calls = ref 0 and slept = ref [] in
+  let { Harness.Retry.result; retries } =
+    Harness.Retry.run ~max_attempts:3 ~backoff_s:0.1
+      ~sleep:(fun s -> slept := s :: !slept)
+      ~retryable:Harness.Retry.transient
+      (fun () ->
+        incr calls;
+        if !calls < 3 then raise (Chaos.Injected_fault "x") else 42)
+  in
+  checkb "succeeded" true (result = Ok 42);
+  checki "two retries" 2 retries;
+  checkb "exponential backoff" true (List.rev !slept = [ 0.1; 0.2 ]);
+  (* Non-retryable exceptions end the attempts immediately. *)
+  let calls = ref 0 in
+  let { Harness.Retry.result; retries } =
+    Harness.Retry.run ~max_attempts:5 ~retryable:Harness.Retry.transient
+      (fun () ->
+        incr calls;
+        failwith "deterministic")
+  in
+  checkb "failed" true (match result with Error (Failure _) -> true | _ -> false);
+  checki "no retries on deterministic failure" 0 retries;
+  checki "one call" 1 !calls;
+  (* Budgets are sticky, so Budget_exceeded is never transient. *)
+  checkb "budget not transient" false
+    (Harness.Retry.transient (Budget.Budget_exceeded Budget.Steps));
+  checkb "pressure not transient" false
+    (Harness.Retry.transient (Budget.Budget_exceeded (Budget.Pressure "s")));
+  checkb "fault transient" true
+    (Harness.Retry.transient (Chaos.Injected_fault "s"))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics merge (per-request isolation primitive) *)
+
+let test_metrics_merge () =
+  let global = Obs.Metrics.create () in
+  let req = Obs.Metrics.create () in
+  Obs.Metrics.incr global "a";
+  Obs.Metrics.incr req "a";
+  Obs.Metrics.incr ~by:4 req "b";
+  Obs.Metrics.observe ~bounds:[ 1.0; 10.0 ] req "h" 5.0;
+  Obs.Metrics.merge global (Obs.Metrics.snapshot req);
+  checki "counters add" 2 (Obs.Metrics.counter_value global "a");
+  checki "new counters appear" 4 (Obs.Metrics.counter_value global "b");
+  Obs.Metrics.merge global (Obs.Metrics.snapshot req);
+  checki "merge is additive" 3 (Obs.Metrics.counter_value global "a");
+  (* Histograms with clashing bounds are rejected, not silently mangled. *)
+  let other = Obs.Metrics.create () in
+  Obs.Metrics.observe ~bounds:[ 2.0; 20.0 ] other "h" 5.0;
+  checkb "bounds clash raises" true
+    (try
+       Obs.Metrics.merge global (Obs.Metrics.snapshot other);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Daemon: response contract helpers *)
+
+let field name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "response lacks field %s" name
+
+let str_field name j =
+  match field name j with
+  | Json.String s -> s
+  | _ -> Alcotest.failf "field %s is not a string" name
+
+let int_field name j =
+  match field name j with
+  | Json.Int n -> n
+  | _ -> Alcotest.failf "field %s is not an int" name
+
+(* A conformant response: a JSON object whose code is a known code, whose
+   exit and status agree with the code's contract mapping, echoing op. *)
+let check_conformant line =
+  let j =
+    match Json.of_string (String.trim line) with
+    | Ok (Json.Obj _ as j) -> j
+    | Ok _ -> Alcotest.fail "response is not a JSON object"
+    | Error msg -> Alcotest.failf "response is not JSON: %s" msg
+  in
+  let code_name = str_field "code" j in
+  let code =
+    match
+      List.find_opt (fun c -> Protocol.code_name c = code_name) all_codes
+    with
+    | Some c -> c
+    | None -> Alcotest.failf "unknown response code %s" code_name
+  in
+  checki ("exit for " ^ code_name) (Protocol.exit_of_code code)
+    (int_field "exit" j);
+  checks ("status for " ^ code_name) (Protocol.status_of_code code)
+    (str_field "status" j);
+  ignore (str_field "op" j);
+  (code, j)
+
+let handle d line =
+  match Serve.Daemon.handle_line d line with
+  | Some frame -> check_conformant frame
+  | None -> Alcotest.fail "non-blank frame got no response"
+
+let expect_code d name expected line =
+  let code, _ = handle d line in
+  checks name (Protocol.code_name expected) (Protocol.code_name code)
+
+let base_config =
+  { Serve.Daemon.default_config with Serve.Daemon.backoff_s = 0.0 }
+
+(* ------------------------------------------------------------------ *)
+(* Daemon: pipeline smoke (classify → load → certain → stats) *)
+
+let test_daemon_smoke () =
+  let d = Serve.Daemon.create base_config in
+  let code, j = handle d {|{"op": "classify", "query": "R(x | y) R(y | x)"}|} in
+  checks "classify ok" "ok" (Protocol.code_name code);
+  checks "ptime class" "ptime" (str_field "class" j);
+  checks "fast tier" "fast" (str_field "tier" j);
+  expect_code d "load" Protocol.Ok_code
+    {|{"op": "load", "name": "db1", "facts": "R(1 | 2)\nR(1 | 3)\nR(2 | 2)"}|};
+  let code, j =
+    handle d {|{"op": "certain", "query": "R(x | y) R(y | x)", "db": "db1", "explain": true}|}
+  in
+  checks "certain ok" "ok" (Protocol.code_name code);
+  checkb "answer true" true (field "answer" j = Json.Bool true);
+  checks "plane cache hit" "hit" (str_field "cache" j);
+  checkb "explain lists attempts" true
+    (match field "attempts" j with Json.List (_ :: _) -> true | _ -> false);
+  let code, j =
+    handle d {|{"op": "certain", "query": "R(x | y) R(y | x)", "facts": "R(9 | 1)\nR(9 | 2)"}|}
+  in
+  checks "not certain" "not-certain" (Protocol.code_name code);
+  checkb "answer false" true (field "answer" j = Json.Bool false);
+  let code, j = handle d {|{"op": "stats"}|} in
+  checks "stats ok" "ok" (Protocol.code_name code);
+  checkb "stats counts requests" true (int_field "requests" j >= 5);
+  (match field "counters" j with
+  | Json.Obj counters ->
+      checkb "per-request tick counters merged" true
+        (List.mem_assoc "budget.tick.serve" counters)
+  | _ -> Alcotest.fail "stats lacks counters");
+  (* Error paths, all structured, loop alive after each. *)
+  expect_code d "unknown db" Protocol.Unknown_db
+    {|{"op": "certain", "query": "R(x | y) R(y | x)", "db": "nope"}|};
+  expect_code d "bad query" Protocol.Bad_query
+    {|{"op": "certain", "query": "R(", "facts": "R(1 | 2)"}|};
+  expect_code d "bad db" Protocol.Bad_db
+    {|{"op": "certain", "query": "R(x | y) R(y | x)", "facts": "gibberish"}|};
+  expect_code d "bad frame" Protocol.Bad_frame "gibberish";
+  checkb "blank frames are skipped" true (Serve.Daemon.handle_line d "" = None);
+  expect_code d "still alive" Protocol.Ok_code {|{"op": "ping"}|}
+
+let test_daemon_limits () =
+  let d =
+    Serve.Daemon.create
+      { base_config with Serve.Daemon.max_frame_bytes = 128; max_facts = 2 }
+  in
+  expect_code d "oversized frame" Protocol.Bad_frame
+    (Printf.sprintf {|{"op": "ping", "pad": "%s"}|} (String.make 200 'x'));
+  expect_code d "oversized db" Protocol.Db_too_large
+    {|{"op": "load", "name": "big", "facts": "R(1 | 2)\nR(2 | 3)\nR(3 | 4)"}|};
+  expect_code d "still alive" Protocol.Ok_code {|{"op": "ping"}|}
+
+(* The q2 fork-hard query is coNP-tier: with a starved admission bucket the
+   daemon downgrades it to an estimate, then sheds — never queues. *)
+let test_daemon_degradation () =
+  let now = ref 0.0 in
+  let d =
+    Serve.Daemon.create
+      ~clock:(fun () -> !now)
+      {
+        base_config with
+        Serve.Daemon.admission =
+          {
+            Serve.Admission.capacity = 1.5;
+            refill_per_s = 0.0;
+            heavy_cost = 1.0;
+            fast_cost = 0.01;
+            estimate_cost = 0.25;
+          };
+      }
+  in
+  let q2 = "R(x u | x y) R(u y | x z)" in
+  let req =
+    Printf.sprintf
+      {|{"op": "certain", "query": "%s", "facts": "R(1 2 | 1 3)\nR(2 3 | 1 4)", "trials": 20}|}
+      q2
+  in
+  let code, _ = handle d req in
+  checkb "first heavy request admitted" true
+    (List.mem code [ Protocol.Ok_code; Protocol.Not_certain ]);
+  let code, j = handle d req in
+  checks "second downgraded" "degraded-estimate" (Protocol.code_name code);
+  checkb "downgrade labelled" true (field "downgraded" j = Json.Bool true);
+  checki "trials honoured" 20 (int_field "trials" j);
+  (* Two more downgrades drain the bucket below the estimate cost. *)
+  ignore (handle d req);
+  ignore (handle d req);
+  let code, _ = handle d req in
+  checks "then shed" "overloaded" (Protocol.code_name code);
+  (* Fast requests still go through while heavy traffic is shed. *)
+  expect_code d "fast unaffected" Protocol.Ok_code
+    {|{"op": "certain", "query": "R(x | y) R(y | x)", "facts": "R(1 | 1)"}|}
+
+let test_daemon_fault_and_pressure () =
+  (* Certain faults at the serve site survive retries → fault-injected,
+     with the site label carried through. *)
+  let d =
+    Serve.Daemon.create
+      {
+        base_config with
+        Serve.Daemon.retries = 1;
+        chaos =
+          Some
+            {
+              Serve.Daemon.fail_p = 1.0;
+              delay_p = 0.0;
+              delay_s = 0.0;
+              pressure_p = 0.0;
+              chaos_seed = 1;
+              sites = [ Harness.Sites.serve ];
+            };
+      }
+  in
+  let code, j =
+    handle d {|{"op": "certain", "query": "R(x | y) R(y | x)", "facts": "R(1 | 2)"}|}
+  in
+  checks "fault surfaces after retries" "fault-injected"
+    (Protocol.code_name code);
+  checks "site label carried" "serve" (str_field "site" j);
+  expect_code d "loop alive" Protocol.Ok_code {|{"op": "ping"}|};
+  (* Injected pressure at the compile site exhausts the budget; the solver
+     chain falls back to the estimate tier → an explicit degraded answer. *)
+  let d =
+    Serve.Daemon.create
+      {
+        base_config with
+        Serve.Daemon.retries = 0;
+        chaos =
+          Some
+            {
+              Serve.Daemon.fail_p = 0.0;
+              delay_p = 0.0;
+              delay_s = 0.0;
+              pressure_p = 1.0;
+              chaos_seed = 1;
+              sites = [ Harness.Sites.compile ];
+            };
+      }
+  in
+  let code, j =
+    handle d
+      {|{"op": "certain", "query": "R(x | y) R(y | x)", "facts": "R(1 | 2)\nR(1 | 3)", "trials": 10}|}
+  in
+  checkb "pressure degrades, never crashes" true
+    (List.mem code [ Protocol.Degraded_estimate; Protocol.Budget_exhausted ]);
+  (match code with
+  | Protocol.Degraded_estimate ->
+      checks "degraded for budget reasons" "budget" (str_field "reason" j)
+  | _ -> ());
+  expect_code d "loop alive" Protocol.Ok_code {|{"op": "ping"}|}
+
+let test_request_isolation () =
+  (* A request that dies mid-flight merges nothing beyond its own counters:
+     the fault response and the successful one see disjoint per-request
+     registries, and the global registry totals both. *)
+  let d = Serve.Daemon.create base_config in
+  ignore (handle d {|{"op": "certain", "query": "R(x | y) R(y | x)", "facts": "R(1 | 1)"}|});
+  let m = Serve.Daemon.metrics d in
+  let ticks = Obs.Metrics.counter_value m "budget.tick.serve" in
+  checki "one serve tick merged" 1 ticks;
+  ignore (handle d {|{"op": "certain", "query": "R(x | y) R(y | x)", "facts": "R(1 | 1)"}|});
+  checki "second request adds its own" 2
+    (Obs.Metrics.counter_value m "budget.tick.serve");
+  checki "responses counted by code" 2
+    (Obs.Metrics.counter_value m "serve.response.ok")
+
+(* ------------------------------------------------------------------ *)
+(* Chaos soak: ≥1000 randomized requests, faults at every site, zero
+   crashes, every response contract-conformant. *)
+
+let soak_requests = 1200
+
+let random_db_text rng =
+  let n = 1 + Random.State.int rng 8 in
+  String.concat "\n"
+    (List.init n (fun _ ->
+         Printf.sprintf "R(%d | %d)" (Random.State.int rng 5)
+           (Random.State.int rng 5)))
+
+let soak_frame rng i =
+  let queries =
+    [
+      "R(x | y) R(y | x)";
+      "R(x | y) R(y | z)";
+      "R(x u | x y) R(u y | x z)";
+      "R(x | y) R(x | y)";
+    ]
+  in
+  let query () = List.nth queries (Random.State.int rng (List.length queries)) in
+  let obj fields = Json.to_string (Json.Obj fields) in
+  match Random.State.int rng 12 with
+  | 0 -> obj [ ("op", Json.String "ping") ]
+  | 1 -> obj [ ("op", Json.String "stats") ]
+  | 2 ->
+      obj
+        [ ("op", Json.String "classify"); ("query", Json.String (query ())) ]
+  | 3 -> obj [ ("op", Json.String "lint"); ("query", Json.String (query ())) ]
+  | 4 ->
+      obj
+        [
+          ("op", Json.String "load");
+          ("name", Json.String (Printf.sprintf "db%d" (i mod 4)));
+          ("facts", Json.String (random_db_text rng));
+        ]
+  | 5 | 6 ->
+      obj
+        [
+          ("op", Json.String "certain");
+          ("query", Json.String (query ()));
+          ("db", Json.String (Printf.sprintf "db%d" (Random.State.int rng 6)));
+          ("trials", Json.Int 10);
+        ]
+  | 7 | 8 ->
+      obj
+        [
+          ("op", Json.String "certain");
+          ("query", Json.String (query ()));
+          ("facts", Json.String (random_db_text rng));
+          ("trials", Json.Int 10);
+        ]
+  | 9 ->
+      (* Malformed on purpose. *)
+      List.nth
+        [ "{"; "null"; "[1]"; {|{"op": 3}|}; {|{"op": "certain"}|}; "}{" ]
+        (Random.State.int rng 6)
+  | 10 ->
+      obj
+        [
+          ("op", Json.String "certain");
+          ("query", Json.String "R(x | y) R(y |");
+          ("facts", Json.String "nonsense");
+        ]
+  | _ ->
+      obj
+        [
+          ("op", Json.String "certain");
+          ("query", Json.String (query ()));
+          ("facts", Json.String (random_db_text rng));
+          ("explain", Json.Bool true);
+        ]
+
+let test_soak () =
+  let rng = Random.State.make [| 0xC4A05 |] in
+  let d =
+    Serve.Daemon.create
+      ~sleep:(fun _ -> ())
+      {
+        base_config with
+        Serve.Daemon.retries = 1;
+        estimate_trials = 10;
+        chaos =
+          Some
+            {
+              Serve.Daemon.fail_p = 0.04;
+              delay_p = 0.0;
+              delay_s = 0.0;
+              pressure_p = 0.02;
+              chaos_seed = 7;
+              sites = [];
+              (* every tick site *)
+            };
+      }
+  in
+  let codes = Hashtbl.create 16 in
+  for i = 1 to soak_requests do
+    let frame = soak_frame rng i in
+    match Serve.Daemon.handle_line d frame with
+    | None -> Alcotest.failf "request %d: no response" i
+    | Some response ->
+        let code, _ = check_conformant response in
+        let name = Protocol.code_name code in
+        Hashtbl.replace codes name
+          (1 + Option.value ~default:0 (Hashtbl.find_opt codes name))
+  done;
+  checki "every request answered" soak_requests (Serve.Daemon.requests d);
+  checkb "daemon alive after the soak" true
+    (match Serve.Daemon.handle_line d {|{"op": "ping"}|} with
+    | Some r -> fst (check_conformant r) = Protocol.Ok_code
+    | None -> false);
+  (* The soak must actually exercise the fault machinery, not dodge it. *)
+  let count name = Option.value ~default:0 (Hashtbl.find_opt codes name) in
+  checkb "chaos produced injected-fault responses" true
+    (count "fault-injected" > 0);
+  checkb "some requests succeeded despite chaos" true (count "ok" > 0);
+  let m = Serve.Daemon.metrics d in
+  checkb "retries fired" true (Obs.Metrics.counter_value m "serve.retry" > 0)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "exit contract" `Quick test_exit_contract;
+          Alcotest.test_case "decode errors" `Quick test_decode_errors;
+          Alcotest.test_case "decode ok" `Quick test_decode_ok;
+        ] );
+      ("ingest", [ Alcotest.test_case "structured errors" `Quick test_ingest ]);
+      ( "admission",
+        [ Alcotest.test_case "token bucket" `Quick test_admission ] );
+      ( "plane-cache",
+        [ Alcotest.test_case "lru + fingerprint" `Quick test_plane_cache ] );
+      ("retry", [ Alcotest.test_case "backoff + transience" `Quick test_retry ]);
+      ( "metrics",
+        [ Alcotest.test_case "merge" `Quick test_metrics_merge ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "pipeline smoke" `Quick test_daemon_smoke;
+          Alcotest.test_case "frame and fact caps" `Quick test_daemon_limits;
+          Alcotest.test_case "degradation ladder" `Quick test_daemon_degradation;
+          Alcotest.test_case "faults and pressure" `Quick
+            test_daemon_fault_and_pressure;
+          Alcotest.test_case "request isolation" `Quick test_request_isolation;
+        ] );
+      ("soak", [ Alcotest.test_case "chaos soak" `Quick test_soak ]);
+    ]

@@ -96,10 +96,11 @@ let test_chaos_site_filter () =
 let test_chaos_pressure () =
   let c = Chaos.make ~pressure_p:1.0 () in
   let b = Budget.make ~chaos:c () in
-  check_raises_budget "pressure exhausts the step budget" Budget.Steps
-    (fun () -> Budget.tick b);
+  check_raises_budget "pressure exhausts the step budget, naming the site"
+    (Budget.Pressure "certk") (fun () -> Budget.tick ~site:"certk" b);
   Alcotest.(check int) "pressure counted" 1 (Chaos.pressures c);
-  check_raises_budget "and it is sticky" Budget.Steps (fun () -> Budget.tick b)
+  check_raises_budget "and it is sticky" (Budget.Pressure "certk") (fun () ->
+      Budget.tick b)
 
 let test_chaos_determinism () =
   let run seed =
