@@ -132,20 +132,24 @@ let classify_cmd =
 (* ------------------------------------------------------------------ *)
 (* lint *)
 
-let lint_run query_opt file_opt merges json =
+(* Shared by lint and analyze: print diagnostics (or the versioned JSON
+   document serve emits for its lint/analyze ops — one encoder, no drift)
+   and map their severity to the exit code. *)
+let report_diagnostics ~json diagnostics =
+  if json then
+    Format.printf "%a@." Analysis.Json.pp (Analysis.Encode.lint_result diagnostics)
+  else
+    List.iter
+      (fun d -> Format.printf "%a@." Analysis.Lint.pp_diagnostic d)
+      diagnostics;
+  match Analysis.Lint.max_severity diagnostics with
+  | Some Analysis.Lint.Error | Some Analysis.Lint.Warning -> 1
+  | Some Analysis.Lint.Info | None -> 0
+
+let lint_run query_opt file_opt db_path merges block_threshold json =
   guard @@ fun () ->
   let opts = opts_of_merges merges in
-  let report diagnostics =
-    if json then
-      Format.printf "%a@." Analysis.Json.pp (Analysis.Encode.lint_result diagnostics)
-    else
-      List.iter
-        (fun d -> Format.printf "%a@." Analysis.Lint.pp_diagnostic d)
-        diagnostics;
-    match Analysis.Lint.max_severity diagnostics with
-    | Some Analysis.Lint.Error | Some Analysis.Lint.Warning -> 1
-    | Some Analysis.Lint.Info | None -> 0
-  in
+  let report = report_diagnostics ~json in
   match (query_opt, file_opt) with
   | Some _, Some _ ->
       Format.eprintf "error: pass either a query argument or --file, not both@.";
@@ -153,7 +157,25 @@ let lint_run query_opt file_opt merges json =
   | None, None ->
       Format.eprintf "error: pass a query argument or --file@.";
       exit_error
-  | Some src, None -> report (Analysis.Lint.lint_source ~opts src)
+  | Some src, None -> (
+      let source_diags = Analysis.Lint.lint_source ~opts src in
+      match db_path with
+      | None -> report source_diags
+      | Some path ->
+          (* Database-aware lints (QL008-QL010) need a parsed query; a parse
+             failure already surfaced as QL000/QL003 above. *)
+          with_db path @@ fun db ->
+              let db_diags =
+                match Qlang.Parse.query src with
+                | Error _ -> []
+                | Ok q ->
+                    Analysis.Lint.lint_database ~block_threshold ~query:q db
+              in
+              report (source_diags @ db_diags))
+  | None, Some path when db_path <> None ->
+      ignore path;
+      Format.eprintf "error: --db requires a single query argument, not --file@.";
+      exit_error
   | None, Some path ->
       (* A lint catalogue: one query per line, [#] comments; diagnostics are
          re-anchored to the catalogue's own line numbers. *)
@@ -187,6 +209,22 @@ let lint_cmd =
       & info [ "file" ] ~docv:"FILE"
           ~doc:"Lint a catalogue file: one query per line, '#' comments; '-' reads stdin.")
   in
+  let db_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "db" ] ~docv:"FILE"
+          ~doc:
+            "Also run the database-aware lints (QL008 oversized blocks, \
+             QL009 unmatched relations, QL010 already-consistent instance) \
+             against this database; '-' reads stdin.")
+  in
+  let block_threshold_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "block-threshold" ] ~docv:"N"
+          ~doc:"Block size above which QL008 fires (with $(b,--db)).")
+  in
   let json =
     Arg.(
       value & flag
@@ -204,15 +242,168 @@ let lint_cmd =
               self-join-pair errors, QL001 variables occurring only once, \
               QL002 constants in key positions, QL006 identical atoms, QL005 \
               triviality, QL007 coNP-completeness, and QL004 verdicts that \
-              rely on tripath non-existence within bounded search. See the \
-              manual's \"Certificates and the linter\" section for the full \
-              table.";
+              rely on tripath non-existence within bounded search. With \
+              $(b,--db) the database-aware lints QL008-QL010 run as well. See \
+              the manual's \"Certificates and the linter\" section for the \
+              full table.";
            `S Manpage.s_exit_status;
            `P "0 — no warnings or errors (info diagnostics allowed).";
            `P "1 — at least one warning or error.";
            `P "2 — usage or input error.";
          ])
-    Term.(const lint_run $ query_arg $ file_arg $ merges_arg $ json)
+    Term.(
+      const lint_run $ query_arg $ file_arg $ db_arg $ merges_arg
+      $ block_threshold_arg $ json)
+
+(* ------------------------------------------------------------------ *)
+(* analyze *)
+
+(* One analysis pass over one query source: the source lints, then — when
+   the query parses — the full plane sanitizer (PL100-PL108 plus the
+   pattern-program verifier PL110-PL113) on a compiled plane, and the
+   database-aware lints when an instance was given. Without --db the query
+   is analyzed against the empty instance of its own schema: the plane and
+   pattern checks still exercise the whole pipeline (this is what the @lint
+   alias runs over the example catalogue), while the instance-dependent
+   QL lints stay out of the way. *)
+let analyze_source ~opts ~block_threshold ~sanitize ?db src =
+  let source_diags = Analysis.Lint.lint_source ~opts src in
+  match Qlang.Parse.query src with
+  | Error _ -> source_diags (* nothing to compile; QL000/QL003 already said so *)
+  | Ok q ->
+      let instance =
+        match db with
+        | Some db -> db
+        | None -> Relational.Database.of_facts [ q.Qlang.Query.schema ] []
+      in
+      let plane = Relational.Compiled.compile instance in
+      let plane_diags =
+        if sanitize then Analysis.Sanitize.run ~query:q plane else []
+      in
+      let db_diags =
+        match db with
+        | None -> []
+        | Some db -> Analysis.Lint.lint_database ~block_threshold ~query:q db
+      in
+      source_diags @ plane_diags @ db_diags
+
+let analyze_run query_opt file_opt db_path merges block_threshold no_sanitize
+    json =
+  guard @@ fun () ->
+  let opts = opts_of_merges merges in
+  let report = report_diagnostics ~json in
+  let analyze =
+    analyze_source ~opts ~block_threshold ~sanitize:(not no_sanitize)
+  in
+  match (query_opt, file_opt) with
+  | Some _, Some _ ->
+      Format.eprintf "error: pass either a query argument or --file, not both@.";
+      exit_error
+  | None, None ->
+      Format.eprintf "error: pass a query argument or --file@.";
+      exit_error
+  | Some src, None -> (
+      match db_path with
+      | None -> report (analyze src)
+      | Some path -> with_db path @@ fun db -> report (analyze ~db src))
+  | None, Some _ when db_path <> None ->
+      Format.eprintf "error: --db requires a single query argument, not --file@.";
+      exit_error
+  | None, Some path ->
+      (* Analyze a catalogue: one query per line, '#' comments; diagnostics
+         are re-anchored to the catalogue's own line numbers (same contract
+         as [cqa lint --file]). *)
+      read_file path |> String.split_on_char '\n'
+      |> List.mapi (fun i line -> (i + 1, String.trim line))
+      |> List.filter (fun (_, line) -> line <> "" && line.[0] <> '#')
+      |> List.concat_map (fun (ln, line) ->
+             analyze line
+             |> List.map (fun (d : Analysis.Lint.diagnostic) ->
+                    {
+                      d with
+                      Analysis.Lint.position =
+                        Option.map
+                          (fun (p : Qlang.Parse.position) ->
+                            { p with Qlang.Parse.line = ln })
+                          d.Analysis.Lint.position;
+                    }))
+      |> report
+
+let analyze_cmd =
+  let query_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"Query to analyze (source text, not pre-parsed).")
+  in
+  let file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:
+            "Analyze a catalogue file: one query per line, '#' comments; '-' \
+             reads stdin.")
+  in
+  let db_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "db" ] ~docv:"FILE"
+          ~doc:
+            "Compile this database and sanitize the resulting execution \
+             plane (instead of the empty instance), then run the \
+             database-aware lints QL008-QL010 as well; '-' reads stdin.")
+  in
+  let block_threshold_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "block-threshold" ] ~docv:"N"
+          ~doc:"Block size above which QL008 fires (with $(b,--db)).")
+  in
+  let no_sanitize_arg =
+    Arg.(
+      value & flag
+      & info [ "no-sanitize" ]
+          ~doc:
+            "Skip the plane sanitizer and pattern verifier (PL codes); only \
+             the source lints (QL codes) run.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit diagnostics as the schema-versioned JSON document (the \
+             same encoder the serve daemon's analyze op uses).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the full static-analysis pass: source lints, plane sanitizer, \
+          and pattern-program verifier."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Lints the query source (QL codes), compiles the database (or \
+              the empty instance of the query's schema) into an execution \
+              plane, re-derives every plane layout invariant from first \
+              principles (PL100-PL107), verifies the compiled pattern \
+              programs with the abstract interpreter (PL110-PL113), and \
+              checks the solution graph against the independent \
+              substitution-based enumeration (PL108). With $(b,--db) the \
+              database-aware lints QL008-QL010 run as well. See the manual's \
+              \"Static analysis and sanitizers\" section for the full code \
+              tables.";
+           `S Manpage.s_exit_status;
+           `P "0 — clean (info diagnostics allowed).";
+           `P "1 — at least one warning or error diagnostic.";
+           `P "2 — usage or ingestion error.";
+         ])
+    Term.(
+      const analyze_run $ query_arg $ file_arg $ db_arg $ merges_arg
+      $ block_threshold_arg $ no_sanitize_arg $ json)
 
 (* ------------------------------------------------------------------ *)
 (* certain *)
@@ -274,8 +465,12 @@ let record_attempt_metrics metrics outcome (attempts : Core.Solver.attempt list)
     ("solver.outcome." ^ Core.Solver.outcome_label outcome)
 
 let certain_run query db_path k exact_only timeout max_steps estimate_flag trials
-    seed verify verify_certificate trace_out metrics_out explain =
+    seed verify verify_certificate no_sanitize chaos_corrupt trace_out
+    metrics_out explain =
   guard @@ fun () ->
+  if chaos_corrupt then
+    Relational.Compiled.set_test_corruption
+      (Some Relational.Compiled.Unsafe.corrupt_first_cell_out_of_domain);
   with_db db_path @@ fun db ->
       let metrics = Option.map (fun _ -> Obs.Metrics.create ()) metrics_out in
       let trace = Option.map (fun _ -> Obs.Trace.create ()) trace_out in
@@ -288,10 +483,16 @@ let certain_run query db_path k exact_only timeout max_steps estimate_flag trial
         if verify_certificate then Some (fun r -> Analysis.Check.audit_report r)
         else None
       in
+      (* The plane gate: every compiled plane passes the sanitizer's cheap
+         int-scan before any tier consumes it; a rejection fails every
+         plane-consuming tier and the run ends as a solver error (exit 2). *)
+      let check_plane =
+        if no_sanitize then None else Some Analysis.Sanitize.gate
+      in
       let report = Core.Dichotomy.classify query in
       let outcome, attempts =
-        Core.Solver.solve ~k ~exact_only ?check_certificate ~budget ~verify
-          ?estimate_trials ~seed ?trace report db
+        Core.Solver.solve ~k ~exact_only ?check_certificate ?check_plane
+          ~budget ~verify ?estimate_trials ~seed ?trace report db
       in
       (* Surface degradation: any tier that did not decide is worth a note. *)
       List.iter
@@ -413,6 +614,26 @@ let certain_cmd =
              rejected certificate fails the PTIME tier (a note on stderr) and \
              the chain degrades to the exact tiers.")
   in
+  let no_sanitize_arg =
+    Arg.(
+      value & flag
+      & info [ "no-sanitize" ]
+          ~doc:
+            "Skip the plane gate: do not run $(b,Analysis.Sanitize.gate) on \
+             the compiled execution plane before the solver tiers consume \
+             it. The gate is a pure integer scan (well under 5% of compile \
+             time); a rejected plane fails every tier and exits 2.")
+  in
+  let chaos_corrupt_arg =
+    Arg.(
+      value & flag
+      & info [ "chaos-corrupt" ]
+          ~doc:
+            "Testing hook: corrupt every compiled plane (first tuple cell \
+             set out of the interner's domain) to exercise the sanitizer \
+             end-to-end. With the gate on, the run must exit 2 with a \
+             [compiled plane rejected] error.")
+  in
   let trace_arg =
     Arg.(
       value
@@ -467,7 +688,8 @@ let certain_cmd =
     Term.(
       const certain_run $ query_arg $ db_arg $ k_arg $ exact_arg $ timeout_arg
       $ max_steps_arg $ estimate_arg $ trials_arg $ seed_arg $ verify_arg
-      $ verify_certificate_arg $ trace_arg $ metrics_arg $ explain_arg)
+      $ verify_certificate_arg $ no_sanitize_arg $ chaos_corrupt_arg
+      $ trace_arg $ metrics_arg $ explain_arg)
 
 (* ------------------------------------------------------------------ *)
 (* tripath *)
@@ -773,8 +995,12 @@ let estimate_cmd =
 
 let serve_run pipe socket fast_timeout heavy_timeout fast_max_steps
     heavy_max_steps trials retries backoff max_facts planes capacity refill
-    chaos_fail chaos_delay chaos_pressure chaos_seed chaos_sites seed k =
+    chaos_fail chaos_delay chaos_pressure chaos_seed chaos_sites chaos_corrupt
+    no_sanitize seed k =
   guard @@ fun () ->
+  if chaos_corrupt then
+    Relational.Compiled.set_test_corruption
+      (Some Relational.Compiled.Unsafe.corrupt_first_cell_out_of_domain);
   let chaos =
     if chaos_fail > 0.0 || chaos_delay > 0.0 || chaos_pressure > 0.0 then
       Some
@@ -809,6 +1035,7 @@ let serve_run pipe socket fast_timeout heavy_timeout fast_max_steps
       chaos;
       seed;
       k;
+      sanitize = not no_sanitize;
     }
   in
   let daemon = Serve.Daemon.create config in
@@ -947,6 +1174,24 @@ let serve_cmd =
       & info [ "chaos-site" ] ~docv:"SITE"
           ~doc:"Restrict injection to this tick site (repeatable; default all).")
   in
+  let chaos_corrupt_arg =
+    Arg.(
+      value & flag
+      & info [ "chaos-corrupt" ]
+          ~doc:
+            "Testing hook: corrupt every plane the daemon compiles (first \
+             tuple cell set out of the interner's domain). With sanitize-on-\
+             insert active every compile-needing request answers \
+             [corrupt-plane] and nothing is cached.")
+  in
+  let no_sanitize_arg =
+    Arg.(
+      value & flag
+      & info [ "no-sanitize" ]
+          ~doc:
+            "Skip sanitize-on-insert: freshly compiled planes enter the \
+             cache without the $(b,Analysis.Sanitize.gate) scan.")
+  in
   let seed_arg =
     Arg.(
       value & opt int 0
@@ -985,7 +1230,8 @@ let serve_cmd =
       $ heavy_timeout_arg $ fast_steps_arg $ heavy_steps_arg $ trials_arg
       $ retries_arg $ backoff_arg $ max_facts_arg $ planes_arg $ capacity_arg
       $ refill_arg $ chaos_fail_arg $ chaos_delay_arg $ chaos_pressure_arg
-      $ chaos_seed_arg $ chaos_sites_arg $ seed_arg $ k_arg)
+      $ chaos_seed_arg $ chaos_sites_arg $ chaos_corrupt_arg $ no_sanitize_arg
+      $ seed_arg $ k_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bench *)
@@ -1025,6 +1271,12 @@ let serve_bench_run seed output =
     report.Benchkit.Serve_suite.downgraded report.Benchkit.Serve_suite.shed
     report.Benchkit.Serve_suite.plane_hits
     report.Benchkit.Serve_suite.plane_misses;
+  Format.printf
+    "sanitize-on-insert: gate %.4f ms vs compile %.4f ms per plane (%.1f%% \
+     overhead)@."
+    report.Benchkit.Serve_suite.sanitize_ms
+    report.Benchkit.Serve_suite.compile_ms
+    report.Benchkit.Serve_suite.sanitize_overhead_pct;
   (* The default output name is the Cert_k suite's; give the serve profile
      its own document unless the user named one explicitly. *)
   let output = if output = "BENCH_certk.json" then "BENCH_serve.json" else output in
@@ -1151,6 +1403,7 @@ let main_cmd =
     [
       classify_cmd;
       lint_cmd;
+      analyze_cmd;
       certain_cmd;
       answers_cmd;
       explain_cmd;

@@ -15,10 +15,17 @@ let diagnostic (d : Lint.diagnostic) =
      ]
     @ match d.Lint.position with None -> [] | Some p -> [ ("position", position p) ])
 
+(* The one diagnostics encoder: `cqa lint --json`, `cqa analyze --json` and
+   the serve `analyze` op all emit this document. Bump [schema_version] on
+   any shape change. *)
+let diagnostics_schema_version = 1
+
 let lint_result ds =
   let count s = List.length (List.filter (fun d -> d.Lint.severity = s) ds) in
   Json.Obj
     [
+      ("schema_version", Json.Int diagnostics_schema_version);
+      ("kind", Json.String "diagnostics");
       ("diagnostics", Json.List (List.map diagnostic ds));
       ("errors", Json.Int (count Lint.Error));
       ("warnings", Json.Int (count Lint.Warning));

@@ -7,7 +7,13 @@
 val position : Qlang.Parse.position -> Json.t
 val diagnostic : Lint.diagnostic -> Json.t
 
-(** [{"diagnostics": [...], "errors": n, "warnings": n, "infos": n}]. *)
+(** Version of the shared diagnostics document (currently [1]). *)
+val diagnostics_schema_version : int
+
+(** [{"schema_version": 1, "kind": "diagnostics", "diagnostics": [...],
+    "errors": n, "warnings": n, "infos": n}] — the one document shape
+    shared by [cqa lint --json], [cqa analyze --json] and the serve
+    [analyze] op. *)
 val lint_result : Lint.diagnostic list -> Json.t
 
 val fact : Relational.Fact.t -> Json.t

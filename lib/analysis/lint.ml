@@ -171,6 +171,77 @@ let lint_query ?opts ?spans q =
   singleton_variables ?spans q @ key_constants ?spans q @ identical_atoms q
   @ classification_diagnostics ?opts q
 
+(* Database-aware lints, run only when the caller supplies an instance. *)
+let lint_database ?(block_threshold = 32) ~(query : Query.t) db =
+  let blocks = Relational.Database.blocks db in
+  let oversized =
+    List.filter
+      (fun (b : Relational.Block.t) ->
+        List.length b.Relational.Block.facts > block_threshold)
+      blocks
+  in
+  let ql008 =
+    match oversized with
+    | [] -> []
+    | _ ->
+        let largest =
+          List.fold_left
+            (fun acc (b : Relational.Block.t) ->
+              max acc (List.length b.Relational.Block.facts))
+            0 oversized
+        in
+        [
+          {
+            code = "QL008";
+            severity = Warning;
+            message =
+              Printf.sprintf
+                "%d block%s exceed%s %d facts (largest has %d): the repair \
+                 space grows with the product of block sizes, which is what \
+                 the coNP tier enumerates"
+                (List.length oversized)
+                (if List.length oversized = 1 then "" else "s")
+                (if List.length oversized = 1 then "s" else "")
+                block_threshold largest;
+            position = None;
+          };
+        ]
+  in
+  let matched =
+    [ query.Query.a.Atom.rel; query.Query.b.Atom.rel ]
+  in
+  let ql009 =
+    Relational.Database.schemas db
+    |> List.filter_map (fun (s : Relational.Schema.t) ->
+           if List.mem s.Relational.Schema.name matched then None
+           else
+             Some
+               {
+                 code = "QL009";
+                 severity = Info;
+                 message =
+                   Printf.sprintf
+                     "relation %s is never matched by either atom of the query"
+                     s.Relational.Schema.name;
+                 position = None;
+               })
+  in
+  let ql010 =
+    if Relational.Database.is_consistent db then
+      [
+        {
+          code = "QL010";
+          severity = Warning;
+          message =
+            "database is already consistent: CERTAIN(q) coincides with \
+             standard evaluation, no repair reasoning is needed";
+          position = None;
+        };
+      ]
+    else []
+  in
+  ql008 @ ql009 @ ql010
+
 let lint_source ?opts s =
   match Parse.query_spanned s with
   | Ok (q, spans) -> lint_query ?opts ~spans q

@@ -22,6 +22,13 @@
       roundabout spelling of a one-atom query.
     - [QL007] {e info} — CERTAIN(q) is coNP-complete; exact solving may
       take exponential time on adversarial databases.
+    - [QL008] {e warning} — some block's size exceeds a threshold
+      (database-aware; default 32): the repair space grows with the product
+      of block sizes, which is what the coNP tier enumerates.
+    - [QL009] {e info} — a relation of the database is never matched by
+      either atom of the query (database-aware).
+    - [QL010] {e warning} — the database is already consistent
+      (database-aware): CERTAIN(q) coincides with standard evaluation.
 
     Exit-code contract of [cqa lint]: [0] when no diagnostic of severity
     {!Warning} or {!Error} was produced ({!Info} is fine), [1] otherwise,
@@ -56,6 +63,16 @@ val lint_query :
 (** [lint_source ?opts s] parses [s] and lints the result; parse failures
     become a single QL000 (or QL003, for self-join mismatches) diagnostic. *)
 val lint_source : ?opts:Core.Tripath_search.options -> string -> diagnostic list
+
+(** [lint_database ?block_threshold ~query db] runs the database-aware
+    lints (QL008/QL009/QL010) of [query] over the instance [db] — the
+    [cqa lint --db] / [cqa analyze --db] path. [block_threshold] (default
+    32) is the block size above which QL008 fires. *)
+val lint_database :
+  ?block_threshold:int ->
+  query:Qlang.Query.t ->
+  Relational.Database.t ->
+  diagnostic list
 
 (** The severity [cqa lint]'s exit code is computed from: [Some Error >
     Some Warning > Some Info > None]. *)

@@ -35,6 +35,14 @@ type report = {
   shed : int;
   plane_hits : int;
   plane_misses : int;
+  compile_ms : float;
+      (** Mean wall time of one [Compiled.compile] over the workload's
+          database pool. *)
+  sanitize_ms : float;
+      (** Mean wall time of one {!Analysis.Sanitize.gate} scan over the
+          corresponding planes — the cost the daemon pays per cache insert. *)
+  sanitize_overhead_pct : float;
+      (** [100 * sanitize_ms / compile_ms]; the acceptance gate is < 5%. *)
 }
 
 (** [run ()] builds a fresh daemon (chaos off, virtual admission clock

@@ -6,34 +6,49 @@ module Solution_graph = Qlang.Solution_graph
 type t = {
   report : Dichotomy.report;
   database : Database.t;
+  check_plane : (Compiled.t -> (unit, string) result) option;
   plane : Compiled.t Lazy.t;
   graph : Solution_graph.t Lazy.t;
   answer : (int, bool * Solver.algorithm) Hashtbl.t;  (* keyed by k *)
 }
 
-let of_report report database =
+let of_report ?check_plane report database =
   let q = report.Dichotomy.query in
-  let plane = lazy (Compiled.compile database) in
+  let plane =
+    lazy
+      (let p = Compiled.compile database in
+       (match check_plane with
+       | None -> ()
+       | Some check -> (
+           match check p with
+           | Ok () -> ()
+           | Error msg -> invalid_arg ("compiled plane rejected: " ^ msg)));
+       p)
+  in
   {
     report;
     database;
+    check_plane;
     plane;
     graph = lazy (Solution_graph.of_query_compiled q (Lazy.force plane));
     answer = Hashtbl.create 4;
   }
 
-let create ?opts q db =
+let create ?opts ?check_plane q db =
   (* Fail fast on schema mismatches. *)
   List.iter
     (fun f -> ignore (Relational.Fact.key (Database.schema_of db f) f))
     (Database.facts db);
-  of_report (Dichotomy.classify ?opts q) db
+  of_report ?check_plane (Dichotomy.classify ?opts q) db
 
 let query s = s.report.Dichotomy.query
 let report s = s.report
 let database s = s.database
-let add_fact s f = of_report s.report (Database.add s.database f)
-let remove_fact s f = of_report s.report (Database.remove s.database f)
+let add_fact s f =
+  of_report ?check_plane:s.check_plane s.report (Database.add s.database f)
+
+let remove_fact s f =
+  of_report ?check_plane:s.check_plane s.report (Database.remove s.database f)
 
 let compiled s = Lazy.force s.plane
 

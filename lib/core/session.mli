@@ -16,10 +16,19 @@
 
 type t
 
-(** [create ?opts q db] classifies [q] and attaches the initial database.
+(** [create ?opts ?check_plane q db] classifies [q] and attaches the initial
+    database. [check_plane] is the plane gate (see {!Solver.solve}): it
+    validates every compiled plane the session builds — including the
+    recompilations after {!add_fact}/{!remove_fact} — and a rejection
+    surfaces as [Invalid_argument] from whichever operation first forces the
+    plane.
     @raise Invalid_argument if facts of [db] do not fit the query schema. *)
 val create :
-  ?opts:Tripath_search.options -> Qlang.Query.t -> Relational.Database.t -> t
+  ?opts:Tripath_search.options ->
+  ?check_plane:(Relational.Compiled.t -> (unit, string) result) ->
+  Qlang.Query.t ->
+  Relational.Database.t ->
+  t
 
 val query : t -> Qlang.Query.t
 val report : t -> Dichotomy.report

@@ -410,7 +410,18 @@ let in_solve_span ?trace (report : Dichotomy.report) budget run =
             (Obs.Trace.Int (Harness.Budget.steps budget));
           result)
 
-let solve ?k ?exact_only ?check_certificate
+(* The plane gate: a rejected plane turns into [Invalid_argument], which
+   [run_tiers] records as [Attempt_failed] for every tier that forces the
+   plane — the whole chain fails rather than answer from corrupt arrays. *)
+let apply_plane_gate check_plane p =
+  match check_plane with
+  | None -> ()
+  | Some check -> (
+      match check p with
+      | Ok () -> ()
+      | Error msg -> invalid_arg ("compiled plane rejected: " ^ msg))
+
+let solve ?k ?exact_only ?check_certificate ?check_plane
     ?(budget = Harness.Budget.unlimited ()) ?verify ?estimate_trials ?(seed = 0)
     ?trace (report : Dichotomy.report) db =
   let fallback =
@@ -459,6 +470,7 @@ let solve ?k ?exact_only ?check_certificate
                   (Obs.Trace.Int (Compiled.n_blocks p));
                 Obs.Trace.add_attr tr "values"
                   (Obs.Trace.Int (Compiled.n_values p)));
+            apply_plane_gate check_plane p;
             p))
   in
   let graph =
@@ -473,10 +485,18 @@ let solve ?k ?exact_only ?check_certificate
       run_tiers ?verify ?fallback ~budget ?trace
         (tiers ?k ?exact_only ?check_certificate ~budget report ~plane ~graph))
 
-let solve_plane ?k ?exact_only ?check_certificate
+let solve_plane ?k ?exact_only ?check_certificate ?check_plane
     ?(budget = Harness.Budget.unlimited ()) ?verify ?estimate_trials ?(seed = 0)
     ?trace (report : Dichotomy.report) plane =
   let q = report.Dichotomy.query in
+  (* The gate verdict is computed at most once; every tier (and the
+     fallback's graph build) re-raises it, so a corrupt cached plane cannot
+     answer through any path. *)
+  let gate_verdict = lazy (apply_plane_gate check_plane plane) in
+  let gated_plane () =
+    Lazy.force gate_verdict;
+    plane
+  in
   (* The plane arrives pre-compiled (typically from a serve-side cache that
      charged its own compilation when it first built it), so only the
      solution graph is built here — memoized success-only, exactly as in
@@ -490,7 +510,7 @@ let solve_plane ?k ?exact_only ?check_certificate
     | Some g -> g
     | None ->
         let build () =
-          let g = Qlang.Solution_graph.of_query_compiled ?tick q plane in
+          let g = Qlang.Solution_graph.of_query_compiled ?tick q (gated_plane ()) in
           graph_cache := Some g;
           g
         in
@@ -517,9 +537,9 @@ let solve_plane ?k ?exact_only ?check_certificate
   in_solve_span ?trace report budget (fun () ->
       run_tiers ?verify ?fallback ~budget ?trace
         (tiers ?k ?exact_only ?check_certificate ~budget report
-           ~plane:(fun () -> plane) ~graph))
+           ~plane:gated_plane ~graph))
 
-let solve_query ?opts ?k ?exact_only ?check_certificate ?budget ?verify
-    ?estimate_trials ?seed ?trace q db =
-  solve ?k ?exact_only ?check_certificate ?budget ?verify ?estimate_trials ?seed
-    ?trace (Dichotomy.classify ?opts q) db
+let solve_query ?opts ?k ?exact_only ?check_certificate ?check_plane ?budget
+    ?verify ?estimate_trials ?seed ?trace q db =
+  solve ?k ?exact_only ?check_certificate ?check_plane ?budget ?verify
+    ?estimate_trials ?seed ?trace (Dichotomy.classify ?opts q) db

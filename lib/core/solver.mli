@@ -177,6 +177,14 @@ val run_tiers :
     independent of the [analysis] audit kernel — the CLI's
     [--verify-certificate] passes [Analysis.Check.audit_report].
 
+    [check_plane] is the {e plane gate}, the same pattern one layer down:
+    the injected checker validates the compiled execution plane right after
+    it is built and before any tier consumes it; on rejection every
+    plane-consuming tier fails ([Attempt_failed] carrying the checker's
+    message) and the run ends in [Solver_error] — a corrupt plane must
+    never produce a verdict. The CLI and the serve daemon pass
+    [Analysis.Sanitize.gate] unless [--no-sanitize] is given.
+
     The chain compiles the database {e once}: the compiled execution plane
     and the solution graph built on it are shared by every tier, created on
     first demand inside the first tier that needs them. Compilation ticks
@@ -196,6 +204,7 @@ val solve :
   ?k:int ->
   ?exact_only:bool ->
   ?check_certificate:(Dichotomy.report -> (unit, string list) result) ->
+  ?check_plane:(Relational.Compiled.t -> (unit, string) result) ->
   ?budget:Harness.Budget.t ->
   ?verify:bool ->
   ?estimate_trials:int ->
@@ -217,6 +226,7 @@ val solve_plane :
   ?k:int ->
   ?exact_only:bool ->
   ?check_certificate:(Dichotomy.report -> (unit, string list) result) ->
+  ?check_plane:(Relational.Compiled.t -> (unit, string) result) ->
   ?budget:Harness.Budget.t ->
   ?verify:bool ->
   ?estimate_trials:int ->
@@ -232,6 +242,7 @@ val solve_query :
   ?k:int ->
   ?exact_only:bool ->
   ?check_certificate:(Dichotomy.report -> (unit, string list) result) ->
+  ?check_plane:(Relational.Compiled.t -> (unit, string) result) ->
   ?budget:Harness.Budget.t ->
   ?verify:bool ->
   ?estimate_trials:int ->

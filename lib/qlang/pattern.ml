@@ -110,3 +110,23 @@ let matches p i =
   let r = match_atom p.satom p.splane.Compiled.tuples.(i) p.senv trail in
   undo p.senv trail;
   r
+
+(* Read-only program view for the static analyzer. [op] mirrors [slot]
+   constructor for constructor; the copy through [op_of_slot] keeps the
+   matcher's arrays unreachable from outside. *)
+type op = Const of int | Bind of int | Check of int
+type program = { rel : int; ops : op array; ok : bool }
+
+let program_of_atom (a : atom) : program =
+  let op_of_slot : slot -> op = function
+    | Const c -> Const c
+    | Bind x -> Bind x
+    | Check x -> Check x
+  in
+  { rel = a.rel; ops = Array.map op_of_slot a.slots; ok = a.ok }
+
+let pair_programs (p : pair) =
+  (program_of_atom p.pa, program_of_atom p.pb, p.n_vars)
+
+let single_program (p : single) =
+  (program_of_atom p.satom, Array.length p.senv)

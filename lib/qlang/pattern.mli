@@ -34,3 +34,31 @@ val single : Relational.Compiled.t -> Atom.t -> single
 
 (** [matches p i] decides whether fact [i] of the plane matches the atom. *)
 val matches : single -> int -> bool
+
+(** {2 Program view}
+
+    The static-analysis layer ([Analysis.Verify_pattern]) proves safety
+    properties of compiled patterns — no read-before-bind, slot indices in
+    bounds, constants inside the interner domain — which requires seeing the
+    slot programs themselves. The view below exposes them read-only; the
+    matcher's internal representation stays private. *)
+
+(** One tuple position of a compiled atom. [Const id] matches the interned
+    id; [Bind x] claims environment slot [x] (first occurrence of the
+    variable anywhere in the pattern); [Check x] reads slot [x] (every later
+    occurrence). *)
+type op = Const of int | Bind of int | Check of int
+
+type program = {
+  rel : int;  (** Index into the plane's schemas; [-1] when unsatisfiable. *)
+  ops : op array;  (** One op per tuple position. *)
+  ok : bool;  (** Relation known and every constant interned. *)
+}
+
+(** [pair_programs p] is [(prog_a, prog_b, n_vars)]: both atom programs in
+    pattern order and the size of the shared environment. The op arrays are
+    fresh copies — mutating them cannot corrupt the matcher. *)
+val pair_programs : pair -> program * program * int
+
+(** [single_program p] is [(prog, n_vars)] for a single-atom pattern. *)
+val single_program : single -> program * int

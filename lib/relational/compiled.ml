@@ -10,6 +10,11 @@ type t = {
   adom : int array;
 }
 
+(* Chaos-injection hook: applied to every compiled plane so tests can model
+   a corruption arising anywhere downstream of compile. *)
+let test_corruption : (t -> t) option ref = ref None
+let set_test_corruption f = test_corruption := f
+
 let compile ?tick db =
   let schemas = Array.of_list (Database.schemas db) in
   let facts = Array.of_list (Database.facts db) in
@@ -65,7 +70,10 @@ let compile ?tick db =
   done;
   let blocks = Array.of_list (List.rev !blocks) in
   let adom = Array.init (Interner.size interner) Fun.id in
-  { interner; schemas; facts; tuples; rel_of; rel_range; blocks; block_of; adom }
+  let c =
+    { interner; schemas; facts; tuples; rel_of; rel_range; blocks; block_of; adom }
+  in
+  match !test_corruption with None -> c | Some f -> f c
 
 let decompile c =
   let fact_of_tuple i =
@@ -103,3 +111,17 @@ let is_consistent c = Array.for_all (fun b -> Array.length b = 1) c.blocks
 let pp ppf c =
   Format.fprintf ppf "compiled plane: %d facts, %d blocks, %d values, %d relations"
     (n_facts c) (n_blocks c) (n_values c) (n_relations c)
+
+module Unsafe = struct
+  let of_parts ~interner ~schemas ~facts ~tuples ~rel_of ~rel_range ~blocks
+      ~block_of ~adom =
+    { interner; schemas; facts; tuples; rel_of; rel_range; blocks; block_of;
+      adom }
+
+  let corrupt_first_cell_out_of_domain c =
+    if Array.length c.tuples = 0 || Array.length c.tuples.(0) = 0 then
+      invalid_arg "Compiled.Unsafe.corrupt_first_cell_out_of_domain: empty plane";
+    let tuples = Array.map Array.copy c.tuples in
+    tuples.(0).(0) <- Interner.size c.interner;
+    { c with tuples }
+end

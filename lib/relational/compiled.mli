@@ -82,3 +82,41 @@ val is_consistent : t -> bool
 
 (** One-line summary ([n] facts, [b] blocks, [v] values, [r] relations). *)
 val pp : Format.formatter -> t -> unit
+
+(** [set_test_corruption f] installs (or with [None] removes) a global hook
+    applied to every plane {!compile} produces, {e after} construction. This
+    is the chaos-injection point for the sanitizer's end-to-end tests: a
+    corruption installed here flows through [Core.Session], the serve plane
+    cache, and every other compile site, exactly like a real invariant
+    violation would. Never installed in production code paths; the [cqa
+    serve --chaos-corrupt] flag and the test suites are the only callers. *)
+val set_test_corruption : (t -> t) option -> unit
+
+(** Raw construction and corruption operators for the sanitizer's mutation
+    suite. Nothing here validates anything — that is the point: these exist
+    so tests can build planes that violate the layout invariants and assert
+    that {!Analysis.Sanitize} rejects each one with the right code. *)
+module Unsafe : sig
+  (** [of_parts ~interner ~schemas ~facts ~tuples ~rel_of ~rel_range ~blocks
+      ~block_of ~adom] wraps the given arrays as a plane without copying or
+      checking them. *)
+  val of_parts :
+    interner:Interner.t ->
+    schemas:Schema.t array ->
+    facts:Fact.t array ->
+    tuples:int array array ->
+    rel_of:int array ->
+    rel_range:(int * int) array ->
+    blocks:int array array ->
+    block_of:int array ->
+    adom:int array ->
+    t
+
+  (** [corrupt_first_cell_out_of_domain c] is a copy of [c] whose first
+      tuple cell is replaced by [n_values c] — an id outside the interner's
+      domain, which even the cheap {!Analysis.Sanitize.gate} scan rejects.
+      This is the standard chaos corruption used by [cqa serve
+      --chaos-corrupt].
+      @raise Invalid_argument on an empty plane. *)
+  val corrupt_first_cell_out_of_domain : t -> t
+end

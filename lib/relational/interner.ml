@@ -49,3 +49,13 @@ let iter f t =
   for id = 0 to t.next - 1 do
     f id t.values.(id)
   done
+
+let unsafe_alias t ~keep ~clobber =
+  if keep < 0 || keep >= t.next then
+    invalid_arg (Printf.sprintf "Interner.unsafe_alias: unassigned id %d" keep);
+  if clobber < 0 || clobber >= t.next then
+    invalid_arg
+      (Printf.sprintf "Interner.unsafe_alias: unassigned id %d" clobber);
+  (* Deliberately skip the [ids] reverse map: the whole point is to break the
+     bijection so the sanitizer has something to catch. *)
+  t.values.(clobber) <- t.values.(keep)

@@ -34,3 +34,13 @@ val size : t -> int
 
 (** [iter f t] applies [f id value] in increasing id order. *)
 val iter : (int -> Value.t -> unit) -> t -> unit
+
+(** [unsafe_alias t ~keep ~clobber] overwrites the value slot of id
+    [clobber] with the value of id [keep] {e without} touching the reverse
+    map — deliberately breaking the id [<->] value bijection so that
+    [value t clobber] resolves to a value whose id is [keep]. This is a
+    corruption operator for the sanitizer's mutation suite
+    ([Analysis.Sanitize] must reject the resulting plane with PL100); it has
+    no legitimate production use.
+    @raise Invalid_argument if either id was never assigned. *)
+val unsafe_alias : t -> keep:int -> clobber:int -> unit

@@ -26,6 +26,8 @@ type config = {
   chaos : chaos_spec option;
   seed : int;
   k : int;
+  sanitize : bool;
+      (* gate every freshly compiled plane with Analysis.Sanitize.gate *)
 }
 
 let default_config =
@@ -44,6 +46,7 @@ let default_config =
     chaos = None;
     seed = 0;
     k = 3;
+    sanitize = true;
   }
 
 type t = {
@@ -81,7 +84,11 @@ let create ?(clock = Unix.gettimeofday) ?(sleep = Unix.sleepf) config =
     config;
     sleep;
     admission = Admission.make ~clock config.admission;
-    planes = Plane_cache.make ~capacity:config.plane_capacity ();
+    planes =
+      Plane_cache.make ~capacity:config.plane_capacity
+        ?sanitize:
+          (if config.sanitize then Some Analysis.Sanitize.gate else None)
+        ();
     named = Hashtbl.create 16;
     reports = Hashtbl.create 16;
     chaos;
@@ -175,6 +182,9 @@ let code_of_exn = function
           ("error", Json.String "step budget exhausted (injected pressure)");
           ("site", Json.String site);
         ] )
+  | Plane_cache.Corrupt_plane msg ->
+      ( Protocol.Corrupt_plane,
+        [ ("error", Json.String ("compiled plane rejected: " ^ msg)) ] )
   | e ->
       ( Protocol.Solver_error,
         [ ("error", Json.String ("internal: " ^ Printexc.to_string e)) ] )
@@ -418,8 +428,7 @@ let do_load t ~mreq ~name ~text =
             ]
             @ retries_fields retries ))
 
-let do_lint ~query =
-  let diagnostics = Analysis.Lint.lint_source query in
+let diagnostics_fields diagnostics =
   let severity =
     match Analysis.Lint.max_severity diagnostics with
     | None -> "none"
@@ -430,7 +439,65 @@ let do_lint ~query =
     | Json.Obj fields -> fields
     | j -> [ ("lint", j) ]
   in
-  (Protocol.Ok_code, (("max_severity", Json.String severity) :: lint_fields))
+  ("max_severity", Json.String severity) :: lint_fields
+
+let do_lint ~query =
+  (Protocol.Ok_code, diagnostics_fields (Analysis.Lint.lint_source query))
+
+(* The analyze op mirrors `cqa analyze`'s exit contract: warnings or errors
+   are code "diagnostics" (exit 1), infos alone are "ok" (exit 0), and
+   ingestion failures keep their own codes (exit 2). *)
+let diagnostics_response diagnostics =
+  let code =
+    match Analysis.Lint.max_severity diagnostics with
+    | Some Analysis.Lint.Error | Some Analysis.Lint.Warning ->
+        Protocol.Diagnostics
+    | Some Analysis.Lint.Info | None -> Protocol.Ok_code
+  in
+  (code, diagnostics_fields diagnostics)
+
+let do_analyze t ~mreq ~query ~db =
+  match Ingest.query query with
+  | Error e -> error_fields e
+  | Ok q -> (
+      match db with
+      | None ->
+          (* No instance: lint the query and sanitize the plane of the empty
+             database over the query's schema (which also verifies the
+             compiled pattern programs). *)
+          let empty =
+            Relational.Database.of_facts [ q.Qlang.Query.schema ] []
+          in
+          diagnostics_response
+            (Analysis.Lint.lint_source query
+            @ Analysis.Sanitize.run ~query:q (Relational.Compiled.compile empty)
+            )
+      | Some db_ref -> (
+          let { Harness.Retry.result; retries } =
+            run_budgeted t ~mreq ~tier:Admission.Heavy (fun budget ->
+                let tick () = Budget.tick ~site:Harness.Sites.compile budget in
+                match resolve_entry t ~tick db_ref with
+                | Error e -> Error e
+                | Ok (entry, hit) ->
+                    let ds =
+                      Analysis.Lint.lint_source query
+                      @ Analysis.Sanitize.run ~query:q entry.Plane_cache.plane
+                      @ Analysis.Lint.lint_database ~query:q
+                          entry.Plane_cache.db
+                    in
+                    Ok (ds, hit))
+          in
+          match result with
+          | Error e -> code_of_exn e
+          | Ok (Error e) -> error_fields e
+          | Ok (Ok (ds, hit)) ->
+              Obs.Metrics.incr mreq
+                (if hit then "serve.plane.hit" else "serve.plane.miss");
+              let code, fields = diagnostics_response ds in
+              ( code,
+                fields
+                @ [ ("cache", Json.String (if hit then "hit" else "miss")) ]
+                @ retries_fields retries )))
 
 let stats_fields t =
   let snap = Obs.Metrics.snapshot t.metrics in
@@ -451,6 +518,8 @@ let stats_fields t =
           ("hits", Json.Int planes.Plane_cache.hits);
           ("misses", Json.Int planes.Plane_cache.misses);
           ("evictions", Json.Int planes.Plane_cache.evictions);
+          ("stale", Json.Int planes.Plane_cache.stale);
+          ("rejected", Json.Int planes.Plane_cache.rejected);
         ] );
     ( "chaos",
       match t.chaos with
@@ -476,6 +545,7 @@ let handle_request t ~mreq = function
       (Protocol.Ok_code, [ ("stopping", Json.Bool true) ])
   | Protocol.Classify { query } -> do_classify t ~mreq ~query
   | Protocol.Lint { query } -> do_lint ~query
+  | Protocol.Analyze { query; db } -> do_analyze t ~mreq ~query ~db
   | Protocol.Load { name; text } -> do_load t ~mreq ~name ~text
   | Protocol.Certain { query; db; trials; explain } ->
       do_certain t ~mreq ~query ~db ~trials ~explain

@@ -57,11 +57,16 @@ type config = {
   chaos : chaos_spec option;
   seed : int;  (** Seed of the per-request estimate RNG. *)
   k : int;  (** Cert_k fixpoint parameter. *)
+  sanitize : bool;
+      (** Run {!Analysis.Sanitize.gate} on every freshly compiled plane
+          before it enters the cache; a rejected plane produces a
+          [corrupt-plane] response and is never cached or served. Disabled
+          by [cqa serve --no-sanitize]. *)
 }
 
 (** Fast tier: 1 s / 200k steps; heavy tier: 10 s / 5M steps; 200 trials;
     2 retries with 10 ms initial backoff; 1 MiB frames; 100k facts;
-    8 planes; {!Admission.default_config}; no chaos. *)
+    8 planes; {!Admission.default_config}; no chaos; sanitize on. *)
 val default_config : config
 
 type t

@@ -6,24 +6,32 @@ type entry = {
 
 type slot = { entry : entry; mutable used : int }
 
+exception Corrupt_plane of string
+
 type t = {
   capacity : int;
+  sanitize : (Relational.Compiled.t -> (unit, string) result) option;
   slots : (string, slot) Hashtbl.t;
   mutable tick : int;  (* LRU clock: bumped on every touch *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable stale : int;
+  mutable rejected : int;
 }
 
-let make ?(capacity = 8) () =
+let make ?(capacity = 8) ?sanitize () =
   if capacity < 1 then invalid_arg "Plane_cache.make: capacity must be >= 1";
   {
     capacity;
+    sanitize;
     slots = Hashtbl.create 16;
     tick = 0;
     hits = 0;
     misses = 0;
     evictions = 0;
+    stale = 0;
+    rejected = 0;
   }
 
 let fingerprint db =
@@ -44,9 +52,23 @@ let touch t slot =
   t.tick <- t.tick + 1;
   slot.used <- t.tick
 
+(* A cached entry is served only if its content still hashes to the key it
+   is stored under. A mismatch means the entry went stale (however it got
+   there — an injection, a future mutable backing store, a bug): serving it
+   would answer for the wrong database, so it is evicted instead. *)
+let validate t fp slot =
+  if String.equal (fingerprint slot.entry.db) fp then true
+  else begin
+    Hashtbl.remove t.slots fp;
+    t.stale <- t.stale + 1;
+    t.evictions <- t.evictions + 1;
+    false
+  end
+
 let find t fp =
   match Hashtbl.find_opt t.slots fp with
   | None -> None
+  | Some slot when not (validate t fp slot) -> None
   | Some slot ->
       touch t slot;
       Some slot.entry
@@ -69,14 +91,24 @@ let evict_lru t =
 let find_or_compile ?tick t db =
   let fp = fingerprint db in
   match Hashtbl.find_opt t.slots fp with
-  | Some slot ->
+  | Some slot when validate t fp slot ->
       touch t slot;
       t.hits <- t.hits + 1;
       (slot.entry, true)
-  | None ->
+  | Some _ | None ->
       (* Compile before touching the table: a chaos fault or budget stop
          raised mid-compilation must leave the cache unchanged. *)
       let plane = Relational.Compiled.compile ?tick db in
+      (* Sanitize-on-insert: a plane that violates its layout invariants is
+         refused, not cached — nothing downstream ever sees it. *)
+      (match t.sanitize with
+      | None -> ()
+      | Some check -> (
+          match check plane with
+          | Ok () -> ()
+          | Error msg ->
+              t.rejected <- t.rejected + 1;
+              raise (Corrupt_plane msg)));
       let entry = { fingerprint = fp; db; plane } in
       t.misses <- t.misses + 1;
       if Hashtbl.length t.slots >= t.capacity then evict_lru t;
@@ -84,7 +116,18 @@ let find_or_compile ?tick t db =
       Hashtbl.add t.slots fp { entry; used = t.tick };
       (entry, false)
 
-type stats = { entries : int; hits : int; misses : int; evictions : int }
+let inject t ~fingerprint entry =
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.slots fingerprint { entry; used = t.tick }
+
+type stats = {
+  entries : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  stale : int;
+  rejected : int;
+}
 
 let stats t =
   {
@@ -92,4 +135,6 @@ let stats t =
     hits = t.hits;
     misses = t.misses;
     evictions = t.evictions;
+    stale = t.stale;
+    rejected = t.rejected;
   }

@@ -23,14 +23,29 @@ type entry = {
 
 type t
 
-(** [make ~capacity ()] — at most [capacity] planes are retained (≥ 1). *)
-val make : ?capacity:int -> unit -> t
+(** Raised by {!find_or_compile} when the sanitize-on-insert gate rejects a
+    freshly compiled plane; the payload is the gate's ["PLxxx: ..."]
+    message. The plane is not cached and the cache is unchanged. *)
+exception Corrupt_plane of string
+
+(** [make ~capacity ()] — at most [capacity] planes are retained (≥ 1).
+    [sanitize] (typically [Analysis.Sanitize.gate]) is run on every freshly
+    compiled plane before it is cached; a rejection raises
+    {!Corrupt_plane}. *)
+val make :
+  ?capacity:int ->
+  ?sanitize:(Relational.Compiled.t -> (unit, string) result) ->
+  unit ->
+  t
 
 (** Content fingerprint: hex digest over schemas and the sorted fact list.
     [Database.equal db db'] implies equal fingerprints. *)
 val fingerprint : Relational.Database.t -> string
 
-(** [find t fp] returns the cached entry and marks it most recently used. *)
+(** [find t fp] returns the cached entry and marks it most recently used.
+    The entry's content fingerprint is recomputed first: an entry whose
+    content no longer hashes to [fp] is {e stale} — it is evicted (counted
+    in {!type:stats}[.stale]) and [None] is returned, never served. *)
 val find : t -> string -> entry option
 
 (** [find_or_compile ?tick t db] returns the entry for [db]'s fingerprint,
@@ -38,10 +53,27 @@ val find : t -> string -> entry option
     boolean is [true] on a hit. [tick] is threaded into
     {!Relational.Compiled.compile} on the miss path, so the requesting
     budget is charged one tick per fact — and a chaos fault or budget stop
-    during compilation caches nothing. *)
+    during compilation caches nothing. A stale hit (see {!find}) is evicted
+    and recompiled. A freshly compiled plane passes the [sanitize] gate
+    before it is cached; rejection raises {!Corrupt_plane} and caches
+    nothing.
+    @raise Corrupt_plane when the sanitize gate rejects the plane. *)
 val find_or_compile :
   ?tick:(unit -> unit) -> t -> Relational.Database.t -> entry * bool
 
-type stats = { entries : int; hits : int; misses : int; evictions : int }
+(** [inject t ~fingerprint entry] stores [entry] under [fingerprint]
+    verbatim — no validation, no sanitizing, wrong keys welcome. This is a
+    test hook: it is how the stale-eviction regression test plants an entry
+    whose content does not match its key. *)
+val inject : t -> fingerprint:string -> entry -> unit
+
+type stats = {
+  entries : int;
+  hits : int;
+  misses : int;
+  evictions : int;  (** Capacity evictions {e plus} stale evictions. *)
+  stale : int;  (** Entries evicted because content no longer matched key. *)
+  rejected : int;  (** Planes refused by the sanitize-on-insert gate. *)
+}
 
 val stats : t -> stats

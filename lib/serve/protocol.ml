@@ -3,6 +3,7 @@ module Json = Analysis.Json
 type code =
   | Ok_code
   | Not_certain
+  | Diagnostics
   | Bad_frame
   | Bad_request
   | Bad_query
@@ -15,10 +16,12 @@ type code =
   | Budget_exhausted
   | Fault_injected
   | Timeout
+  | Corrupt_plane
 
 let code_name = function
   | Ok_code -> "ok"
   | Not_certain -> "not-certain"
+  | Diagnostics -> "diagnostics"
   | Bad_frame -> "bad-frame"
   | Bad_request -> "bad-request"
   | Bad_query -> "bad-query"
@@ -31,14 +34,15 @@ let code_name = function
   | Budget_exhausted -> "budget-exhausted"
   | Fault_injected -> "fault-injected"
   | Timeout -> "timeout"
+  | Corrupt_plane -> "corrupt-plane"
 
 (* The CLI exit-code contract (README "Solver harness & exit codes"):
    0 certain, 1 not certain, 2 usage/input error, 3 degraded, 124 timeout. *)
 let exit_of_code = function
   | Ok_code -> 0
-  | Not_certain -> 1
+  | Not_certain | Diagnostics -> 1
   | Bad_frame | Bad_request | Bad_query | Bad_db | Db_too_large | Unknown_db
-  | Solver_error ->
+  | Solver_error | Corrupt_plane ->
       2
   | Overloaded | Degraded_estimate | Budget_exhausted | Fault_injected -> 3
   | Timeout -> 124
@@ -65,6 +69,7 @@ type request =
       explain : bool;
     }
   | Lint of { query : string }
+  | Analyze of { query : string; db : db_ref option }
   | Stats
   | Shutdown
 
@@ -74,6 +79,7 @@ let op_name = function
   | Classify _ -> "classify"
   | Certain _ -> "certain"
   | Lint _ -> "lint"
+  | Analyze _ -> "analyze"
   | Stats -> "stats"
   | Shutdown -> "shutdown"
 
@@ -108,6 +114,29 @@ let decode ~max_bytes line =
         | "lint" ->
             let* query = str "query" in
             Ok (id, Lint { query })
+        | "analyze" ->
+            let* query = str "query" in
+            let* db =
+              match
+                (List.assoc_opt "db" fields, List.assoc_opt "facts" fields)
+              with
+              | Some (Json.String n), None -> Ok (Some (Named n))
+              | None, Some (Json.String t) -> Ok (Some (Inline t))
+              | None, None -> Ok None
+              | Some _, Some _ ->
+                  Error
+                    {
+                      code = Bad_request;
+                      message = "pass either db or facts, not both";
+                    }
+              | _ ->
+                  Error
+                    {
+                      code = Bad_request;
+                      message = "db and facts must be strings";
+                    }
+            in
+            Ok (id, Analyze { query; db })
         | "load" ->
             let* name = str "name" in
             let* text = str "facts" in

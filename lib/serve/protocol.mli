@@ -27,6 +27,9 @@
 type code =
   | Ok_code  (** The request succeeded; for [certain], the answer is yes. *)
   | Not_certain  (** [certain] decided no (exit 1, mirroring the CLI). *)
+  | Diagnostics
+      (** [analyze] produced warnings or errors (exit 1, mirroring
+          [cqa analyze]'s exit contract; infos alone are [Ok_code]). *)
   | Bad_frame  (** Not JSON, not an object, or over the frame size cap. *)
   | Bad_request  (** Unknown op, or a missing / ill-typed field. *)
   | Bad_query  (** The query source failed to parse. *)
@@ -44,6 +47,10 @@ type code =
       (** A transient (chaos-injected) fault survived every retry; the
           response names the faulting site. *)
   | Timeout  (** The per-request deadline passed (exit 124). *)
+  | Corrupt_plane
+      (** The sanitize-on-insert gate rejected a compiled plane (exit 2):
+          the database compiled, but the plane violated a layout invariant
+          and was refused rather than cached. *)
 
 (** ["ok"], ["not-certain"], ["bad-frame"], ... — the wire spelling. *)
 val code_name : code -> string
@@ -74,6 +81,10 @@ type request =
       explain : bool;  (** Include the degradation-chain attempt log. *)
     }
   | Lint of { query : string }
+  | Analyze of { query : string; db : db_ref option }
+      (** Static analysis: query lints, pattern-program verification and —
+          with a database — plane sanitization and the database-aware
+          lints, one shared diagnostics document with the CLI. *)
   | Stats
   | Shutdown
 

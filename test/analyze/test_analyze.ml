@@ -1,0 +1,267 @@
+(* The sanitizer's authority suite.
+
+   Two halves establish that [Analysis.Sanitize] means what it says:
+
+   - Zero false positives: for every catalogue query and a sweep of random
+     databases, the plane [Compiled.compile] produces sails through both
+     [Sanitize.run] (the full checker) and [Sanitize.gate] (the admission
+     scan) with no diagnostics. This is the qcheck property at the bottom.
+
+   - Full mutation coverage: every single-field corruption operator below
+     turns a healthy plane into one [Sanitize.run] rejects with the
+     expected stable PL code. Operators flagged [gate] must additionally be
+     caught by the cheap int-scan subset, since that is all the serve plane
+     cache runs on insert. *)
+
+module C = Relational.Compiled
+module Sanitize = Analysis.Sanitize
+module Lint = Analysis.Lint
+
+let vi = Relational.Value.int
+let schema = Relational.Schema.make ~name:"R" ~arity:2 ~key_len:1
+let fact (a, b) = Relational.Fact.make "R" [ vi a; vi b ]
+
+(* Sorted fact order: R(1|2) R(1|3) R(2|1) R(3|3); blocks [0;1] [2] [3];
+   interned ids in first-occurrence order: 1↦0, 2↦1, 3↦2. *)
+let base_db =
+  Relational.Database.of_facts [ schema ]
+    (List.map fact [ (1, 2); (1, 3); (2, 1); (3, 3) ])
+
+let q = Qlang.Parse.query_exn "R(x | y) R(y | x)"
+
+(* Mutable copies of a fresh plane's arrays; each operator clobbers what it
+   wants and [mutant] reassembles through the unchecked constructor. Every
+   operator compiles its own plane so corruptions (the interner alias in
+   particular, which mutates in place) never leak between cases. *)
+type parts = {
+  mutable facts : Relational.Fact.t array;
+  mutable tuples : int array array;
+  mutable rel_of : int array;
+  mutable rel_range : (int * int) array;
+  mutable blocks : int array array;
+  mutable block_of : int array;
+  mutable adom : int array;
+}
+
+let mutant f =
+  let c = C.compile base_db in
+  let p =
+    {
+      facts = Array.copy c.C.facts;
+      tuples = Array.map Array.copy c.C.tuples;
+      rel_of = Array.copy c.C.rel_of;
+      rel_range = Array.copy c.C.rel_range;
+      blocks = Array.map Array.copy c.C.blocks;
+      block_of = Array.copy c.C.block_of;
+      adom = Array.copy c.C.adom;
+    }
+  in
+  f c p;
+  C.Unsafe.of_parts ~interner:c.C.interner ~schemas:c.C.schemas ~facts:p.facts
+    ~tuples:p.tuples ~rel_of:p.rel_of ~rel_range:p.rel_range ~blocks:p.blocks
+    ~block_of:p.block_of ~adom:p.adom
+
+let swap a i j =
+  let t = a.(i) in
+  a.(i) <- a.(j);
+  a.(j) <- t
+
+(* name, expected PL code, caught by the gate scan too?, operator. *)
+let operators =
+  [
+    ( "interner-alias",
+      "PL100",
+      false,
+      fun (c : C.t) _ -> Relational.Interner.unsafe_alias c.C.interner ~keep:0 ~clobber:1
+    );
+    ( "adom-truncated",
+      "PL101",
+      true,
+      fun _ p -> p.adom <- Array.sub p.adom 0 (Array.length p.adom - 1) );
+    ("adom-shuffled", "PL101", true, fun _ p -> swap p.adom 0 1);
+    ( "facts-swapped",
+      "PL102",
+      false,
+      fun _ p ->
+        swap p.facts 0 1;
+        swap p.tuples 0 1 );
+    ( "fact-duplicated",
+      "PL102",
+      false,
+      fun _ p ->
+        p.facts.(1) <- p.facts.(0);
+        p.tuples.(1) <- Array.copy p.tuples.(0) );
+    ( "tuple-cell-flipped",
+      "PL103",
+      false,
+      (* A different id that the interner did assign: wrong image, but the
+         gate's domain scan cannot see it. *)
+      fun _ p -> p.tuples.(3).(1) <- (p.tuples.(3).(1) + 1) mod Array.length p.adom
+    );
+    ( "rel-of-out-of-range",
+      "PL104",
+      true,
+      fun _ p -> p.rel_of.(0) <- 1 );
+    ( "rel-range-shrunk",
+      "PL104",
+      true,
+      fun _ p -> p.rel_range.(0) <- (0, Array.length p.facts - 1) );
+    ( "block-member-dropped",
+      "PL105",
+      true,
+      fun _ p -> p.blocks.(0) <- [| p.blocks.(0).(0) |] );
+    ( "block-overlap",
+      "PL105",
+      true,
+      fun _ p -> p.blocks.(1) <- Array.append p.blocks.(1) [| 0 |] );
+    ( "block-of-wrong",
+      "PL106",
+      true,
+      fun _ p -> p.block_of.(2) <- 2 );
+    ( "key-run-split",
+      "PL107",
+      true,
+      (* Facts 0 and 1 share key 1; splitting their block keeps the
+         partition and [block_of] self-consistent but breaks maximality. *)
+      fun _ p ->
+        p.blocks <- [| [| 0 |]; [| 1 |]; [| 2 |]; [| 3 |] |];
+        p.block_of <- [| 0; 1; 2; 3 |] );
+    ( "key-run-merged",
+      "PL107",
+      true,
+      (* One block spanning keys 1 and 2: key-homogeneity broken. *)
+      fun _ p ->
+        p.blocks <- [| [| 0; 1; 2 |]; [| 3 |] |];
+        p.block_of <- [| 0; 0; 0; 1 |] );
+  ]
+
+let codes ds = List.map (fun (d : Lint.diagnostic) -> d.Lint.code) ds
+
+let test_mutation_suite () =
+  List.iter
+    (fun (name, expected, gate_catches, f) ->
+      let plane = mutant f in
+      let got = codes (Sanitize.run ~query:q plane) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s rejected with %s (got: %s)" name expected
+           (String.concat "," got))
+        true
+        (List.mem expected got);
+      match Sanitize.gate plane with
+      | Error msg when gate_catches ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s gate message carries a PL code: %s" name msg)
+            true
+            (String.length msg >= 5 && String.sub msg 0 2 = "PL")
+      | Ok () when gate_catches ->
+          Alcotest.failf "%s: gate accepted a plane run rejects with %s" name
+            expected
+      | _ -> ())
+    operators
+
+let test_chaos_hook () =
+  (* The standard chaos corruption flows through [compile] itself and must
+     be caught by the gate — this is the serve --chaos-corrupt path. *)
+  C.set_test_corruption (Some C.Unsafe.corrupt_first_cell_out_of_domain);
+  Fun.protect
+    ~finally:(fun () -> C.set_test_corruption None)
+    (fun () ->
+      let plane = C.compile base_db in
+      (match Sanitize.gate plane with
+      | Error msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "chaos plane gate-rejected as PL103: %s" msg)
+            true
+            (String.sub msg 0 5 = "PL103")
+      | Ok () -> Alcotest.fail "gate accepted the chaos-corrupted plane");
+      let got = codes (Sanitize.run plane) in
+      Alcotest.(check bool) "chaos plane run-rejected as PL103" true
+        (List.mem "PL103" got))
+
+let test_healthy_plane () =
+  let plane = C.compile base_db in
+  Alcotest.(check (list string)) "run finds nothing" [] (codes (Sanitize.run ~query:q plane));
+  Alcotest.(check bool) "gate accepts" true (Sanitize.gate plane = Ok ())
+
+(* PL108: corrupt an already-built solution graph (the private record bars
+   new construction but not array-element writes) and check it against the
+   independent enumeration. *)
+let test_graph_soundness () =
+  let plane = C.compile base_db in
+  let g = Qlang.Solution_graph.of_query_compiled q plane in
+  Alcotest.(check (list string))
+    "healthy graph passes" []
+    (codes (Sanitize.check_graph plane q g));
+  (* Fact 0 is R(1|2): q(a,a) fails on it, so a self-loop is a lie. *)
+  let self0 = g.Qlang.Solution_graph.self.(0) in
+  g.Qlang.Solution_graph.self.(0) <- not self0;
+  Alcotest.(check bool) "forged self-loop caught as PL108" true
+    (List.mem "PL108" (codes (Sanitize.check_graph plane q g)));
+  g.Qlang.Solution_graph.self.(0) <- self0;
+  let adj0 = g.Qlang.Solution_graph.adj.(0) in
+  g.Qlang.Solution_graph.adj.(0) <- [];
+  Alcotest.(check bool) "dropped adjacency caught as PL108" true
+    (List.mem "PL108" (codes (Sanitize.check_graph plane q g)));
+  g.Qlang.Solution_graph.adj.(0) <- adj0
+
+(* PL110–PL113: hand-built slot programs through the abstract interpreter. *)
+let test_verify_pattern () =
+  let plane = C.compile base_db in
+  let prog rel ops = { Qlang.Pattern.rel; ops; ok = true } in
+  let verify ~n_vars progs =
+    codes (Analysis.Verify_pattern.verify_programs plane ~n_vars progs)
+  in
+  let open Qlang.Pattern in
+  Alcotest.(check (list string))
+    "healthy pair verifies" []
+    (codes (Analysis.Verify_pattern.verify_query plane q));
+  Alcotest.(check bool) "slot out of bounds is PL110" true
+    (List.mem "PL110" (verify ~n_vars:2 [ prog 0 [| Bind 5; Bind 0 |] ]));
+  Alcotest.(check bool) "read before bind is PL111" true
+    (List.mem "PL111" (verify ~n_vars:1 [ prog 0 [| Check 0; Bind 0 |] ]));
+  Alcotest.(check bool) "uninterned constant is PL112" true
+    (List.mem "PL112" (verify ~n_vars:1 [ prog 0 [| Const 9999; Bind 0 |] ]));
+  Alcotest.(check bool) "bad relation index is PL113" true
+    (List.mem "PL113" (verify ~n_vars:1 [ prog 7 [| Bind 0; Bind 0 |] ]));
+  Alcotest.(check bool) "arity mismatch is PL113" true
+    (List.mem "PL113" (verify ~n_vars:1 [ prog 0 [| Bind 0 |] ]));
+  Alcotest.(check (list string))
+    "cross-program binding is legal" []
+    (verify ~n_vars:1 [ prog 0 [| Bind 0; Bind 0 |]; prog 0 [| Check 0; Check 0 |] ]);
+  Alcotest.(check (list string))
+    "unsatisfiable programs are skipped" []
+    (verify ~n_vars:1 [ { Qlang.Pattern.rel = -1; ops = [| Const (-1); Const (-1) |]; ok = false } ])
+
+(* Zero false positives: the catalogue queries over seeded Randdb instances
+   always compile to planes both checkers accept. *)
+let prop_no_false_positives =
+  let catalog = Array.of_list Workload.Catalog.all in
+  QCheck2.Test.make ~name:"Sanitize accepts every compiled Randdb plane"
+    ~count:60
+    QCheck2.Gen.(pair (int_range 0 99999) (int_range 0 (Array.length catalog - 1)))
+    (fun (seed, qi) ->
+      let entry = catalog.(qi) in
+      let rng = Random.State.make [| seed |] in
+      let db =
+        Workload.Randdb.random_for_query rng entry.Workload.Catalog.query
+          ~n_facts:30 ~domain:4
+      in
+      let plane = C.compile db in
+      Sanitize.run ~query:entry.Workload.Catalog.query plane = []
+      && Sanitize.gate plane = Ok ())
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "analyze"
+    [
+      ( "sanitize",
+        [
+          Alcotest.test_case "healthy plane is clean" `Quick test_healthy_plane;
+          Alcotest.test_case "mutation suite" `Quick test_mutation_suite;
+          Alcotest.test_case "chaos compile hook" `Quick test_chaos_hook;
+          Alcotest.test_case "solution-graph soundness" `Quick test_graph_soundness;
+        ] );
+      ( "verify-pattern",
+        [ Alcotest.test_case "slot programs" `Quick test_verify_pattern ] );
+      ("properties", qt [ prop_no_false_positives ]);
+    ]

@@ -19,10 +19,11 @@ QL004 info note and exits 0:
   $ cqa lint "R(x | y) R(y | x)"
   info QL004: verdict relies on tripath non-existence within bounded search (spine ≤ 3, arm ≤ 3, merges ≤ 2, candidates ≤ 200000)
 
-JSON output carries the same codes with positions:
+JSON output carries the same codes with positions, in the versioned
+diagnostics document shared with the serve protocol:
 
   $ cqa lint --json "R(5 | x y) R(x | y 5)"
-  {"diagnostics": [{"code": "QL002", "severity": "warning", "message": "constant 5 in key position 1 of the first atom: the atom is confined to a single block", "position": {"line": 1, "col": 3}}], "errors": 0, "warnings": 1, "infos": 0}
+  {"schema_version": 1, "kind": "diagnostics", "diagnostics": [{"code": "QL002", "severity": "warning", "message": "constant 5 in key position 1 of the first atom: the atom is confined to a single block", "position": {"line": 1, "col": 3}}], "errors": 0, "warnings": 1, "infos": 0}
   [1]
 
 A lint catalogue file: one query per line, diagnostics re-anchored to the
@@ -38,6 +39,44 @@ file's line numbers:
   3:24: warning QL001: variable z occurs only once (position 4 of the second atom); it is projected away
   info QL007: CERTAIN(q) is coNP-complete (fork-hard); exact solving may be exponential
   [1]
+
+The analyzer: source lints plus the full plane sanitizer and pattern-program
+verifier over a compiled instance, under the same exit contract. A clean
+query exits 0 with only info notes:
+
+  $ cqa analyze "R(x | y) R(y | x)"
+  info QL004: verdict relies on tripath non-existence within bounded search (spine ≤ 3, arm ≤ 3, merges ≤ 2, candidates ≤ 200000)
+
+Warnings exit 1:
+
+  $ cqa analyze "R(x | y) R(x | y)"
+  warning QL006: the two atoms are identical: spell the query with one atom
+  info QL005: query is equivalent to a one-atom query (a homomorphism maps A into B)
+  [1]
+
+With --db the database-aware lints join in — this instance is already
+consistent, so QL010 fires:
+
+  $ printf 'R(1 | 2)\nR(2 | 1)\n' > analyze.db
+  $ cqa analyze --db analyze.db "R(x | y) R(y | x)"
+  info QL004: verdict relies on tripath non-existence within bounded search (spine ≤ 3, arm ≤ 3, merges ≤ 2, candidates ≤ 200000)
+  warning QL010: database is already consistent: CERTAIN(q) coincides with standard evaluation, no repair reasoning is needed
+  [1]
+
+Ingest failures are usage errors (exit 2), with the same structured code a
+serve client would see:
+
+  $ printf 'R(1 | 2)\nR(1 2 | 3)\n' > broken.db
+  $ cqa analyze --db broken.db "R(x | y) R(y | x)"
+  error [bad-db]: Database: fact R(1 2 3) has wrong arity for schema R[2,1]
+  [2]
+
+The sanitizer is also the solvers' plane gate: with chaos corruption
+injected after compile, every tier refuses the plane and names the
+violation:
+
+  $ cqa certain --chaos-corrupt "R(x | y) R(y | x)" analyze.db 2>&1 | tail -n 1
+  error: every solver tier failed: ptime tier (Cert_3): failed (compiled plane rejected: PL103: tuples.(0).(0) = 2 outside the interner domain [0, 2)); sat tier (exact (SAT)): failed (compiled plane rejected: PL103: tuples.(0).(0) = 2 outside the interner domain [0, 2)); exact tier (exact (backtracking)): failed (compiled plane rejected: PL103: tuples.(0).(0) = 2 outside the interner domain [0, 2))
 
 Certificates: classify prints the machine-checkable evidence and re-validates
 it with the independent checker.

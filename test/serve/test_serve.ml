@@ -21,6 +21,7 @@ let all_codes =
   [
     Protocol.Ok_code;
     Protocol.Not_certain;
+    Protocol.Diagnostics;
     Protocol.Bad_frame;
     Protocol.Bad_request;
     Protocol.Bad_query;
@@ -28,6 +29,7 @@ let all_codes =
     Protocol.Db_too_large;
     Protocol.Unknown_db;
     Protocol.Solver_error;
+    Protocol.Corrupt_plane;
     Protocol.Overloaded;
     Protocol.Degraded_estimate;
     Protocol.Budget_exhausted;
@@ -42,6 +44,7 @@ let test_exit_contract () =
     [
       ("ok", 0);
       ("not-certain", 1);
+      ("diagnostics", 1);
       ("bad-frame", 2);
       ("bad-request", 2);
       ("bad-query", 2);
@@ -49,6 +52,7 @@ let test_exit_contract () =
       ("db-too-large", 2);
       ("unknown-db", 2);
       ("solver-error", 2);
+      ("corrupt-plane", 2);
       ("overloaded", 3);
       ("degraded-estimate", 3);
       ("budget-exhausted", 3);
@@ -112,6 +116,21 @@ let test_decode_ok () =
   match decode {|{"op": "load", "name": "n", "facts": "R(1 | 2)"}|} with
   | Ok (None, Protocol.Load { name = "n"; _ }) -> ()
   | _ -> Alcotest.fail "load"
+
+let test_decode_analyze () =
+  (* Unlike certain, analyze works without an instance: the empty database
+     of the query's schema is analyzed instead. *)
+  (match decode {|{"op": "analyze", "query": "q"}|} with
+  | Ok (None, Protocol.Analyze { db = None; _ }) -> ()
+  | _ -> Alcotest.fail "analyze without db");
+  (match decode {|{"op": "analyze", "query": "q", "db": "d"}|} with
+  | Ok (None, Protocol.Analyze { db = Some (Protocol.Named "d"); _ }) -> ()
+  | _ -> Alcotest.fail "analyze with a named db");
+  (match decode {|{"op": "analyze", "query": "q", "facts": "R(1 | 2)"}|} with
+  | Ok (None, Protocol.Analyze { db = Some (Protocol.Inline _); _ }) -> ()
+  | _ -> Alcotest.fail "analyze with an inline db");
+  expect_error "analyze with both" Protocol.Bad_request
+    (decode {|{"op": "analyze", "query": "q", "db": "a", "facts": "b"}|})
 
 (* ------------------------------------------------------------------ *)
 (* Ingest *)
@@ -218,6 +237,60 @@ let test_plane_cache () =
    with Chaos.Injected_fault _ -> ());
   checkb "faulted compile cached nothing" true
     (Serve.Plane_cache.find cache (Serve.Plane_cache.fingerprint d4) = None)
+
+let test_plane_cache_sanitize () =
+  let cache =
+    Serve.Plane_cache.make ~capacity:2 ~sanitize:Analysis.Sanitize.gate ()
+  in
+  let d1 = db_of_text "R(1 | 2)\nR(1 | 3)" in
+  let _, hit = Serve.Plane_cache.find_or_compile cache d1 in
+  checkb "clean plane admitted" false hit;
+  (* The chaos hook corrupts every plane compile produces from here on. *)
+  Relational.Compiled.set_test_corruption
+    (Some Relational.Compiled.Unsafe.corrupt_first_cell_out_of_domain);
+  Fun.protect
+    ~finally:(fun () -> Relational.Compiled.set_test_corruption None)
+  @@ fun () ->
+  let d2 = db_of_text "R(7 | 8)\nR(7 | 9)" in
+  (try
+     ignore (Serve.Plane_cache.find_or_compile cache d2);
+     Alcotest.fail "corrupt plane admitted into the cache"
+   with Serve.Plane_cache.Corrupt_plane msg ->
+     checkb "rejection names a PL code" true
+       (String.length msg >= 2 && String.sub msg 0 2 = "PL"));
+  checkb "corrupt plane not cached" true
+    (Serve.Plane_cache.find cache (Serve.Plane_cache.fingerprint d2) = None);
+  let stats = Serve.Plane_cache.stats cache in
+  checki "rejection counted" 1 stats.Serve.Plane_cache.rejected;
+  checkb "clean entry still served" true
+    (Serve.Plane_cache.find cache (Serve.Plane_cache.fingerprint d1) <> None)
+
+(* Regression: an entry whose content no longer hashes to the fingerprint
+   it is stored under must be evicted on lookup, never served — serving it
+   would answer for the wrong database. *)
+let test_plane_cache_stale () =
+  let cache = Serve.Plane_cache.make () in
+  let d1 = db_of_text "R(1 | 2)" in
+  let d2 = db_of_text "R(9 | 9)" in
+  let fp1 = Serve.Plane_cache.fingerprint d1 in
+  let entry2, _ = Serve.Plane_cache.find_or_compile cache d2 in
+  (* Wedge d2's entry under d1's key — the moral equivalent of a mutated
+     backing store or an injection bug. *)
+  Serve.Plane_cache.inject cache ~fingerprint:fp1 entry2;
+  checkb "stale entry evicted, not served" true
+    (Serve.Plane_cache.find cache fp1 = None);
+  let stats = Serve.Plane_cache.stats cache in
+  checki "stale lookup counted" 1 stats.Serve.Plane_cache.stale;
+  checki "stale eviction counted" 1 stats.Serve.Plane_cache.evictions;
+  (* find_or_compile on the honest database also validates before serving:
+     the wedged entry is evicted and the miss path recompiles. *)
+  Serve.Plane_cache.inject cache ~fingerprint:fp1 entry2;
+  let entry, hit = Serve.Plane_cache.find_or_compile cache d1 in
+  checkb "stale hit becomes a miss" false hit;
+  checkb "recompiled entry is honest" true
+    (Relational.Database.equal entry.Serve.Plane_cache.db d1);
+  checki "second stale lookup counted" 2
+    (Serve.Plane_cache.stats cache).Serve.Plane_cache.stale
 
 (* ------------------------------------------------------------------ *)
 (* Retry *)
@@ -485,6 +558,85 @@ let test_daemon_fault_and_pressure () =
   | _ -> ());
   expect_code d "loop alive" Protocol.Ok_code {|{"op": "ping"}|}
 
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_daemon_analyze () =
+  let d = Serve.Daemon.create base_config in
+  (* Info-only diagnostics keep code ok (exit 0). *)
+  let code, j = handle d {|{"op": "analyze", "query": "R(x | y) R(y | x)"}|} in
+  checks "clean analyze ok" "ok" (Protocol.code_name code);
+  checki "versioned document" Analysis.Encode.diagnostics_schema_version
+    (int_field "schema_version" j);
+  checks "document kind" "diagnostics" (str_field "kind" j);
+  checks "info only" "info" (str_field "max_severity" j);
+  (* Warnings flip the code to diagnostics (exit 1), same as `cqa analyze`. *)
+  let code, _ = handle d {|{"op": "analyze", "query": "R(x | y) R(x | y)"}|} in
+  checks "warnings are diagnostics" "diagnostics" (Protocol.code_name code);
+  (* With an instance the database-aware lints run too: a consistent
+     database triggers the QL010 warning. *)
+  let code, j =
+    handle d
+      {|{"op": "analyze", "query": "R(x | y) R(y | x)", "facts": "R(1 | 2)"}|}
+  in
+  checks "db-aware analyze" "diagnostics" (Protocol.code_name code);
+  checkb "QL010 reported" true
+    (match field "diagnostics" j with
+    | Json.List ds ->
+        List.exists
+          (fun d ->
+            match Json.member "code" d with
+            | Some (Json.String "QL010") -> true
+            | _ -> false)
+          ds
+    | _ -> false);
+  (* Ingestion failures keep their own codes (exit 2). *)
+  expect_code d "analyze bad query" Protocol.Bad_query
+    {|{"op": "analyze", "query": "R("}|};
+  expect_code d "analyze bad db" Protocol.Bad_db
+    {|{"op": "analyze", "query": "R(x | y) R(y | x)", "facts": "gibberish"}|};
+  expect_code d "analyze unknown db" Protocol.Unknown_db
+    {|{"op": "analyze", "query": "R(x | y) R(y | x)", "db": "nope"}|}
+
+(* End-to-end plane corruption: with the chaos hook installed, sanitize-on-
+   insert refuses every freshly compiled plane, the client sees the stable
+   corrupt-plane code, nothing is cached, and the loop survives. *)
+let test_daemon_corrupt_plane () =
+  Relational.Compiled.set_test_corruption
+    (Some Relational.Compiled.Unsafe.corrupt_first_cell_out_of_domain);
+  Fun.protect
+    ~finally:(fun () -> Relational.Compiled.set_test_corruption None)
+  @@ fun () ->
+  let d = Serve.Daemon.create base_config in
+  let req =
+    {|{"op": "certain", "query": "R(x | y) R(y | x)", "facts": "R(1 | 2)"}|}
+  in
+  let code, j = handle d req in
+  checks "corrupt plane surfaces" "corrupt-plane" (Protocol.code_name code);
+  checkb "error names the PL code" true
+    (match field "error" j with
+    | Json.String s -> contains ~sub:"PL103" s
+    | _ -> false);
+  expect_code d "loop alive" Protocol.Ok_code {|{"op": "ping"}|};
+  let _, j = handle d {|{"op": "stats"}|} in
+  (match field "planes" j with
+  | Json.Obj fields ->
+      checkb "rejections counted in stats" true
+        (match List.assoc_opt "rejected" fields with
+        | Some (Json.Int n) -> n >= 1
+        | _ -> false)
+  | _ -> Alcotest.fail "stats lacks a planes object");
+  (* The --no-sanitize escape hatch: without the gate the corrupt plane is
+     admitted and served (a wrong-but-quiet answer, never corrupt-plane). *)
+  let d2 =
+    Serve.Daemon.create { base_config with Serve.Daemon.sanitize = false }
+  in
+  let code, _ = handle d2 req in
+  checkb "unsanitized daemon admits the corrupt plane" true
+    (List.mem code [ Protocol.Ok_code; Protocol.Not_certain ])
+
 let test_request_isolation () =
   (* A request that dies mid-flight merges nothing beyond its own counters:
      the fault response and the successful one see disjoint per-request
@@ -629,12 +781,18 @@ let () =
           Alcotest.test_case "exit contract" `Quick test_exit_contract;
           Alcotest.test_case "decode errors" `Quick test_decode_errors;
           Alcotest.test_case "decode ok" `Quick test_decode_ok;
+          Alcotest.test_case "decode analyze" `Quick test_decode_analyze;
         ] );
       ("ingest", [ Alcotest.test_case "structured errors" `Quick test_ingest ]);
       ( "admission",
         [ Alcotest.test_case "token bucket" `Quick test_admission ] );
       ( "plane-cache",
-        [ Alcotest.test_case "lru + fingerprint" `Quick test_plane_cache ] );
+        [
+          Alcotest.test_case "lru + fingerprint" `Quick test_plane_cache;
+          Alcotest.test_case "sanitize-on-insert" `Quick
+            test_plane_cache_sanitize;
+          Alcotest.test_case "stale eviction" `Quick test_plane_cache_stale;
+        ] );
       ("retry", [ Alcotest.test_case "backoff + transience" `Quick test_retry ]);
       ( "metrics",
         [ Alcotest.test_case "merge" `Quick test_metrics_merge ] );
@@ -645,6 +803,8 @@ let () =
           Alcotest.test_case "degradation ladder" `Quick test_daemon_degradation;
           Alcotest.test_case "faults and pressure" `Quick
             test_daemon_fault_and_pressure;
+          Alcotest.test_case "analyze op" `Quick test_daemon_analyze;
+          Alcotest.test_case "corrupt plane" `Quick test_daemon_corrupt_plane;
           Alcotest.test_case "request isolation" `Quick test_request_isolation;
         ] );
       ("soak", [ Alcotest.test_case "chaos soak" `Quick test_soak ]);
