@@ -366,6 +366,61 @@ let check_graph (c : Compiled.t) (q : Query.t) (g : Graph.t) =
     end
   end
 
+(* PL109: an [apply_delta] result must be exactly the delta image of the
+   plane it patched — same schemas, the fact array equal to the authoring
+   plane's [Delta.apply], and an interner that preserved every pre-delta id
+   (retractions never shrink it). Checked against the persistent plane
+   through [decompile], the same independence discipline as PL108. *)
+let check_delta ~before ~delta after =
+  guarded "PL109" (fun () ->
+      let module Database = Relational.Database in
+      let module Delta = Relational.Delta in
+      let module Schema = Relational.Schema in
+      let sb = before.Compiled.schemas and sa = after.Compiled.schemas in
+      if
+        Array.length sb <> Array.length sa
+        || not (Array.for_all2 (fun (x : Schema.t) y -> x = y) sb sa)
+      then [ diag "PL109" "delta changed the schema set" ]
+      else
+        let expected =
+          Database.facts (Delta.apply (Compiled.decompile before) delta)
+        in
+        if
+          not
+            (List.equal Fact.equal expected
+               (Array.to_list after.Compiled.facts))
+        then
+          [
+            diag "PL109"
+              "patched fact array is not the delta image of the old plane";
+          ]
+        else
+          let ib = before.Compiled.interner
+          and ia = after.Compiled.interner in
+          if Interner.size ia < Interner.size ib then
+            [
+              diag "PL109"
+                (Printf.sprintf "interner shrank across the delta: %d -> %d"
+                   (Interner.size ib) (Interner.size ia));
+            ]
+          else begin
+            let bad = ref [] in
+            Interner.iter
+              (fun id v ->
+                if
+                  !bad = []
+                  && not (Value.equal (Interner.value ia id) v)
+                then
+                  bad :=
+                    [
+                      diag "PL109"
+                        (Printf.sprintf
+                           "interned id %d remapped across the delta" id);
+                    ])
+              ib;
+            !bad
+          end)
+
 let run ?query c =
   let base =
     guarded "PL100" (fun () -> check_interner c)

@@ -35,6 +35,10 @@
       enumeration: its directed solution list, adjacency, self-loops, or
       shared arrays disagree with {!Qlang.Solutions.pairs} on the
       decompiled database.
+    - [PL109] — a delta-patched plane is not the delta image of the plane
+      it patched: the schema set changed, the fact array disagrees with the
+      authoring-plane [Delta.apply], or a pre-delta interner id was dropped
+      or remapped (reported by {!check_delta}, not by {!run}).
 
     Pattern-program codes [PL110–PL113] are produced by
     {!Verify_pattern} and included by {!run} when a query is given.
@@ -55,6 +59,18 @@ val check_graph :
   Relational.Compiled.t ->
   Qlang.Query.t ->
   Qlang.Solution_graph.t ->
+  Lint.diagnostic list
+
+(** [check_delta ~before ~delta after] validates an incremental-maintenance
+    step (PL109): [after] must be exactly the delta image of [before] —
+    unchanged schemas, a fact array equal to [Delta.apply] on the decompiled
+    authoring plane, and every pre-delta interner id preserved (retractions
+    never shrink the interner). Combine with {!run}[ after] for the full
+    post-delta invariant oracle; never raises. *)
+val check_delta :
+  before:Relational.Compiled.t ->
+  delta:Relational.Delta.t ->
+  Relational.Compiled.t ->
   Lint.diagnostic list
 
 (** [gate plane] is the cheap admission subset: a pure int scan (tuple-cell

@@ -1,0 +1,38 @@
+(** The [delta-update] benchmark profile behind [cqa bench --profile
+    delta-update] and [BENCH_delta.json] (schema v4).
+
+    Each case answers CERTAIN {e after a fact delta} down both paths and
+    reports their ratio:
+
+    - [recompile-resolve] — persistent [Delta.apply], full
+      {!Relational.Compiled.compile}, full solution-graph build,
+      {!Cqa.Certk.run} from scratch;
+    - [delta-resume] — {!Relational.Compiled.apply_delta_patch},
+      {!Qlang.Solution_graph.repair}, {!Cqa.Certk.resume} on a snapshot
+      captured before the delta.
+
+    Workloads are seeded random databases for the catalogue queries
+    [q3]/[q5]/[q6], each hit with a single-fact insert, a single-fact
+    retract and (default profile) an 8-op mixed batch. The per-case
+    [delta_us] / [delta_speedup] fields carry the incremental path's median
+    latency and its win over the recompile path; [delta_equivalent] asserts
+    the incremental path reproduced the from-scratch state exactly —
+    structural graph equality with the rebuilt graph, verdict agreement
+    (including the frozen {!Cqa.Certk_rounds} oracle), an identical minimal-
+    set antichain, and a clean {!Analysis.Sanitize.run} plus PL109
+    {!Analysis.Sanitize.check_delta} pass over the patched plane. A [false]
+    anywhere flips the summary's [delta_equivalence] and fails [cqa bench]
+    like a plane-equivalence regression. *)
+
+type profile =
+  | Smoke  (** Tiny sizes, 3 repeats — wired into [dune runtest]. *)
+  | Default  (** Up to 1000-fact planes; the BENCH_delta.json trajectory. *)
+
+val profile_name : profile -> string
+val profile_of_string : string -> profile option
+
+(** [run ~profile ~seed ~budget_s ()] generates the seeded workloads and
+    times both paths on every case, giving each repeat [budget_s] seconds of
+    budget; budget exhaustion is recorded as a ["timeout"] run, never
+    raised. Equivalence is checked unbudgeted. *)
+val run : profile:profile -> seed:int -> budget_s:float -> unit -> Report.t

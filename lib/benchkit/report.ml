@@ -2,10 +2,12 @@ module Json = Analysis.Json
 
 (* v2 added the per-run "sites" object (per-site budget step breakdown);
    v3 added the compile-phase split (per-case "compile_ms", "speedup_e2e",
-   "plane_equivalent"; summary "plane_equivalence", "geomean_e2e"). The
-   decoder still accepts v1 and v2 documents, reading the newer fields as
-   absent ([None]). *)
-let schema_version = 3
+   "plane_equivalent"; summary "plane_equivalence", "geomean_e2e");
+   v4 added the incremental-maintenance split (per-case "delta_us",
+   "delta_speedup", "delta_equivalent"; summary "delta_equivalence",
+   "geomean_delta"). The decoder still accepts v1–v3 documents, reading the
+   newer fields as absent ([None]). *)
+let schema_version = 4
 
 type run = {
   algorithm : string;
@@ -29,6 +31,9 @@ type case = {
   speedup_vs_rounds : float option;
   speedup_e2e : float option;
   plane_equivalent : bool option;
+  delta_us : float option;
+  delta_speedup : float option;
+  delta_equivalent : bool option;
 }
 
 type t = {
@@ -40,6 +45,8 @@ type t = {
   plane_equivalence : bool option;
   geomean_speedup : float option;
   geomean_e2e : float option;
+  delta_equivalence : bool option;
+  geomean_delta : float option;
 }
 
 (* Encoding *)
@@ -72,6 +79,9 @@ let encode_case c =
       ("speedup_vs_rounds", opt (fun f -> Json.Float f) c.speedup_vs_rounds);
       ("speedup_e2e", opt (fun f -> Json.Float f) c.speedup_e2e);
       ("plane_equivalent", opt (fun b -> Json.Bool b) c.plane_equivalent);
+      ("delta_us", opt (fun f -> Json.Float f) c.delta_us);
+      ("delta_speedup", opt (fun f -> Json.Float f) c.delta_speedup);
+      ("delta_equivalent", opt (fun b -> Json.Bool b) c.delta_equivalent);
     ]
 
 let encode t =
@@ -92,6 +102,9 @@ let encode t =
             ( "geomean_speedup_vs_rounds",
               opt (fun f -> Json.Float f) t.geomean_speedup );
             ("geomean_e2e", opt (fun f -> Json.Float f) t.geomean_e2e);
+            ( "delta_equivalence",
+              opt (fun b -> Json.Bool b) t.delta_equivalence );
+            ("geomean_delta", opt (fun f -> Json.Float f) t.geomean_delta);
           ] );
     ]
 
@@ -161,6 +174,10 @@ let decode_case j =
   let* speedup_vs_rounds = opt_field "speedup_vs_rounds" Json.to_float_opt j in
   let* speedup_e2e = opt_field "speedup_e2e" Json.to_float_opt j in
   let* plane_equivalent = opt_field "plane_equivalent" Json.to_bool_opt j in
+  (* delta_us / delta_speedup / delta_equivalent are absent before v4. *)
+  let* delta_us = opt_field "delta_us" Json.to_float_opt j in
+  let* delta_speedup = opt_field "delta_speedup" Json.to_float_opt j in
+  let* delta_equivalent = opt_field "delta_equivalent" Json.to_bool_opt j in
   Ok
     {
       name;
@@ -174,6 +191,9 @@ let decode_case j =
       speedup_vs_rounds;
       speedup_e2e;
       plane_equivalent;
+      delta_us;
+      delta_speedup;
+      delta_equivalent;
     }
 
 let decode j =
@@ -196,6 +216,10 @@ let decode j =
     opt_field "geomean_speedup_vs_rounds" Json.to_float_opt summary
   in
   let* geomean_e2e = opt_field "geomean_e2e" Json.to_float_opt summary in
+  let* delta_equivalence =
+    opt_field "delta_equivalence" Json.to_bool_opt summary
+  in
+  let* geomean_delta = opt_field "geomean_delta" Json.to_float_opt summary in
   Ok
     {
       suite;
@@ -206,6 +230,8 @@ let decode j =
       plane_equivalence;
       geomean_speedup;
       geomean_e2e;
+      delta_equivalence;
+      geomean_delta;
     }
 
 let of_string s =

@@ -6,12 +6,13 @@
     alias) guarantees that what lands on disk parses back to the identical
     report.
 
-    Schema (version 3, one object per file; v2 added the per-run ["sites"]
-    object, v3 the compile-phase split — older documents still decode, with
-    empty sites and absent compile fields):
+    Schema (version 4, one object per file; v2 added the per-run ["sites"]
+    object, v3 the compile-phase split, v4 the incremental-maintenance
+    split — older documents still decode, with empty sites and absent
+    compile/delta fields):
     {v
-    { "schema_version": 3,
-      "suite": "certk-fixpoint",
+    { "schema_version": 4,
+      "suite": "certk-fixpoint" | "delta-update",
       "profile": "smoke" | "default",
       "seed": <int>,
       "cases": [
@@ -25,11 +26,16 @@
               "sites": { <site>: <int>, ... } } ],
           "speedup_vs_rounds": <float> | null,
           "speedup_e2e": <float> | null,
-          "plane_equivalent": <bool> | null } ],
+          "plane_equivalent": <bool> | null,
+          "delta_us": <float> | null,
+          "delta_speedup": <float> | null,
+          "delta_equivalent": <bool> | null } ],
       "summary": { "cases": <int>, "agreement": <bool>,
                    "plane_equivalence": <bool> | null,
                    "geomean_speedup_vs_rounds": <float> | null,
-                   "geomean_e2e": <float> | null } }
+                   "geomean_e2e": <float> | null,
+                   "delta_equivalence": <bool> | null,
+                   "geomean_delta": <float> | null } }
     v} *)
 
 val schema_version : int
@@ -70,6 +76,22 @@ type case = {
       (** The compiled-plane solution graph is structurally identical
           ({!Qlang.Solution_graph.equal}) to the persistent-plane
           reference one. [None] in pre-v3 documents. *)
+  delta_us : float option;
+      (** Median wall-clock, in {e microseconds}, of re-answering after a
+          fact delta down the incremental path: plane patch
+          ([Compiled.apply_delta]), graph repair, [Certk.resume]. [None]
+          outside the [delta-update] suite and in pre-v4 documents. *)
+  delta_speedup : float option;
+      (** [recompile-path median / delta-path median]: how much faster the
+          incremental path re-answers than a full recompile + resolve.
+          [None] outside the [delta-update] suite. *)
+  delta_equivalent : bool option;
+      (** The incremental path reproduced the from-scratch state exactly:
+          equal verdicts (also against the frozen {!Cqa.Certk_rounds}
+          oracle), an identical antichain, a repaired graph structurally
+          equal to the rebuilt one, and a patched plane passing
+          {!Analysis.Sanitize.run} plus the PL109 delta-image check.
+          [None] outside the [delta-update] suite. *)
 }
 
 type t = {
@@ -86,6 +108,12 @@ type t = {
       (** Geometric mean of the per-case speedups. *)
   geomean_e2e : float option;
       (** Geometric mean of the per-case end-to-end speedups. *)
+  delta_equivalence : bool option;
+      (** [delta_equivalent] held on every case ([None] outside the
+          [delta-update] suite). A [false] here fails [cqa bench] and the
+          [@bench-smoke] alias, exactly like [plane_equivalence]. *)
+  geomean_delta : float option;
+      (** Geometric mean of the per-case [delta_speedup]s. *)
 }
 
 val encode : t -> Analysis.Json.t

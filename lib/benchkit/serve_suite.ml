@@ -20,6 +20,7 @@ type report = {
   shed : int;
   plane_hits : int;
   plane_misses : int;
+  plane_patched : int;
   compile_ms : float;
   sanitize_ms : float;
   sanitize_overhead_pct : float;
@@ -108,8 +109,17 @@ let measure_sanitize ?(reps = 50) dbs =
   in
   (compile_ms, sanitize_ms, pct)
 
-let run ?(fast_requests = 400) ?(heavy_requests = 100) ?(clock_step_s = 0.01)
-    ?(seed = 42) () =
+let update_frame ~db ~field ~fact =
+  Json.to_string
+    (Json.Obj
+       [
+         ("op", Json.String "update");
+         ("db", Json.String db);
+         (field, Json.String fact);
+       ])
+
+let run ?(fast_requests = 400) ?(heavy_requests = 100) ?(update_requests = 200)
+    ?(clock_step_s = 0.01) ?(seed = 42) () =
   let rng = Random.State.make [| seed |] in
   let fast_query = Workload.Catalog.q3 and heavy_query = Workload.Catalog.q2 in
   let dbs_for q =
@@ -154,6 +164,53 @@ let run ?(fast_requests = 400) ?(heavy_requests = 100) ?(clock_step_s = 0.01)
         (tier, match response with Some r -> code_of_response r | None -> "none"))
     stream;
   let wall_s = Unix.gettimeofday () -. started in
+  (* The update tier measures the daemon's incremental path: one named
+     database loaded once, then a stream of single-fact update frames that
+     toggle the same fact, each patched into the cached plane in place. A
+     separate daemon with a generous virtual clock step keeps the admission
+     bucket full — the row reports patch throughput, not shedding. *)
+  let upd_daemon =
+    let uvnow = ref 0.0 in
+    let uclock () =
+      let v = !uvnow in
+      uvnow := v +. 0.5;
+      v
+    in
+    Serve.Daemon.create ~clock:uclock Serve.Daemon.default_config
+  in
+  let upd_name = "bench-upd" in
+  ignore
+    (Serve.Daemon.handle_line upd_daemon
+       (Json.to_string
+          (Json.Obj
+             [
+               ("op", Json.String "load");
+               ("name", Json.String upd_name);
+               ("facts", Json.String (List.hd fast_dbs));
+             ])));
+  let upd_fact =
+    String.trim
+      (facts_text (Workload.Randdb.random_for_query rng fast_query ~n_facts:1 ~domain:5))
+  in
+  let upd_frames =
+    List.init update_requests (fun i ->
+        update_frame ~db:upd_name
+          ~field:(if i mod 2 = 0 then "insert" else "retract")
+          ~fact:upd_fact)
+  in
+  List.iter
+    (fun frame ->
+      let t0 = Unix.gettimeofday () in
+      let response = Serve.Daemon.handle_line upd_daemon frame in
+      let dt = Unix.gettimeofday () -. t0 in
+      let n, wall =
+        Option.value ~default:(0, 0.0) (Hashtbl.find_opt per_tier "update")
+      in
+      Hashtbl.replace per_tier "update" (n + 1, wall +. dt);
+      bump tier_codes
+        ( "update",
+          match response with Some r -> code_of_response r | None -> "none" ))
+    upd_frames;
   let stats_of tier =
     let requests, wall = Option.value ~default:(0, 0.0) (Hashtbl.find_opt per_tier tier) in
     let codes =
@@ -184,12 +241,16 @@ let run ?(fast_requests = 400) ?(heavy_requests = 100) ?(clock_step_s = 0.01)
     requests = total;
     wall_ms = wall_s *. 1000.;
     rps = (if wall_s > 0.0 then float_of_int total /. wall_s else 0.0);
-    tiers = [ stats_of "fast"; stats_of "heavy" ];
+    tiers = [ stats_of "fast"; stats_of "heavy"; stats_of "update" ];
     admitted = Obs.Metrics.counter_value m "serve.admission.admit";
     downgraded = Obs.Metrics.counter_value m "serve.admission.downgrade";
     shed = Obs.Metrics.counter_value m "serve.admission.shed";
     plane_hits = Obs.Metrics.counter_value m "serve.plane.hit";
     plane_misses = Obs.Metrics.counter_value m "serve.plane.miss";
+    plane_patched =
+      Obs.Metrics.counter_value
+        (Serve.Daemon.metrics upd_daemon)
+        "serve.plane.patched";
     compile_ms;
     sanitize_ms;
     sanitize_overhead_pct;
@@ -230,6 +291,7 @@ let to_json r =
           [
             ("hits", Json.Int r.plane_hits);
             ("misses", Json.Int r.plane_misses);
+            ("patched", Json.Int r.plane_patched);
           ] );
       ( "sanitize",
         Json.Obj

@@ -16,7 +16,7 @@
     only on [seed] (admission time is pinned to a virtual clock). *)
 
 type tier_stat = {
-  tier : string;  (** ["fast"] or ["heavy"]. *)
+  tier : string;  (** ["fast"], ["heavy"] or ["update"]. *)
   requests : int;
   wall_ms : float;
   rps : float;
@@ -35,6 +35,9 @@ type report = {
   shed : int;
   plane_hits : int;
   plane_misses : int;
+  plane_patched : int;
+      (** In-place plane patches performed by the update tier's stream of
+          single-fact [update] frames against its loaded named database. *)
   compile_ms : float;
       (** Mean wall time of one [Compiled.compile] over the workload's
           database pool. *)
@@ -48,10 +51,15 @@ type report = {
 (** [run ()] builds a fresh daemon (chaos off, virtual admission clock
     advancing [clock_step_s] per decision, default 10 ms) and drives
     [fast_requests] PTIME-tier and [heavy_requests] coNP-tier frames
-    (defaults 400 / 100) in an interleaved burst. *)
+    (defaults 400 / 100) in an interleaved burst. A second daemon then
+    serves [update_requests] single-fact [update] frames (default 200)
+    against a preloaded named database — its admission clock steps far
+    enough per decision that the bucket never empties, so the update tier's
+    row reports pure incremental-maintenance throughput. *)
 val run :
   ?fast_requests:int ->
   ?heavy_requests:int ->
+  ?update_requests:int ->
   ?clock_step_s:float ->
   ?seed:int ->
   unit ->

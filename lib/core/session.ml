@@ -1,6 +1,7 @@
 module Query = Qlang.Query
 module Database = Relational.Database
 module Compiled = Relational.Compiled
+module Delta = Relational.Delta
 module Solution_graph = Qlang.Solution_graph
 
 type t = {
@@ -44,11 +45,50 @@ let create ?opts ?check_plane q db =
 let query s = s.report.Dichotomy.query
 let report s = s.report
 let database s = s.database
-let add_fact s f =
-  of_report ?check_plane:s.check_plane s.report (Database.add s.database f)
+(* Delta updates keep the classification always and the compiled artifacts
+   whenever they exist: a session whose plane was already forced patches it
+   with [Compiled.apply_delta] instead of recompiling, and a forced solution
+   graph is repaired edge-incrementally on top of the patch. The answer memo
+   is dropped (facts changed); [check_plane] gates the patched plane exactly
+   as it gates a fresh compile, surfacing on first force. *)
+let update s (d : Delta.t) =
+  let database = Delta.apply s.database d in
+  if not (Lazy.is_val s.plane) then
+    of_report ?check_plane:s.check_plane s.report database
+  else begin
+    let q = s.report.Dichotomy.query in
+    let old_plane = Lazy.force s.plane in
+    let patched =
+      lazy
+        (let p = Compiled.apply_delta_patch old_plane d in
+         (match s.check_plane with
+         | None -> ()
+         | Some check -> (
+             match check p.Compiled.plane with
+             | Ok () -> ()
+             | Error msg -> invalid_arg ("compiled plane rejected: " ^ msg)));
+         p)
+    in
+    let graph =
+      if Lazy.is_val s.graph then
+        let old_graph = Lazy.force s.graph in
+        lazy (Solution_graph.repair q ~old:old_graph (Lazy.force patched))
+      else
+        lazy
+          (Solution_graph.of_query_compiled q
+             (Lazy.force patched).Compiled.plane)
+    in
+    {
+      s with
+      database;
+      plane = lazy (Lazy.force patched).Compiled.plane;
+      graph;
+      answer = Hashtbl.create 4;
+    }
+  end
 
-let remove_fact s f =
-  of_report ?check_plane:s.check_plane s.report (Database.remove s.database f)
+let add_fact s f = update s [ Delta.Insert f ]
+let remove_fact s f = update s [ Delta.Retract f ]
 
 let compiled s = Lazy.force s.plane
 

@@ -38,8 +38,18 @@ val database : t -> Relational.Database.t
     first use, shared by every solver the session runs). *)
 val compiled : t -> Relational.Compiled.t
 
-(** [add_fact s f] / [remove_fact s f] update the database (classification
-    is reused; the cached answer is invalidated). *)
+(** [update s d] applies a fact delta: the classification is always reused,
+    the cached answer memo is invalidated, and — when the session's plane
+    was already compiled — the plane is {e patched} with
+    {!Relational.Compiled.apply_delta} (and a forced solution graph
+    repaired with {!Qlang.Solution_graph.repair}) instead of recompiled.
+    [check_plane] gates the patched plane like any fresh compile; a
+    rejection surfaces as [Invalid_argument] on first force.
+    @raise Invalid_argument if an inserted fact names an undeclared relation
+    or has the wrong arity. *)
+val update : t -> Relational.Delta.t -> t
+
+(** [add_fact s f] / [remove_fact s f] are single-op {!update}s. *)
 val add_fact : t -> Relational.Fact.t -> t
 
 val remove_fact : t -> Relational.Fact.t -> t

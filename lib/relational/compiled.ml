@@ -75,6 +75,278 @@ let compile ?tick db =
   in
   match !test_corruption with None -> c | Some f -> f c
 
+let rel_index c name =
+  (* [schemas] is sorted by name; binary search. *)
+  let lo = ref 0 and hi = ref (Array.length c.schemas) in
+  let found = ref None in
+  while !found = None && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let cmp = String.compare name c.schemas.(mid).Schema.name in
+    if cmp = 0 then found := Some mid
+    else if cmp < 0 then hi := mid
+    else lo := mid + 1
+  done;
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* Incremental maintenance                                             *)
+
+type patch = {
+  plane : t;
+  old_to_new : int array;
+  new_to_old : int array;
+  fresh : int array;
+  touched_old_blocks : bool array;
+  new_block_of_old : int array;
+}
+
+(* Same structured errors as [Database.add], so the plane-side delta raises
+   exactly when the authoring-plane [Delta.apply] would. *)
+let check_insert c (f : Fact.t) =
+  match rel_index c f.Fact.rel with
+  | None ->
+      invalid_arg (Printf.sprintf "Database: undeclared relation %s" f.Fact.rel)
+  | Some r ->
+      let s = c.schemas.(r) in
+      if s.Schema.arity <> Fact.arity f then
+        invalid_arg
+          (Format.asprintf "Database: fact %a has wrong arity for schema %a"
+             Fact.pp f Schema.pp s);
+      r
+
+(* Binary search in the sorted fact array. *)
+let find_fact c f =
+  let lo = ref 0 and hi = ref (Array.length c.facts) and found = ref (-1) in
+  while !found < 0 && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let cmp = Fact.compare f c.facts.(mid) in
+    if cmp = 0 then found := mid else if cmp < 0 then hi := mid else lo := mid + 1
+  done;
+  if !found >= 0 then Some !found else None
+
+let identity_patch c =
+  let n = Array.length c.facts in
+  {
+    plane = c;
+    old_to_new = Array.init n Fun.id;
+    new_to_old = Array.init n Fun.id;
+    fresh = [||];
+    touched_old_blocks = Array.make (Array.length c.blocks) false;
+    new_block_of_old = Array.init (Array.length c.blocks) Fun.id;
+  }
+
+let apply_delta_patch ?tick c (ops : Delta.t) =
+  let tick () = match tick with Some tick -> tick () | None -> () in
+  (* Net effect of the trace (last op naming a fact wins — [add]/[remove]
+     are idempotent and membership-driven), validating every insert op the
+     way [Database.add] does, whether or not it ends up a no-op. *)
+  let final =
+    List.fold_left
+      (fun acc op ->
+        match op with
+        | Delta.Insert f ->
+            ignore (check_insert c f);
+            Fact.Map.add f true acc
+        | Delta.Retract f -> Fact.Map.add f false acc)
+      Fact.Map.empty ops
+  in
+  let inserts = ref [] and retracts = ref [] in
+  Fact.Map.iter
+    (fun f present ->
+      match (find_fact c f, present) with
+      | None, true -> inserts := (f, check_insert c f) :: !inserts
+      | Some i, false -> retracts := i :: !retracts
+      | _ -> ())
+    final;
+  (* [Fact.Map.iter] is ascending, so after the reversal both lists are in
+     fact order — which for the retract indices is array order. *)
+  let ins_arr = Array.of_list (List.rev !inserts) in
+  let retracts = List.rev !retracts in
+  if Array.length ins_arr = 0 && retracts = [] then identity_patch c
+  else begin
+    let n_old = Array.length c.facts in
+    let n_ins = Array.length ins_arr in
+    let n_ret = List.length retracts in
+    let n_new = n_old - n_ret + n_ins in
+    (* Copy-on-patch: every array below is fresh and the interner is copied
+       before the first new id is minted, so the pre-delta plane stays fully
+       valid — a fault anywhere in here leaves the old plane intact. *)
+    let interner =
+      if
+        Array.exists
+          (fun ((f : Fact.t), _) ->
+            Array.exists (fun v -> Interner.find c.interner v = None) f.Fact.tuple)
+          ins_arr
+      then Interner.copy c.interner
+      else c.interner
+    in
+    let old_to_new = Array.make n_old (-1) in
+    let new_to_old = Array.make (max n_new 1) (-1) in
+    let fresh = Array.make n_ins (-1) in
+    let dummy = if n_old > 0 then c.facts.(0) else fst ins_arr.(0) in
+    let facts' = Array.make (max n_new 1) dummy in
+    let tuples' = Array.make (max n_new 1) [||] in
+    let rel_of' = Array.make (max n_new 1) (-1) in
+    let w = ref 0 and fi = ref 0 in
+    let emit_ins (f, r) =
+      tick ();
+      facts'.(!w) <- f;
+      tuples'.(!w) <- Array.map (Interner.intern interner) f.Fact.tuple;
+      rel_of'.(!w) <- r;
+      fresh.(!fi) <- !w;
+      incr fi;
+      new_to_old.(!w) <- -1;
+      incr w
+    in
+    (* Each insert's slot in the old order is found once by binary search;
+       the merge below then advances on integer comparisons alone instead
+       of a [Fact.compare] per surviving fact. Inserts are ascending (the
+       net map iterates in fact order) so the positions are nondecreasing,
+       and ties between inserts aimed at the same slot resolve in fact
+       order too. *)
+    let ins_pos =
+      Array.map
+        (fun (f, _) ->
+          let lo = ref 0 and hi = ref n_old in
+          while !lo < !hi do
+            let mid = (!lo + !hi) / 2 in
+            if Fact.compare c.facts.(mid) f < 0 then lo := mid + 1 else hi := mid
+          done;
+          !lo)
+        ins_arr
+    in
+    let ret_arr = Array.of_list retracts in
+    let n_ret_arr = Array.length ret_arr in
+    let oi = ref 0 and ii = ref 0 and ri = ref 0 in
+    while !oi < n_old || !ii < n_ins do
+      if !ii < n_ins && ins_pos.(!ii) <= !oi then begin
+        emit_ins ins_arr.(!ii);
+        incr ii
+      end
+      else if !ri < n_ret_arr && ret_arr.(!ri) = !oi then begin
+        tick ();
+        incr oi;
+        incr ri
+      end
+      else begin
+        (* Maximal run of consecutive survivors up to the next insert slot
+           or retract: moved wholesale with [Array.blit] (one write-barrier
+           check per segment instead of one per pointer write), with the
+           index correspondences filled by plain int stores. *)
+        let stop = ref n_old in
+        if !ii < n_ins && ins_pos.(!ii) < !stop then stop := ins_pos.(!ii);
+        if !ri < n_ret_arr && ret_arr.(!ri) < !stop then stop := ret_arr.(!ri);
+        let len = !stop - !oi in
+        Array.blit c.facts !oi facts' !w len;
+        Array.blit c.tuples !oi tuples' !w len;
+        Array.blit c.rel_of !oi rel_of' !w len;
+        for d = 0 to len - 1 do
+          old_to_new.(!oi + d) <- !w + d;
+          new_to_old.(!w + d) <- !oi + d
+        done;
+        w := !w + len;
+        oi := !stop
+      end
+    done;
+    let facts' = Array.sub facts' 0 n_new in
+    let tuples' = Array.sub tuples' 0 n_new in
+    let rel_of' = Array.sub rel_of' 0 n_new in
+    let new_to_old = Array.sub new_to_old 0 n_new in
+    let n_rels = Array.length c.schemas in
+    let rel_range' = Array.make n_rels (0, 0) in
+    let cursor = ref 0 in
+    for r = 0 to n_rels - 1 do
+      let start = !cursor in
+      while !cursor < n_new && rel_of'.(!cursor) = r do
+        incr cursor
+      done;
+      rel_range'.(r) <- (start, !cursor)
+    done;
+    (* Blocks are consecutive key-equal runs of the sorted array, exactly as
+       in [compile]; the interner copy preserves ids, so prefix equality of
+       interned tuples is value equality. *)
+    let block_of' = Array.make (max n_new 1) (-1) in
+    let same_block i j =
+      rel_of'.(i) = rel_of'.(j)
+      &&
+      let l = c.schemas.(rel_of'.(i)).Schema.key_len in
+      let rec eq p =
+        p >= l || (tuples'.(i).(p) = tuples'.(j).(p) && eq (p + 1))
+      in
+      eq 0
+    in
+    let blocks = ref [] in
+    let n_blocks = ref 0 in
+    let i = ref 0 in
+    while !i < n_new do
+      let start = !i in
+      let b = !n_blocks in
+      incr n_blocks;
+      incr i;
+      while !i < n_new && same_block start !i do
+        incr i
+      done;
+      let members = Array.init (!i - start) (fun d -> start + d) in
+      Array.iter (fun v -> block_of'.(v) <- b) members;
+      blocks := members :: !blocks
+    done;
+    let blocks' = Array.of_list (List.rev !blocks) in
+    let block_of' = Array.sub block_of' 0 n_new in
+    let adom = Array.init (Interner.size interner) Fun.id in
+    (* An old block is touched iff it lost a member or a fresh vertex joined
+       its key run; surviving members of one old block always land in one
+       new block (key equality is preserved), giving the old -> new block
+       map. *)
+    let n_old_blocks = Array.length c.blocks in
+    let touched = Array.make n_old_blocks false in
+    List.iter (fun i -> touched.(c.block_of.(i)) <- true) retracts;
+    let old_block_behind b' =
+      let members = blocks'.(b') in
+      let r = ref (-1) in
+      (try
+         Array.iter
+           (fun w ->
+             if new_to_old.(w) >= 0 then begin
+               r := c.block_of.(new_to_old.(w));
+               raise Exit
+             end)
+           members
+       with Exit -> ());
+      !r
+    in
+    Array.iter
+      (fun v ->
+        let b = old_block_behind block_of'.(v) in
+        if b >= 0 then touched.(b) <- true)
+      fresh;
+    let new_block_of_old = Array.make n_old_blocks (-1) in
+    Array.iteri
+      (fun b' _ ->
+        let b = old_block_behind b' in
+        if b >= 0 then new_block_of_old.(b) <- b')
+      blocks';
+    let plane =
+      {
+        interner;
+        schemas = c.schemas;
+        facts = facts';
+        tuples = tuples';
+        rel_of = rel_of';
+        rel_range = rel_range';
+        blocks = blocks';
+        block_of = block_of';
+        adom;
+      }
+    in
+    let plane =
+      match !test_corruption with None -> plane | Some f -> f plane
+    in
+    { plane; old_to_new; new_to_old; fresh; touched_old_blocks = touched;
+      new_block_of_old }
+  end
+
+let apply_delta ?tick c ops = (apply_delta_patch ?tick c ops).plane
+
 let decompile c =
   let fact_of_tuple i =
     let s = c.schemas.(c.rel_of.(i)) in
@@ -91,19 +363,6 @@ let n_relations c = Array.length c.schemas
 let fact c i = c.facts.(i)
 let value c id = Interner.value c.interner id
 let find_value c v = Interner.find c.interner v
-
-let rel_index c name =
-  (* [schemas] is sorted by name; binary search. *)
-  let lo = ref 0 and hi = ref (Array.length c.schemas) in
-  let found = ref None in
-  while !found = None && !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    let cmp = String.compare name c.schemas.(mid).Schema.name in
-    if cmp = 0 then found := Some mid
-    else if cmp < 0 then hi := mid
-    else lo := mid + 1
-  done;
-  !found
 
 let schema_of_fact c i = c.schemas.(c.rel_of.(i))
 let is_consistent c = Array.for_all (fun b -> Array.length b = 1) c.blocks

@@ -52,6 +52,60 @@ val compile : ?tick:(unit -> unit) -> Database.t -> t
     tuples (a genuine round trip through the interner, not a cached copy). *)
 val decompile : t -> Database.t
 
+(** {2 Incremental maintenance}
+
+    {!apply_delta} patches a plane under a {!Delta.t} instead of
+    recompiling: surviving facts keep their interned tuple rows, inserts may
+    mint new adom ids (on a {e copied} interner — see below), retractions
+    never shrink the interner (stale value ids are legal; nothing requires
+    every interned value to occur in a fact), and the block partition and
+    [block_of] are repaired by one linear scan. The discipline is
+    {e copy-on-patch}: the input plane shares its interner and tuple rows
+    with the result but none of its top-level arrays, and the interner is
+    copied before the first new id is minted — so a fault raised anywhere
+    mid-patch (chaos, budget exhaustion) leaves the old plane fully valid,
+    with no rollback needed.
+
+    The governing law, pinned by the delta qcheck suite with
+    [Analysis.Sanitize.run] as the invariant oracle:
+    [apply_delta plane d] and [compile (Delta.apply db d)] agree on
+    verdicts, certificates and solution graphs for every query. The planes
+    themselves may differ in interner id assignment (a fresh compile interns
+    in first-occurrence order; a patch appends), which no solver observes. *)
+
+(** What {!apply_delta_patch} returns besides the plane: the index
+    correspondence that downstream incremental repairs
+    ([Qlang.Solution_graph.repair], [Cqa.Certk.resume]) consume. *)
+type patch = {
+  plane : t;  (** The patched plane. *)
+  old_to_new : int array;
+      (** Old fact index -> new fact index; [-1] for retracted facts.
+          Strictly increasing on survivors. *)
+  new_to_old : int array;
+      (** New fact index -> old fact index; [-1] for inserted facts. *)
+  fresh : int array;  (** New indices of inserted facts, ascending. *)
+  touched_old_blocks : bool array;
+      (** Per old block id: the block lost a member or a fresh vertex
+          joined its key run. Untouched blocks have identical membership
+          before and after (modulo [old_to_new]). *)
+  new_block_of_old : int array;
+      (** Old block id -> new block id ([-1] when every member was
+          retracted). *)
+}
+
+(** [apply_delta c d] is the plane of [apply_delta_patch c d]. [tick] is
+    invoked once per insert and once per retract actually applied — the
+    incremental analogue of {!compile}'s once-per-fact charge.
+    @raise Invalid_argument on an insert whose relation is undeclared or
+    whose arity is wrong (the same structured error [Database.add] raises);
+    deltas cannot change the schema set. *)
+val apply_delta : ?tick:(unit -> unit) -> t -> Delta.t -> t
+
+(** [apply_delta_patch c d] is {!apply_delta} plus the correspondence
+    arrays. A net-no-op delta returns the input plane itself under an
+    identity patch. *)
+val apply_delta_patch : ?tick:(unit -> unit) -> t -> Delta.t -> patch
+
 val n_facts : t -> int
 val n_blocks : t -> int
 

@@ -46,6 +46,8 @@ let fact_key db (f : Fact.t) =
          f Schema.pp s);
   (f.Fact.rel, Fact.key s f)
 
+let check_fact db f = ignore (fact_key db f)
+
 let add db f =
   let k = fact_key db f in
   if Fact.Set.mem f db.facts then db

@@ -18,6 +18,13 @@ val add : t -> Fact.t -> t
 
 val remove : t -> Fact.t -> t
 
+(** [check_fact db f] validates [f] against the declared schemas without
+    touching the database, raising exactly the structured [Invalid_argument]
+    that {!add} would — the shared validation of every delta path.
+    @raise Invalid_argument if [f]'s relation is undeclared or its arity is
+    wrong. *)
+val check_fact : t -> Fact.t -> unit
+
 (** [of_facts schemas facts] is [List.fold_left add (empty schemas) facts]. *)
 val of_facts : Schema.t list -> Fact.t list -> t
 

@@ -40,6 +40,9 @@ let intern t v =
 
 let find t v = Table.find_opt t.ids v
 
+let copy t =
+  { ids = Table.copy t.ids; values = Array.copy t.values; next = t.next }
+
 let value t id =
   if id < 0 || id >= t.next then
     invalid_arg (Printf.sprintf "Interner.value: unassigned id %d" id);

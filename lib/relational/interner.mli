@@ -25,6 +25,14 @@ val intern : t -> Value.t -> int
     can be declared unsatisfiable up front. *)
 val find : t -> Value.t -> int option
 
+(** [copy t] is an independent interner with the same id [<->] value
+    assignment: interning new values in the copy never disturbs [t]. This is
+    how {!Compiled.apply_delta} minds the copy-on-patch discipline — a delta
+    that mints fresh ids works on a copied interner, so the pre-delta plane
+    (whose [adom] length must equal its interner's size) stays valid even if
+    the patch is abandoned halfway. *)
+val copy : t -> t
+
 (** [value t id] resolves an id back to its value.
     @raise Invalid_argument if [id] was never assigned. *)
 val value : t -> int -> Value.t

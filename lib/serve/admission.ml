@@ -35,7 +35,31 @@ type t = {
   mutable shed : int;
 }
 
-let make ?(clock = Unix.gettimeofday) config =
+(* The default clock never steps backwards. Wall clocks do (NTP jumps, VM
+   migrations, manual resets), and the stdlib has no monotonic clock, so:
+   read the kernel's boot-based uptime when the platform provides it —
+   immune to wall-clock steps by construction — and otherwise clamp
+   [Unix.gettimeofday] to be monotone. *)
+let uptime () =
+  let ic = open_in "/proc/uptime" in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> Scanf.sscanf (input_line ic) "%f" Fun.id)
+
+let monotonic_clock () =
+  match uptime () with
+  | (_ : float) -> uptime
+  | exception _ ->
+      let last = ref (Unix.gettimeofday ()) in
+      fun () ->
+        let now = Unix.gettimeofday () in
+        if now > !last then last := now;
+        !last
+
+let make ?clock config =
+  let clock =
+    match clock with Some c -> c | None -> monotonic_clock ()
+  in
   if config.capacity <= 0.0 then
     invalid_arg "Admission.make: capacity must be > 0";
   if config.refill_per_s < 0.0 then
@@ -55,13 +79,20 @@ let make ?(clock = Unix.gettimeofday) config =
     shed = 0;
   }
 
+(* A backwards clock step must neither credit tokens nor rewind [last]:
+   the pre-fix code moved [last] back on a negative [dt], so the span the
+   clock re-traversed after recovering was credited a second time —
+   over-refilling the bucket by exactly the step size. Holding [last] still
+   means a stepped-back clock refills nothing until it passes the high-water
+   mark again, which only ever under-credits. *)
 let refill t =
   let now = t.clock () in
   let dt = now -. t.last in
-  if dt > 0.0 then
+  if dt > 0.0 then begin
     t.tokens <-
       Float.min t.config.capacity (t.tokens +. (dt *. t.config.refill_per_s));
-  t.last <- now
+    t.last <- now
+  end
 
 let decide t tier =
   refill t;

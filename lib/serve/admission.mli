@@ -14,7 +14,10 @@
     refusals — instead of queueing without bound.
 
     The clock is injectable so tests can pin the refill; decisions and
-    counters are deterministic given the request sequence and clock. *)
+    counters are deterministic given the request sequence and clock. The
+    refill is robust to clocks that step backwards: a negative elapsed span
+    credits nothing and does not rewind the refill watermark, so a recovered
+    clock never re-credits time it already paid out. *)
 
 type tier = Fast | Heavy
 
@@ -39,7 +42,11 @@ val default_config : config
 
 type t
 
-(** [make ?clock config] — [clock] defaults to [Unix.gettimeofday].
+(** [make ?clock config] — [clock] defaults to a monotonic source (the
+    kernel's boot-based uptime where available, else a monotone-clamped
+    [Unix.gettimeofday]), so the bucket is immune to wall-clock steps unless
+    a stepping clock is injected deliberately — and even then {!decide}
+    never credits a backwards step.
     @raise Invalid_argument on non-positive capacity or costs, a negative
     refill rate, or costs that do not satisfy
     [estimate_cost <= heavy_cost]. *)

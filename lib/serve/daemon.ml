@@ -64,7 +64,7 @@ type t = {
   mutable stopped : bool;
 }
 
-let create ?(clock = Unix.gettimeofday) ?(sleep = Unix.sleepf) config =
+let create ?clock ?(sleep = Unix.sleepf) config =
   if config.estimate_trials < 1 then
     invalid_arg "Daemon.create: estimate_trials must be >= 1";
   if config.retries < 0 then invalid_arg "Daemon.create: retries must be >= 0";
@@ -83,7 +83,7 @@ let create ?(clock = Unix.gettimeofday) ?(sleep = Unix.sleepf) config =
   {
     config;
     sleep;
-    admission = Admission.make ~clock config.admission;
+    admission = Admission.make ?clock config.admission;
     planes =
       Plane_cache.make ~capacity:config.plane_capacity
         ?sanitize:
@@ -428,6 +428,162 @@ let do_load t ~mreq ~name ~text =
             ]
             @ retries_fields retries ))
 
+(* The update op: apply a fact delta to a named database without paying a
+   recompile. The cached plane is patched in place with
+   [Compiled.apply_delta] (charged to the request budget at the compile
+   site, one tick per surviving or inserted fact) and re-keyed under the
+   rolling fingerprint: the cached XOR accumulator absorbs the digests of
+   exactly the net-toggled facts, so the new key — provably equal to
+   [Plane_cache.fingerprint new_db] — costs O(|delta|). Only after the
+   patched entry passes the sanitize gate does the registry flip to the new
+   state; any fault before that (chaos mid-patch, budget stop, corrupt
+   plane) leaves both the cache and the name serving the pre-delta
+   database, because [apply_delta] never mutates the plane it patches. *)
+type updated =
+  | U_error of Protocol.error
+  | U_applied of {
+      fingerprint : string;
+      facts : int;
+      inserted : int;
+      retracted : int;
+      patched : bool;  (* false: entry was evicted, fell back to recompile *)
+    }
+
+let key_marker_mismatch db parsed =
+  List.find_map
+    (fun ((f : Relational.Fact.t), marker) ->
+      match marker with
+      | None -> None
+      | Some l -> (
+          match Relational.Database.schema_of db f with
+          | exception Invalid_argument _ ->
+              (* Undeclared relation: the delta application reports it with
+                 the structured Database error; don't pre-empt it here. *)
+              None
+          | s ->
+              if s.Relational.Schema.key_len = l then None
+              else
+                Some
+                  (Printf.sprintf
+                     "fact %s declares key length %d but schema %s has %d"
+                     (Relational.Fact.to_string f)
+                     l s.Relational.Schema.name s.Relational.Schema.key_len)))
+    parsed
+
+let do_update t ~mreq ~name ~insert ~retract =
+  match Hashtbl.find_opt t.named name with
+  | None ->
+      ( Protocol.Unknown_db,
+        [ ("error", Json.String ("no database loaded under name " ^ name)) ] )
+  | Some (old_fp, old_db) -> (
+      match (Ingest.facts insert, Ingest.facts retract) with
+      | Error e, _ | _, Error e -> error_fields e
+      | Ok ins, Ok rets -> (
+          match key_marker_mismatch old_db (ins @ rets) with
+          | Some msg ->
+              (Protocol.Bad_db, [ ("error", Json.String msg) ])
+          | None -> (
+              let delta =
+                List.map
+                  (fun (f, _) -> Relational.Delta.Insert f)
+                  ins
+                @ List.map (fun (f, _) -> Relational.Delta.Retract f) rets
+              in
+              let { Harness.Retry.result; retries } =
+                run_budgeted t ~mreq ~tier:Admission.Heavy (fun budget ->
+                    let tick () =
+                      Budget.tick ~site:Harness.Sites.compile budget
+                    in
+                    match Relational.Delta.apply old_db delta with
+                    | exception Invalid_argument msg ->
+                        U_error { Protocol.code = Protocol.Bad_db; message = msg }
+                    | new_db -> (
+                        if Relational.Database.size new_db > t.config.max_facts
+                        then
+                          U_error
+                            {
+                              Protocol.code = Protocol.Db_too_large;
+                              message =
+                                Printf.sprintf
+                                  "database has %d facts, over the cap of %d"
+                                  (Relational.Database.size new_db)
+                                  t.config.max_facts;
+                            }
+                        else
+                          let net_ins, net_rets =
+                            Relational.Delta.normalize old_db delta
+                          in
+                          let finish entry ~patched =
+                            Hashtbl.replace t.named name
+                              (entry.Plane_cache.fingerprint, new_db);
+                            U_applied
+                              {
+                                fingerprint = entry.Plane_cache.fingerprint;
+                                facts = Relational.Database.size new_db;
+                                inserted = List.length net_ins;
+                                retracted = List.length net_rets;
+                                patched;
+                              }
+                          in
+                          match Plane_cache.find t.planes old_fp with
+                          | Some entry ->
+                              let plane =
+                                Relational.Compiled.apply_delta ~tick
+                                  entry.Plane_cache.plane delta
+                              in
+                              (* Roll the key: fold the net-toggled facts'
+                                 digests into the cached accumulator. *)
+                              let facts_xor =
+                                List.fold_left
+                                  (fun acc f ->
+                                    Plane_cache.Fingerprint.xor acc
+                                      (Plane_cache.Fingerprint.fact_digest f))
+                                  entry.Plane_cache.facts_xor
+                                  (net_ins @ net_rets)
+                              in
+                              let entry =
+                                {
+                                  Plane_cache.fingerprint =
+                                    Plane_cache.Fingerprint.finish new_db
+                                      ~facts_xor;
+                                  facts_xor;
+                                  db = new_db;
+                                  plane;
+                                }
+                              in
+                              Plane_cache.replace t.planes
+                                ~old_fingerprint:old_fp entry;
+                              finish entry ~patched:true
+                          | None ->
+                              (* Evicted since load: recompile from the new
+                                 database like a cold [load] would. *)
+                              let entry, _hit =
+                                Plane_cache.find_or_compile ~tick t.planes
+                                  new_db
+                              in
+                              finish entry ~patched:false))
+              in
+              match result with
+              | Error e -> code_of_exn e
+              | Ok (U_error e) -> error_fields e
+              | Ok (U_applied { fingerprint; facts; inserted; retracted; patched })
+                ->
+                  Obs.Metrics.incr mreq
+                    (if patched then "serve.plane.patched"
+                     else "serve.plane.miss");
+                  ( Protocol.Ok_code,
+                    [
+                      ("name", Json.String name);
+                      ("fingerprint", Json.String fingerprint);
+                      ("facts", Json.Int facts);
+                      ("inserted", Json.Int inserted);
+                      ("retracted", Json.Int retracted);
+                      ( "cache",
+                        Json.String (if patched then "patched" else "recompiled")
+                      );
+                    ]
+                    @ retries_fields retries ))))
+
 let diagnostics_fields diagnostics =
   let severity =
     match Analysis.Lint.max_severity diagnostics with
@@ -547,6 +703,8 @@ let handle_request t ~mreq = function
   | Protocol.Lint { query } -> do_lint ~query
   | Protocol.Analyze { query; db } -> do_analyze t ~mreq ~query ~db
   | Protocol.Load { name; text } -> do_load t ~mreq ~name ~text
+  | Protocol.Update { db; insert; retract } ->
+      do_update t ~mreq ~name:db ~insert ~retract
   | Protocol.Certain { query; db; trials; explain } ->
       do_certain t ~mreq ~query ~db ~trials ~explain
 

@@ -71,9 +71,10 @@ val default_config : config
 
 type t
 
-(** [create config] — [clock] feeds the admission token bucket (default
-    [Unix.gettimeofday]); [sleep] implements retry backoff (default
-    [Unix.sleepf]); both injectable for deterministic tests. *)
+(** [create config] — [clock] feeds the admission token bucket (default:
+    {!Admission.make}'s monotonic source, immune to wall-clock steps);
+    [sleep] implements retry backoff (default [Unix.sleepf]); both
+    injectable for deterministic tests. *)
 val create : ?clock:(unit -> float) -> ?sleep:(float -> unit) -> config -> t
 
 (** [handle_line t line] serves one frame: [None] for a blank line (framing

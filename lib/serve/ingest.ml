@@ -22,6 +22,30 @@ let database ?max_facts text =
             }
       | _ -> Ok db)
 
+(* One fact per line for the update op: blank lines and '#' comments are
+   tolerated as in a database file, but schema declarations are not — an
+   update never changes the schema, it only toggles facts, and the caller
+   validates them against the named database's existing schema. *)
+let facts text =
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let s = String.trim line in
+        if s = "" || s.[0] = '#' then go acc (lineno + 1) rest
+        else (
+          match Qlang.Parse.fact s with
+          | Ok parsed -> go (parsed :: acc) (lineno + 1) rest
+          | Error e ->
+              Error
+                {
+                  Protocol.code = Protocol.Bad_db;
+                  message =
+                    Printf.sprintf "line %d: %s" lineno
+                      (Qlang.Parse.error_to_string e);
+                })
+  in
+  go [] 1 (String.split_on_char '\n' text)
+
 let query src =
   match Qlang.Parse.query src with
   | Ok q -> Ok q

@@ -21,6 +21,16 @@ val database :
   string ->
   (Relational.Database.t, Protocol.error) result
 
+(** [facts text] parses the facts body of an [update] op: one fact per
+    line, [#] comments and blank lines tolerated, {e no} schema
+    declarations. Each fact comes with its inferred key length (bar
+    position), if written with one, so the caller can cross-check it
+    against the target database's schema. [Error {code = Bad_db; _}] with
+    the offending line number on malformed input. *)
+val facts :
+  string ->
+  ((Relational.Fact.t * int option) list, Protocol.error) result
+
 (** [query src] parses a two-atom self-join query;
     [Error {code = Bad_query; _}] with the parser's positioned message. *)
 val query : string -> (Qlang.Query.t, Protocol.error) result

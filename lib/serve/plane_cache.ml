@@ -1,5 +1,73 @@
+(* Content fingerprints are built from length-prefixed frames: every
+   variable-length field is rendered as "<len>:<bytes>", so no choice of
+   relation name or string value can make two different databases
+   concatenate to the same digest input. (The pre-fix scheme joined the
+   pretty-printed schemas with ';' and the pretty-printed facts with '\n' —
+   both characters [Value.pp] emits verbatim inside string values, so
+   moving a separator across a value boundary produced colliding keys.)
+
+   Facts are digested individually and the digests combined by XOR. The
+   combination is order-independent, and — XOR being its own inverse — a
+   delta update folds the digests of the toggled facts into the cached
+   accumulator in O(|delta|) instead of re-hashing the whole database; that
+   is the rolling fingerprint the daemon's [update] op patches entries
+   under. *)
+module Fingerprint = struct
+  let frame buf s =
+    Buffer.add_string buf (string_of_int (String.length s));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s
+
+  (* [Value.to_token] is injective on values (unlike [Value.pp], which
+     renders [Int 1] and [Str "1"] identically), and the frames make the
+     concatenation of relation symbol and cells injective on facts. *)
+  let fact_digest (f : Relational.Fact.t) =
+    let buf = Buffer.create 64 in
+    frame buf f.Relational.Fact.rel;
+    Array.iter
+      (fun v -> frame buf (Relational.Value.to_token v))
+      f.Relational.Fact.tuple;
+    Digest.string (Buffer.contents buf)
+
+  let xor a b =
+    let n = String.length a in
+    if String.length b <> n then
+      invalid_arg "Plane_cache.Fingerprint.xor: length mismatch";
+    String.init n (fun i -> Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+  let empty = String.make 16 '\000'
+
+  let facts_xor db =
+    List.fold_left
+      (fun acc f -> xor acc (fact_digest f))
+      empty
+      (Relational.Database.facts db)
+
+  (* Schemas and the fact count round out the digest input: the XOR
+     accumulator alone is blind to both (and maps the empty fact set and
+     any digest-cancelling pair to the same bytes). *)
+  let finish db ~facts_xor =
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun (s : Relational.Schema.t) ->
+        frame buf s.Relational.Schema.name;
+        frame buf (string_of_int s.Relational.Schema.arity);
+        frame buf (string_of_int s.Relational.Schema.key_len))
+      (Relational.Database.schemas db);
+    Buffer.add_string buf facts_xor;
+    frame buf (string_of_int (Relational.Database.size db));
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+
+  let of_db db =
+    let acc = facts_xor db in
+    (acc, finish db ~facts_xor:acc)
+end
+
 type entry = {
   fingerprint : string;
+  facts_xor : string;
+      (* the XOR-of-fact-digests accumulator behind [fingerprint]; carried
+         so an update can roll the key in O(|delta|) *)
   db : Relational.Database.t;
   plane : Relational.Compiled.t;
 }
@@ -34,19 +102,7 @@ let make ?(capacity = 8) ?sanitize () =
     rejected = 0;
   }
 
-let fingerprint db =
-  let buf = Buffer.create 256 in
-  List.iter
-    (fun s ->
-      Buffer.add_string buf (Format.asprintf "%a" Relational.Schema.pp s);
-      Buffer.add_char buf ';')
-    (Relational.Database.schemas db);
-  List.iter
-    (fun f ->
-      Buffer.add_string buf (Relational.Fact.to_string f);
-      Buffer.add_char buf '\n')
-    (Relational.Database.facts db);
-  Digest.to_hex (Digest.string (Buffer.contents buf))
+let fingerprint db = snd (Fingerprint.of_db db)
 
 let touch t slot =
   t.tick <- t.tick + 1;
@@ -88,8 +144,18 @@ let evict_lru t =
       Hashtbl.remove t.slots fp;
       t.evictions <- t.evictions + 1
 
+let sanitize_or_reject t plane =
+  match t.sanitize with
+  | None -> ()
+  | Some check -> (
+      match check plane with
+      | Ok () -> ()
+      | Error msg ->
+          t.rejected <- t.rejected + 1;
+          raise (Corrupt_plane msg))
+
 let find_or_compile ?tick t db =
-  let fp = fingerprint db in
+  let facts_xor, fp = Fingerprint.of_db db in
   match Hashtbl.find_opt t.slots fp with
   | Some slot when validate t fp slot ->
       touch t slot;
@@ -101,24 +167,42 @@ let find_or_compile ?tick t db =
       let plane = Relational.Compiled.compile ?tick db in
       (* Sanitize-on-insert: a plane that violates its layout invariants is
          refused, not cached — nothing downstream ever sees it. *)
-      (match t.sanitize with
-      | None -> ()
-      | Some check -> (
-          match check plane with
-          | Ok () -> ()
-          | Error msg ->
-              t.rejected <- t.rejected + 1;
-              raise (Corrupt_plane msg)));
-      let entry = { fingerprint = fp; db; plane } in
+      sanitize_or_reject t plane;
+      let entry = { fingerprint = fp; facts_xor; db; plane } in
       t.misses <- t.misses + 1;
       if Hashtbl.length t.slots >= t.capacity then evict_lru t;
       t.tick <- t.tick + 1;
       Hashtbl.add t.slots fp { entry; used = t.tick };
       (entry, false)
 
+(* Capacity is enforced on every insertion path. The pre-fix [inject] went
+   straight to [Hashtbl.replace], so each planted entry grew the table past
+   [capacity] for the cache's whole lifetime — the LRU bound only ever held
+   if nothing injected. Planting a genuinely new key into a full cache now
+   evicts the LRU victim first; replacing an existing key does not. *)
 let inject t ~fingerprint entry =
+  if
+    (not (Hashtbl.mem t.slots fingerprint))
+    && Hashtbl.length t.slots >= t.capacity
+  then evict_lru t;
   t.tick <- t.tick + 1;
   Hashtbl.replace t.slots fingerprint { entry; used = t.tick }
+
+(* Re-key a cached entry after an in-place delta update: the slot under
+   [old_fingerprint] is dropped (a re-key, not an eviction — no counter
+   moves) and [entry] is stored under its own rolling fingerprint, most
+   recently used. The sanitize gate runs first, so a rejected patched plane
+   raises with the cache unchanged and the old entry still serving the
+   pre-delta database. *)
+let replace t ~old_fingerprint entry =
+  sanitize_or_reject t entry.plane;
+  Hashtbl.remove t.slots old_fingerprint;
+  if
+    (not (Hashtbl.mem t.slots entry.fingerprint))
+    && Hashtbl.length t.slots >= t.capacity
+  then evict_lru t;
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.slots entry.fingerprint { entry; used = t.tick }
 
 type stats = {
   entries : int;

@@ -13,10 +13,50 @@
 
     Capacity is bounded; eviction is least-recently-used. The cache stores
     the authoring-plane database alongside the compiled plane so evicted
-    entries can be recompiled from a [load]ed registry without re-parsing. *)
+    entries can be recompiled from a [load]ed registry without re-parsing.
+
+    Fingerprints are {e unambiguous} and {e rolling}. Every variable-length
+    field of the canonical rendering is length-prefixed, so no choice of
+    relation name or string value can make two different databases hash to
+    the same key; and the fact set enters the digest as an XOR of per-fact
+    digests, so a delta update re-keys an entry in O(|delta|) by folding the
+    toggled facts' digests into the cached accumulator ({!Fingerprint},
+    used by the daemon's [update] op through {!replace}). *)
+
+(** The fingerprint algebra. [of_db db] computes the accumulator and the
+    key; an update computes
+    [finish db' ~facts_xor:(List.fold_left xor acc (List.map fact_digest
+    toggled))], which equals [of_db db'] whenever [toggled] is the symmetric
+    difference of the two fact sets. *)
+module Fingerprint : sig
+  (** Raw 16-byte digest of one fact's length-prefixed canonical
+      rendering (relation symbol, then each value via
+      {!Relational.Value.to_token}, which is injective). *)
+  val fact_digest : Relational.Fact.t -> string
+
+  (** Byte-wise XOR (self-inverse: folding a digest in twice removes it).
+      @raise Invalid_argument on length mismatch. *)
+  val xor : string -> string -> string
+
+  (** The accumulator of the empty fact set (16 zero bytes). *)
+  val empty : string
+
+  (** XOR of {!fact_digest} over [Database.facts]. *)
+  val facts_xor : Relational.Database.t -> string
+
+  (** Final hex key: digest over the framed schemas of [db], the
+      accumulator bytes, and the fact count. *)
+  val finish : Relational.Database.t -> facts_xor:string -> string
+
+  (** [(facts_xor db, finish db ~facts_xor)] in one pass. *)
+  val of_db : Relational.Database.t -> string * string
+end
 
 type entry = {
   fingerprint : string;
+  facts_xor : string;
+      (** The XOR accumulator behind [fingerprint], carried so an update
+          can roll the key in O(|delta|). *)
   db : Relational.Database.t;
   plane : Relational.Compiled.t;
 }
@@ -38,8 +78,9 @@ val make :
   unit ->
   t
 
-(** Content fingerprint: hex digest over schemas and the sorted fact list.
-    [Database.equal db db'] implies equal fingerprints. *)
+(** Content fingerprint: [snd (Fingerprint.of_db db)]. [Database.equal db
+    db'] implies equal fingerprints, and the length-prefixed rendering makes
+    the converse hold up to digest collision — no separator ambiguity. *)
 val fingerprint : Relational.Database.t -> string
 
 (** [find t fp] returns the cached entry and marks it most recently used.
@@ -64,8 +105,21 @@ val find_or_compile :
 (** [inject t ~fingerprint entry] stores [entry] under [fingerprint]
     verbatim — no validation, no sanitizing, wrong keys welcome. This is a
     test hook: it is how the stale-eviction regression test plants an entry
-    whose content does not match its key. *)
+    whose content does not match its key. Capacity {e is} enforced:
+    planting a new key into a full cache evicts the LRU victim first, so
+    the table never exceeds [capacity] (the pre-fix bypass grew it without
+    bound). *)
 val inject : t -> fingerprint:string -> entry -> unit
+
+(** [replace t ~old_fingerprint entry] re-keys a cached entry after an
+    in-place delta update: the slot under [old_fingerprint] (if present) is
+    dropped — a re-key, not an eviction — and [entry] is stored under
+    [entry.fingerprint], most recently used, evicting the LRU victim if the
+    insertion would exceed capacity. The [sanitize] gate runs on
+    [entry.plane] {e before} any slot changes, so a rejected patched plane
+    leaves the cache unchanged.
+    @raise Corrupt_plane when the sanitize gate rejects the plane. *)
+val replace : t -> old_fingerprint:string -> entry -> unit
 
 type stats = {
   entries : int;

@@ -70,6 +70,7 @@ type request =
     }
   | Lint of { query : string }
   | Analyze of { query : string; db : db_ref option }
+  | Update of { db : string; insert : string; retract : string }
   | Stats
   | Shutdown
 
@@ -80,6 +81,7 @@ let op_name = function
   | Certain _ -> "certain"
   | Lint _ -> "lint"
   | Analyze _ -> "analyze"
+  | Update _ -> "update"
   | Stats -> "stats"
   | Shutdown -> "shutdown"
 
@@ -141,6 +143,21 @@ let decode ~max_bytes line =
             let* name = str "name" in
             let* text = str "facts" in
             Ok (id, Load { name; text })
+        | "update" ->
+            let* db = str "db" in
+            let opt name =
+              match List.assoc_opt name fields with
+              | None -> Ok ""
+              | Some (Json.String s) -> Ok s
+              | Some _ ->
+                  Error
+                    { code = Bad_request; message = name ^ " must be a string" }
+            in
+            let* insert = opt "insert" in
+            let* retract = opt "retract" in
+            if insert = "" && retract = "" then
+              fail ?id Bad_request "update needs insert or retract facts"
+            else Ok (id, Update { db; insert; retract })
         | "certain" ->
             let* query = str "query" in
             let* db =

@@ -8,6 +8,7 @@
     {"op": "classify", "query": "R(x | y) R(y | x)"}
     {"op": "load", "name": "db1", "facts": "R(1 | 2)\nR(1 | 3)"}
     {"op": "certain", "query": "R(x | y) R(y | x)", "db": "db1", "id": 7}
+    {"op": "update", "db": "db1", "insert": "R(2 | 1)", "retract": "R(1 | 3)"}
     {"op": "stats"}
     v}
 
@@ -85,6 +86,14 @@ type request =
       (** Static analysis: query lints, pattern-program verification and —
           with a database — plane sanitization and the database-aware
           lints, one shared diagnostics document with the CLI. *)
+  | Update of { db : string; insert : string; retract : string }
+      (** Apply a fact delta to a [load]ed database: [insert] / [retract]
+          are facts text (one fact per line, [#] comments tolerated, no
+          schema declarations — facts are validated against the named
+          database's schema). At least one of the two must be non-empty.
+          The daemon patches the cached plane in place
+          ({!Relational.Compiled.apply_delta}) and re-keys it under the
+          rolling fingerprint instead of evicting and recompiling. *)
   | Stats
   | Shutdown
 

@@ -152,7 +152,7 @@ same exit-code taxonomy carried in every frame:
   > {"op": "shutdown"}
   > REQS
   {"op": "classify", "status": "ok", "code": "ok", "exit": 0, "verdict": "PTIME (Theorem 9: no tripath, Cert_k exact)", "class": "ptime", "tier": "fast", "bounded_search": true}
-  {"op": "load", "status": "ok", "code": "ok", "exit": 0, "name": "db1", "fingerprint": "74573e787c9ffce39d773d5e9a4611dc", "facts": 3, "cache": "miss"}
+  {"op": "load", "status": "ok", "code": "ok", "exit": 0, "name": "db1", "fingerprint": "aed0f38af6b210dc6f05f28989dbce27", "facts": 3, "cache": "miss"}
   {"id": 1, "op": "certain", "status": "ok", "code": "ok", "exit": 0, "answer": true, "algorithm": "Cert_3", "cache": "hit", "steps": 5}
   {"id": 2, "op": "certain", "status": "error", "code": "unknown-db", "exit": 2, "error": "no database loaded under name nope"}
   {"op": "error", "status": "error", "code": "bad-frame", "exit": 2, "error": "frame is not valid JSON: offset 0: expected null"}

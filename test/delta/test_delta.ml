@@ -1,0 +1,243 @@
+(* The incremental-maintenance law: patching a compiled plane with a delta
+   must be observationally identical to recompiling the persistently updated
+   database — plane structure, solution graph, Cert_k verdict and minimal
+   antichain, the frozen Certk_rounds oracle, and the static sanitizer all
+   agree. Exercised as a qcheck property over random databases and delta
+   traces for the catalogue queries, plus directed edge cases (net no-ops,
+   emptying retractions, undeclared-relation retracts) and a chaos case
+   showing a fault in mid-patch leaves the pre-delta plane intact
+   (copy-on-patch). *)
+
+module Compiled = Relational.Compiled
+module Database = Relational.Database
+module Delta = Relational.Delta
+module Fact = Relational.Fact
+module SG = Qlang.Solution_graph
+module Randdb = Workload.Randdb
+module Catalog = Workload.Catalog
+
+let entries =
+  [ ("q3", Catalog.q3, 2); ("q5", Catalog.q5, 2); ("q6", Catalog.q6, 3) ]
+
+(* A random delta trace against [db]: inserts of fresh facts, retracts of
+   present facts, and occasional redundant ops (inserting a present fact,
+   retracting an absent one) that must be net no-ops. *)
+let random_delta rng q db ~domain ~len =
+  let facts = Database.facts db in
+  let n = List.length facts in
+  List.init len (fun _ ->
+      match Random.State.int rng 4 with
+      | 0 ->
+          Delta.Insert
+            (List.hd
+               (Database.facts (Randdb.random_for_query rng q ~n_facts:1 ~domain)))
+      | 1 when n > 0 ->
+          Delta.Retract (List.nth facts (Random.State.int rng n))
+      | 2 when n > 0 ->
+          (* Redundant insert: the fact is already present. *)
+          Delta.Insert (List.nth facts (Random.State.int rng n))
+      | _ ->
+          (* Retract of a fact that is (almost surely) absent. *)
+          Delta.Retract
+            (List.hd
+               (Database.facts (Randdb.random_for_query rng q ~n_facts:1 ~domain))))
+
+let check_equivalent ~name q ~k db delta =
+  let base_plane = Compiled.compile db in
+  let base_graph = SG.of_query_compiled q base_plane in
+  let base_snap = Cqa.Certk.snapshot ~k base_graph in
+  let new_db = Delta.apply db delta in
+  let patch = Compiled.apply_delta_patch base_plane delta in
+  let repaired = SG.repair q ~old:base_graph patch in
+  let resumed = Cqa.Certk.resume base_snap ~graph:repaired ~patch in
+  let fresh_plane = Compiled.compile new_db in
+  let fresh_graph = SG.of_query_compiled q fresh_plane in
+  (* Plane-level: the patched plane decompiles to the updated database and
+     carries the same block structure as a fresh compile. *)
+  Alcotest.(check bool)
+    (name ^ ": patched plane decompiles to updated db")
+    true
+    (Database.equal (Compiled.decompile patch.Compiled.plane) new_db);
+  Alcotest.(check bool)
+    (name ^ ": repaired graph structurally equals fresh graph")
+    true
+    (SG.equal repaired fresh_graph);
+  (* Solver-level: resumed verdict and antichain match a from-scratch run
+     and the frozen rounds oracle. *)
+  let fresh_verdict = Cqa.Certk.run ~k fresh_graph in
+  Alcotest.(check bool)
+    (name ^ ": resumed verdict = fresh Certk verdict")
+    fresh_verdict
+    (Cqa.Certk.verdict resumed);
+  Alcotest.(check bool)
+    (name ^ ": resumed verdict = Certk_rounds verdict")
+    (Cqa.Certk_rounds.run ~k fresh_graph)
+    (Cqa.Certk.verdict resumed);
+  let sets l = List.sort compare l in
+  Alcotest.(check bool)
+    (name ^ ": resumed minimal antichain = fresh antichain")
+    true
+    (sets (Cqa.Certk.snapshot_derived resumed) = sets (Cqa.Certk.derived ~k fresh_graph));
+  (* Analyzer-level: the patched plane passes the full sanitizer and the
+     PL109 delta-image check. *)
+  Alcotest.(check (list Alcotest.string))
+    (name ^ ": sanitizer clean on patched plane")
+    []
+    (List.map
+       (fun (d : Analysis.Lint.diagnostic) -> d.Analysis.Lint.code)
+       (Analysis.Sanitize.run ~query:q patch.Compiled.plane));
+  Alcotest.(check (list Alcotest.string))
+    (name ^ ": delta-image check clean")
+    []
+    (List.map
+       (fun (d : Analysis.Lint.diagnostic) -> d.Analysis.Lint.code)
+       (Analysis.Sanitize.check_delta ~before:base_plane ~delta
+          patch.Compiled.plane))
+
+(* One qcheck cell per catalogue entry, each trial a fresh database and a
+   delta trace of random length (1-8 ops, so both single-fact updates and
+   batches are covered). *)
+let law_tests =
+  List.map
+    (fun (name, q, k) ->
+      QCheck.Test.make
+        ~name:(Printf.sprintf "apply_delta = recompile (%s)" name)
+        ~count:60
+        QCheck.(pair small_nat small_nat)
+        (fun (seed, len_seed) ->
+          let rng = Random.State.make [| 77; seed; len_seed |] in
+          let n = 10 + Random.State.int rng 50 in
+          let domain = max 2 (n / 4) in
+          let db = Randdb.random_for_query rng q ~n_facts:n ~domain in
+          let len = 1 + (len_seed mod 8) in
+          let delta = random_delta rng q db ~domain ~len in
+          check_equivalent ~name q ~k db delta;
+          true))
+    entries
+
+let test_noop_delta () =
+  let rng = Random.State.make [| 5 |] in
+  let q = Catalog.q3 in
+  let db = Randdb.random_for_query rng q ~n_facts:30 ~domain:6 in
+  let plane = Compiled.compile db in
+  let f = List.hd (Database.facts db) in
+  (* Net no-op traces: empty, redundant insert, retract-then-reinsert. *)
+  List.iter
+    (fun (label, delta) ->
+      let patch = Compiled.apply_delta_patch plane delta in
+      Alcotest.(check bool)
+        (label ^ ": net no-op returns the input plane itself")
+        true
+        (patch.Compiled.plane == plane);
+      Alcotest.(check bool)
+        (label ^ ": identity correspondence")
+        true
+        (Array.to_list patch.Compiled.old_to_new
+         = List.init (Compiled.n_facts plane) Fun.id
+        && patch.Compiled.fresh = [||]
+        && Array.for_all not patch.Compiled.touched_old_blocks))
+    [
+      ("empty", []);
+      ("redundant insert", [ Delta.Insert f ]);
+      ("toggle", [ Delta.Retract f; Delta.Insert f ]);
+    ]
+
+let test_retract_all () =
+  let rng = Random.State.make [| 6 |] in
+  List.iter
+    (fun (name, q, k) ->
+      let db = Randdb.random_for_query rng q ~n_facts:20 ~domain:4 in
+      let delta = List.map (fun f -> Delta.Retract f) (Database.facts db) in
+      check_equivalent ~name:(name ^ "/retract-all") q ~k db delta;
+      let plane = Compiled.compile db in
+      let patch = Compiled.apply_delta_patch plane delta in
+      Alcotest.(check int)
+        (name ^ ": emptied plane has no facts")
+        0
+        (Compiled.n_facts patch.Compiled.plane))
+    entries
+
+let test_undeclared_retract () =
+  (* Retracting a fact of a relation the database never declared is a
+     membership no-op persistently, so the plane side must treat it the
+     same way rather than raise. *)
+  let rng = Random.State.make [| 7 |] in
+  let q = Catalog.q3 in
+  let db = Randdb.random_for_query rng q ~n_facts:20 ~domain:4 in
+  let ghost = Fact.make "NoSuchRel" [ Relational.Value.Int 1 ] in
+  check_equivalent ~name:"undeclared-retract" q ~k:2 db [ Delta.Retract ghost ]
+
+let test_bad_insert_raises () =
+  let rng = Random.State.make [| 8 |] in
+  let q = Catalog.q3 in
+  let db = Randdb.random_for_query rng q ~n_facts:10 ~domain:4 in
+  let plane = Compiled.compile db in
+  let ghost = Fact.make "NoSuchRel" [ Relational.Value.Int 1 ] in
+  Alcotest.check_raises "undeclared insert raises like Database.add"
+    (Invalid_argument "Database: undeclared relation NoSuchRel")
+    (fun () -> ignore (Compiled.apply_delta plane [ Delta.Insert ghost ]))
+
+(* Copy-on-patch: a fault raised from the tick callback mid-patch must
+   leave the pre-delta plane fully intact — same decompiled database, same
+   verdict, clean sanitizer — because apply_delta never mutates its input. *)
+let test_fault_mid_patch () =
+  let rng = Random.State.make [| 9 |] in
+  List.iter
+    (fun (name, q, k) ->
+      let db = Randdb.random_for_query rng q ~n_facts:25 ~domain:5 in
+      let plane = Compiled.compile db in
+      let before_verdict = Cqa.Certk.run ~k (SG.of_query_compiled q plane) in
+      let delta =
+        [
+          Delta.Insert
+            (List.hd
+               (Database.facts (Randdb.random_for_query rng q ~n_facts:1 ~domain:5)));
+          Delta.Retract (List.hd (Database.facts db));
+        ]
+      in
+      (* Raise on every tick threshold the patch can reach: whatever stage
+         the fault interrupts, the old plane must survive. *)
+      for fuel = 0 to 2 do
+        let calls = ref 0 in
+        let tick () =
+          incr calls;
+          if !calls > fuel then failwith "chaos: tick fault"
+        in
+        (match Compiled.apply_delta ~tick plane delta with
+        | (_ : Compiled.t) -> ()
+        | exception Failure _ -> ());
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: old plane decompiles unchanged (fuel %d)" name fuel)
+          true
+          (Database.equal (Compiled.decompile plane) db);
+        Alcotest.(check (list Alcotest.string))
+          (Printf.sprintf "%s: old plane still sanitizes (fuel %d)" name fuel)
+          []
+          (List.map
+             (fun (d : Analysis.Lint.diagnostic) -> d.Analysis.Lint.code)
+             (Analysis.Sanitize.run ~query:q plane));
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: old verdict unchanged (fuel %d)" name fuel)
+          before_verdict
+          (Cqa.Certk.run ~k (SG.of_query_compiled q plane))
+      done)
+    entries
+
+let () =
+  Alcotest.run "delta"
+    [
+      ( "law",
+        List.map (QCheck_alcotest.to_alcotest ~long:false) law_tests );
+      ( "edge",
+        [
+          Alcotest.test_case "net no-op deltas" `Quick test_noop_delta;
+          Alcotest.test_case "retract everything" `Quick test_retract_all;
+          Alcotest.test_case "undeclared-relation retract" `Quick
+            test_undeclared_retract;
+          Alcotest.test_case "undeclared insert raises" `Quick
+            test_bad_insert_raises;
+        ] );
+      ( "chaos",
+        [ Alcotest.test_case "fault mid-patch" `Quick test_fault_mid_patch ]
+      );
+    ]

@@ -194,6 +194,44 @@ let test_admission () =
         (Serve.Admission.make
            { config with Serve.Admission.estimate_cost = 2.0 }))
 
+(* Regression: a clock that steps backwards (NTP jump, VM migration) must
+   neither credit tokens nor rewind the refill watermark. The pre-fix code
+   moved [last] back on a negative span, so when the clock recovered the
+   re-traversed span was credited a second time — over-refilling the bucket
+   by exactly the step size. *)
+let test_admission_backwards_clock () =
+  let now = ref 100.0 in
+  let config =
+    {
+      Serve.Admission.capacity = 2.0;
+      refill_per_s = 1.0;
+      heavy_cost = 1.0;
+      fast_cost = 0.1;
+      estimate_cost = 0.5;
+    }
+  in
+  let a = Serve.Admission.make ~clock:(fun () -> !now) config in
+  let d () = Serve.Admission.decide a Serve.Admission.Heavy in
+  checkb "admit 1" true (d () = Serve.Admission.Admit);
+  checkb "admit 2" true (d () = Serve.Admission.Admit);
+  checkb "empty bucket sheds" true (d () = Serve.Admission.Shed);
+  (* The clock steps back 60 seconds: no credit, and crucially no rewind. *)
+  now := 40.0;
+  checkb "backwards step credits nothing" true (d () = Serve.Admission.Shed);
+  checkb "tokens still empty" true (Serve.Admission.tokens a <= 0.0);
+  (* The clock recovers to exactly the old watermark. Pre-fix, [last] had
+     been rewound to 40, so this decide re-credited the 60-second span and
+     admitted from a bucket that never actually waited. *)
+  now := 100.0;
+  checkb "recovered clock re-credits nothing" true
+    (d () = Serve.Admission.Shed);
+  (* Time past the watermark refills normally again. *)
+  now := 100.5;
+  checkb "refill past the watermark works" true
+    (d () = Serve.Admission.Downgrade);
+  now := 102.0;
+  checkb "full refill admits again" true (d () = Serve.Admission.Admit)
+
 (* ------------------------------------------------------------------ *)
 (* Plane cache *)
 
@@ -291,6 +329,86 @@ let test_plane_cache_stale () =
     (Relational.Database.equal entry.Serve.Plane_cache.db d1);
   checki "second stale lookup counted" 2
     (Serve.Plane_cache.stats cache).Serve.Plane_cache.stale
+
+(* Regression: [inject] must enforce capacity like every other insertion
+   path. The pre-fix bypass grew the table without bound, so a test (or any
+   future caller) planting entries could silently defeat the LRU bound. *)
+let test_plane_cache_inject_capacity () =
+  let cache = Serve.Plane_cache.make ~capacity:2 () in
+  let d1 = db_of_text "R(1 | 1)" in
+  let d2 = db_of_text "R(2 | 2)" in
+  let d3 = db_of_text "R(3 | 3)" in
+  let entry_of db = fst (Serve.Plane_cache.find_or_compile cache db) in
+  let e1 = entry_of d1 in
+  let _ = entry_of d2 in
+  checki "full before inject" 2
+    (Serve.Plane_cache.stats cache).Serve.Plane_cache.entries;
+  (* A new key into a full cache evicts the LRU victim first. *)
+  Serve.Plane_cache.inject cache
+    ~fingerprint:(Serve.Plane_cache.fingerprint d3)
+    e1;
+  let stats = Serve.Plane_cache.stats cache in
+  checki "inject respects capacity" 2 stats.Serve.Plane_cache.entries;
+  checki "inject evicted the LRU victim" 1 stats.Serve.Plane_cache.evictions;
+  (* Re-injecting an existing key replaces in place — no growth, no
+     eviction. *)
+  Serve.Plane_cache.inject cache
+    ~fingerprint:(Serve.Plane_cache.fingerprint d3)
+    e1;
+  let stats = Serve.Plane_cache.stats cache in
+  checki "re-inject does not grow" 2 stats.Serve.Plane_cache.entries;
+  checki "re-inject does not evict" 1 stats.Serve.Plane_cache.evictions
+
+(* Regression: the pre-fix fingerprint digested schemas joined with [';']
+   and facts rendered with [Fact.to_string] joined with ['\n'] — but
+   [Value.pp] prints string values raw, so a string containing the
+   rendering of a fact boundary made two different databases hash to the
+   same key, and the cache would serve one database's plane for the other.
+   The length-prefixed scheme keys them apart. *)
+let test_fingerprint_unambiguous () =
+  let schema =
+    Relational.Schema.make ~name:"R" ~arity:1 ~key_len:1
+  in
+  (* One fact whose string value embeds ")\nR(" versus the two facts that
+     rendering splits into. *)
+  let one_fact =
+    Relational.Database.of_facts [ schema ]
+      [ Relational.Fact.make "R" [ Relational.Value.Str "x)\nR(y" ] ]
+  in
+  let two_facts =
+    Relational.Database.of_facts [ schema ]
+      [
+        Relational.Fact.make "R" [ Relational.Value.Str "x" ];
+        Relational.Fact.make "R" [ Relational.Value.Str "y" ];
+      ]
+  in
+  (* The pair is a genuine collision witness for the old scheme: the raw
+     line renderings are byte-identical. *)
+  let old_rendering db =
+    String.concat "\n"
+      (List.map Relational.Fact.to_string (Relational.Database.facts db))
+  in
+  checks "the pair collides under the raw rendering"
+    (old_rendering one_fact) (old_rendering two_facts);
+  checkb "the databases really differ" false
+    (Relational.Database.equal one_fact two_facts);
+  checkb "length-prefixed fingerprints differ" false
+    (String.equal
+       (Serve.Plane_cache.fingerprint one_fact)
+       (Serve.Plane_cache.fingerprint two_facts));
+  (* And the rolling algebra agrees with the from-scratch computation: the
+     update path's re-key is the same key a cold [load] would compute. *)
+  let f = Relational.Fact.make "R" [ Relational.Value.Str "z" ] in
+  let grown = Relational.Database.add two_facts f in
+  let acc, _ = Serve.Plane_cache.Fingerprint.of_db two_facts in
+  let rolled =
+    Serve.Plane_cache.Fingerprint.finish grown
+      ~facts_xor:
+        (Serve.Plane_cache.Fingerprint.xor acc
+           (Serve.Plane_cache.Fingerprint.fact_digest f))
+  in
+  checks "rolled key = from-scratch key" (Serve.Plane_cache.fingerprint grown)
+    rolled
 
 (* ------------------------------------------------------------------ *)
 (* Retry *)
@@ -637,6 +755,89 @@ let test_daemon_corrupt_plane () =
   checkb "unsanitized daemon admits the corrupt plane" true
     (List.mem code [ Protocol.Ok_code; Protocol.Not_certain ])
 
+(* The update op end-to-end: a patched plane answers subsequent queries (the
+   answer actually flips when the witness fact is retracted), the rolling
+   fingerprint is stable under retract-then-reinsert, an evicted entry falls
+   back to recompiling, and every error path is structured. *)
+let test_daemon_update () =
+  (* A generous virtual clock keeps the admission bucket full: this test is
+     about the update path, not shedding. *)
+  let now = ref 0.0 in
+  let clock () =
+    now := !now +. 1.0;
+    !now
+  in
+  let d = Serve.Daemon.create ~clock base_config in
+  expect_code d "load" Protocol.Ok_code
+    {|{"op": "load", "name": "db1", "facts": "R(1 | 2)\nR(1 | 3)\nR(2 | 2)"}|};
+  let certain () =
+    let code, j =
+      handle d {|{"op": "certain", "query": "R(x | y) R(y | x)", "db": "db1"}|}
+    in
+    (Protocol.code_name code, str_field "cache" j)
+  in
+  checks "baseline is certain" "ok" (fst (certain ()));
+  (* Retract the reflexive fact — the only repair-independent witness, so
+     the answer must flip if the patched plane is really what gets served. *)
+  let code, j =
+    handle d {|{"op": "update", "db": "db1", "retract": "R(2 | 2)"}|}
+  in
+  checks "update ok" "ok" (Protocol.code_name code);
+  checks "cache patched" "patched" (str_field "cache" j);
+  checki "one retraction" 1 (int_field "retracted" j);
+  checki "no insertions" 0 (int_field "inserted" j);
+  checki "two facts left" 2 (int_field "facts" j);
+  let fp_without = str_field "fingerprint" j in
+  let answer, cache = certain () in
+  checks "patched plane flips the answer" "not-certain" answer;
+  checks "patched plane serves from cache" "hit" cache;
+  (* Reinsert, retract again: the rolling fingerprint must return to the
+     same key both times — the XOR accumulator is self-inverse. *)
+  let _, j =
+    handle d {|{"op": "update", "db": "db1", "insert": "R(2 | 2)"}|}
+  in
+  checkb "reinsert re-keys" false (str_field "fingerprint" j = fp_without);
+  checks "reinsert restores the answer" "ok" (fst (certain ()));
+  let _, j =
+    handle d {|{"op": "update", "db": "db1", "retract": "R(2 | 2)"}|}
+  in
+  checks "rolling key is stable" fp_without (str_field "fingerprint" j);
+  (* A net no-op delta (retracting an absent fact) patches nothing. *)
+  let code, j =
+    handle d {|{"op": "update", "db": "db1", "retract": "R(7 | 7)"}|}
+  in
+  checks "no-op update ok" "ok" (Protocol.code_name code);
+  checki "no-op retracts nothing" 0 (int_field "retracted" j);
+  checks "no-op keeps the key" fp_without (str_field "fingerprint" j);
+  checkb "patched planes counted" true
+    (Obs.Metrics.counter_value (Serve.Daemon.metrics d) "serve.plane.patched"
+    >= 3);
+  (* Error paths, loop alive after each. *)
+  expect_code d "unknown db" Protocol.Unknown_db
+    {|{"op": "update", "db": "nope", "insert": "R(1 | 1)"}|};
+  expect_code d "malformed facts" Protocol.Bad_db
+    {|{"op": "update", "db": "db1", "insert": "gibberish"}|};
+  expect_code d "key-marker mismatch" Protocol.Bad_db
+    {|{"op": "update", "db": "db1", "insert": "R(1 2 |)"}|};
+  expect_code d "empty delta" Protocol.Bad_request
+    {|{"op": "update", "db": "db1"}|};
+  expect_code d "still alive" Protocol.Ok_code {|{"op": "ping"}|};
+  (* Eviction fallback: with a one-plane cache, loading a second database
+     evicts the first plane; updating the first name then recompiles from
+     the updated database instead of patching. *)
+  let d =
+    Serve.Daemon.create ~clock
+      { base_config with Serve.Daemon.plane_capacity = 1 }
+  in
+  expect_code d "load a" Protocol.Ok_code
+    {|{"op": "load", "name": "a", "facts": "R(1 | 2)"}|};
+  expect_code d "load b" Protocol.Ok_code
+    {|{"op": "load", "name": "b", "facts": "R(5 | 6)"}|};
+  let code, j = handle d {|{"op": "update", "db": "a", "insert": "R(9 | 9)"}|} in
+  checks "evicted update ok" "ok" (Protocol.code_name code);
+  checks "evicted entry recompiles" "recompiled" (str_field "cache" j);
+  checki "recompiled facts" 2 (int_field "facts" j)
+
 let test_request_isolation () =
   (* A request that dies mid-flight merges nothing beyond its own counters:
      the fault response and the successful one see disjoint per-request
@@ -785,13 +986,21 @@ let () =
         ] );
       ("ingest", [ Alcotest.test_case "structured errors" `Quick test_ingest ]);
       ( "admission",
-        [ Alcotest.test_case "token bucket" `Quick test_admission ] );
+        [
+          Alcotest.test_case "token bucket" `Quick test_admission;
+          Alcotest.test_case "backwards clock" `Quick
+            test_admission_backwards_clock;
+        ] );
       ( "plane-cache",
         [
           Alcotest.test_case "lru + fingerprint" `Quick test_plane_cache;
           Alcotest.test_case "sanitize-on-insert" `Quick
             test_plane_cache_sanitize;
           Alcotest.test_case "stale eviction" `Quick test_plane_cache_stale;
+          Alcotest.test_case "inject capacity" `Quick
+            test_plane_cache_inject_capacity;
+          Alcotest.test_case "unambiguous fingerprint" `Quick
+            test_fingerprint_unambiguous;
         ] );
       ("retry", [ Alcotest.test_case "backoff + transience" `Quick test_retry ]);
       ( "metrics",
@@ -805,6 +1014,7 @@ let () =
             test_daemon_fault_and_pressure;
           Alcotest.test_case "analyze op" `Quick test_daemon_analyze;
           Alcotest.test_case "corrupt plane" `Quick test_daemon_corrupt_plane;
+          Alcotest.test_case "update op" `Quick test_daemon_update;
           Alcotest.test_case "request isolation" `Quick test_request_isolation;
         ] );
       ("soak", [ Alcotest.test_case "chaos soak" `Quick test_soak ]);

@@ -127,6 +127,43 @@ let test_session_lifecycle () =
   Alcotest.(check bool) "repairing the db restores certainty" true
     (fst (Session.certain s''))
 
+(* The batch-delta path: once the plane is forced, [update] patches it
+   with [Compiled.apply_delta] instead of recompiling — the patched
+   session must answer exactly like a session created fresh on the
+   updated database, and the patched plane must decompile to it. *)
+let test_session_update () =
+  let db = db_of q3 [ fact [ 1; 2 ]; fact [ 2; 3 ]; fact [ 5; 5 ] ] in
+  let s = Session.create q3 db in
+  (* Force the plane so the update takes the patch path, not a compile. *)
+  ignore (Session.compiled s);
+  let delta =
+    [
+      Relational.Delta.Insert (fact [ 1; 9 ]);
+      Relational.Delta.Retract (fact [ 5; 5 ]);
+    ]
+  in
+  let s' = Session.update s delta in
+  let new_db = Relational.Delta.apply db delta in
+  Alcotest.(check bool) "patched plane decompiles to the updated db" true
+    (Relational.Database.equal
+       (Relational.Compiled.decompile (Session.compiled s'))
+       new_db);
+  let fresh = Session.create q3 new_db in
+  Alcotest.(check bool) "patched session agrees with a fresh one" true
+    (fst (Session.certain s') = fst (Session.certain fresh));
+  Alcotest.(check bool) "memo invalidated: answer reflects the delta" false
+    (fst (Session.certain s') = fst (Session.certain s));
+  (* A net no-op delta keeps the answer (and the classification). *)
+  let s'' =
+    Session.update s'
+      [
+        Relational.Delta.Retract (fact [ 7; 7 ]);
+        Relational.Delta.Insert (fact [ 1; 9 ]);
+      ]
+  in
+  Alcotest.(check bool) "no-op delta keeps the answer" true
+    (fst (Session.certain s'') = fst (Session.certain s'))
+
 let test_session_certificate () =
   let s = Session.create q3 (db_of q3 [ fact [ 1; 2 ]; fact [ 2; 3 ] ]) in
   (match Session.certificate s with
@@ -235,6 +272,7 @@ let () =
       ( "session",
         [
           Alcotest.test_case "lifecycle" `Quick test_session_lifecycle;
+          Alcotest.test_case "batch update" `Quick test_session_update;
           Alcotest.test_case "certificate" `Quick test_session_certificate;
           Alcotest.test_case "estimate" `Quick test_session_estimate;
         ] );

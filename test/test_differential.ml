@@ -299,12 +299,17 @@ let test_bench_report_round_trip () =
             speedup_vs_rounds = None;
             speedup_e2e = Some 1.75;
             plane_equivalent = Some true;
+            delta_us = Some 12.5;
+            delta_speedup = Some 80.0;
+            delta_equivalent = Some true;
           };
         ];
       agreement = true;
       plane_equivalence = Some true;
       geomean_speedup = Some 2.5000000000000004;
       geomean_e2e = Some 1.75;
+      delta_equivalence = Some true;
+      geomean_delta = Some 80.0;
     }
   in
   match Benchkit.Report.validate_round_trip report with
