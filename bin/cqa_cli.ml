@@ -442,38 +442,64 @@ let print_explain budget (attempts : Core.Solver.attempt list) =
       | sites -> Format.fprintf ppf " (%a)" Harness.Budget.pp_site_breakdown sites)
     (Harness.Budget.steps_by_site budget)
 
-(* Bridge the chain's attempts into the metrics registry: per-tier latency
-   and step histograms plus status counters, alongside the per-site tick
-   counters the budget sink already recorded. Names are documented in the
-   manual's "Observability" section. *)
-let record_attempt_metrics metrics outcome (attempts : Core.Solver.attempt list) =
+(* One journal event per non-decided attempt plus the exhaustion and
+   completion events — the CLI-side mirror of the daemon's per-request
+   journal, so a batch run and a served run produce the same event kinds. *)
+let journal_attempts journal outcome (attempts : Core.Solver.attempt list)
+    budget =
   List.iter
     (fun (a : Core.Solver.attempt) ->
-      let tier = Format.asprintf "%a" Core.Solver.pp_tier a.Core.Solver.tier in
-      Obs.Metrics.incr metrics
-        (Printf.sprintf "solver.attempt.%s.%s" tier
-           (Core.Solver.status_label a.Core.Solver.status));
-      Obs.Metrics.observe metrics
-        (Printf.sprintf "solver.tier.%s.ms" tier)
-        (a.Core.Solver.wall_s *. 1000.);
-      Obs.Metrics.observe metrics
-        ~bounds:[ 1.; 10.; 100.; 1_000.; 10_000.; 100_000.; 1_000_000. ]
-        (Printf.sprintf "solver.tier.%s.steps" tier)
-        (float_of_int a.Core.Solver.steps))
+      match a.Core.Solver.status with
+      | Core.Solver.Attempt_decided _ -> ()
+      | status ->
+          Obs.Journal.log journal "tier.fallback"
+            [
+              ( "tier",
+                Obs.Trace.String
+                  (Format.asprintf "%a" Core.Solver.pp_tier a.Core.Solver.tier)
+              );
+              ( "algorithm",
+                Obs.Trace.String
+                  (Format.asprintf "%a" Core.Solver.pp_algorithm
+                     a.Core.Solver.algorithm) );
+              ("status", Obs.Trace.String (Core.Solver.status_label status));
+              ("steps", Obs.Trace.Int a.Core.Solver.steps);
+            ])
     attempts;
-  Obs.Metrics.incr metrics
-    ("solver.outcome." ^ Core.Solver.outcome_label outcome)
+  (match outcome with
+  | Harness.Outcome.Timeout | Harness.Outcome.Budget_exhausted ->
+      let hottest =
+        match Harness.Budget.hottest_site budget with
+        | None -> []
+        | Some (site, n) ->
+            [ ("site", Obs.Trace.String site); ("site_steps", Obs.Trace.Int n) ]
+      in
+      Obs.Journal.log journal "budget.exhausted"
+        (("steps", Obs.Trace.Int (Harness.Budget.steps budget)) :: hottest)
+  | _ -> ());
+  Obs.Journal.log journal "request.completed"
+    [
+      ("op", Obs.Trace.String "certain");
+      ("outcome", Obs.Trace.String (Core.Solver.outcome_label outcome));
+      ("steps", Obs.Trace.Int (Harness.Budget.steps budget));
+    ]
 
 let certain_run query db_path k exact_only timeout max_steps estimate_flag trials
     seed verify verify_certificate no_sanitize chaos_corrupt trace_out
-    metrics_out explain =
+    trace_capacity journal_out metrics_out explain =
   guard @@ fun () ->
   if chaos_corrupt then
     Relational.Compiled.set_test_corruption
       (Some Relational.Compiled.Unsafe.corrupt_first_cell_out_of_domain);
+  if trace_capacity < 1 then
+    invalid_arg "--trace-capacity must be a positive integer";
   with_db db_path @@ fun db ->
       let metrics = Option.map (fun _ -> Obs.Metrics.create ()) metrics_out in
-      let trace = Option.map (fun _ -> Obs.Trace.create ()) trace_out in
+      let trace =
+        Option.map
+          (fun _ -> Obs.Trace.create ~capacity:trace_capacity ())
+          trace_out
+      in
       let budget =
         Harness.Budget.make ?timeout ?max_steps
           ?sink:(Option.map Obs.Metrics.tick_sink metrics) ()
@@ -507,17 +533,28 @@ let certain_run query db_path k exact_only timeout max_steps estimate_flag trial
           Analysis.Obs_codec.write path Analysis.Obs_codec.trace_to_string
             {
               Analysis.Obs_codec.query = Some (Qlang.Query.to_string query);
+              dropped = Obs.Trace.dropped tr;
               spans = Obs.Trace.spans tr;
             };
           if path <> "-" then Format.eprintf "wrote trace to %s@." path
       | _ -> ());
       (match (metrics, metrics_out) with
       | Some m, Some path ->
-          record_attempt_metrics m outcome attempts;
+          Core.Solver.record_metrics m outcome attempts;
           Analysis.Obs_codec.write path Analysis.Obs_codec.metrics_to_string
             (Obs.Metrics.snapshot m);
           if path <> "-" then Format.eprintf "wrote metrics to %s@." path
       | _ -> ());
+      (match journal_out with
+      | Some path ->
+          let journal =
+            Obs.Journal.create ~render:Analysis.Obs_codec.event_to_string path
+          in
+          Fun.protect
+            ~finally:(fun () -> Obs.Journal.close journal)
+            (fun () -> journal_attempts journal outcome attempts budget);
+          Format.eprintf "wrote journal to %s@." path
+      | None -> ());
       (match outcome with
       | Harness.Outcome.Decided (answer, algorithm) ->
           Format.printf "CERTAIN: %b (via %a)@." answer Core.Solver.pp_algorithm
@@ -644,6 +681,29 @@ let certain_cmd =
              it fell back, how long, where its budget steps went) and write \
              the schema-versioned JSON trace to $(docv); '-' writes to stdout.")
   in
+  let trace_capacity_arg =
+    Arg.(
+      value
+      & opt int Obs.Trace.default_capacity
+      & info [ "trace-capacity" ] ~docv:"N"
+          ~doc:
+            "Span-ring capacity of the $(b,--trace) recorder: once $(docv) \
+             spans are retained the oldest are overwritten and the trace \
+             document reports the count as $(b,dropped).")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Append schema-versioned JSONL events for the run to $(docv) \
+             (created if missing): one $(b,tier.fallback) event per solver \
+             tier that did not decide, a $(b,budget.exhausted) event naming \
+             the hottest tick site when the budget ran out, and a final \
+             $(b,request.completed) event. The same event schema the serve \
+             daemon journals; aggregate with $(b,cqa obs report).")
+  in
   let metrics_arg =
     Arg.(
       value
@@ -689,7 +749,8 @@ let certain_cmd =
       const certain_run $ query_arg $ db_arg $ k_arg $ exact_arg $ timeout_arg
       $ max_steps_arg $ estimate_arg $ trials_arg $ seed_arg $ verify_arg
       $ verify_certificate_arg $ no_sanitize_arg $ chaos_corrupt_arg
-      $ trace_arg $ metrics_arg $ explain_arg)
+      $ trace_arg $ trace_capacity_arg $ journal_arg $ metrics_arg
+      $ explain_arg)
 
 (* ------------------------------------------------------------------ *)
 (* tripath *)
@@ -996,7 +1057,7 @@ let estimate_cmd =
 let serve_run pipe socket fast_timeout heavy_timeout fast_max_steps
     heavy_max_steps trials retries backoff max_facts planes capacity refill
     chaos_fail chaos_delay chaos_pressure chaos_seed chaos_sites chaos_corrupt
-    no_sanitize seed k =
+    no_sanitize seed k trace_capacity journal_out =
   guard @@ fun () ->
   if chaos_corrupt then
     Relational.Compiled.set_test_corruption
@@ -1036,9 +1097,17 @@ let serve_run pipe socket fast_timeout heavy_timeout fast_max_steps
       seed;
       k;
       sanitize = not no_sanitize;
+      trace_capacity;
     }
   in
-  let daemon = Serve.Daemon.create config in
+  let journal =
+    Option.map
+      (Obs.Journal.create ~render:Analysis.Obs_codec.event_to_string)
+      journal_out
+  in
+  let finally () = Option.iter Obs.Journal.close journal in
+  Fun.protect ~finally @@ fun () ->
+  let daemon = Serve.Daemon.create ?journal config in
   match (pipe, socket) with
   | true, Some _ ->
       Format.eprintf "error: pass either --pipe or --socket, not both@.";
@@ -1202,6 +1271,28 @@ let serve_cmd =
       value & opt int dc.Serve.Daemon.k
       & info [ "k" ] ~docv:"K" ~doc:"Fixpoint parameter of Cert_k.")
   in
+  let trace_capacity_arg =
+    Arg.(
+      value & opt int dc.Serve.Daemon.trace_capacity
+      & info [ "trace-capacity" ] ~docv:"N"
+          ~doc:
+            "Span-ring capacity of the request trace recorder (oldest spans \
+             are overwritten once full; the $(b,trace) op reports the count \
+             as $(b,dropped)). 0 disables tracing: no spans are recorded and \
+             responses carry no $(b,trace_id) field.")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Append schema-versioned JSONL events to $(docv) (created if \
+             missing, size-rotated to $(docv).1): admission verdicts, plane \
+             compiles / patches / rejections, tier fallbacks, budget \
+             exhaustions with the hottest tick site, and one completion \
+             event per request. Aggregate with $(b,cqa obs report).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the fault-tolerant answering daemon (newline-framed JSON)."
@@ -1231,7 +1322,113 @@ let serve_cmd =
       $ retries_arg $ backoff_arg $ max_facts_arg $ planes_arg $ capacity_arg
       $ refill_arg $ chaos_fail_arg $ chaos_delay_arg $ chaos_pressure_arg
       $ chaos_seed_arg $ chaos_sites_arg $ chaos_corrupt_arg $ no_sanitize_arg
-      $ seed_arg $ k_arg)
+      $ seed_arg $ k_arg $ trace_capacity_arg $ journal_arg)
+
+(* ------------------------------------------------------------------ *)
+(* obs *)
+
+let obs_report_run journal_path trace_path json top =
+  guard @@ fun () ->
+  if top < 1 then invalid_arg "--top must be a positive integer";
+  let report =
+    match (journal_path, trace_path) with
+    | None, None ->
+        Format.eprintf "error: pass --journal FILE or --trace FILE@.";
+        None
+    | Some _, Some _ ->
+        Format.eprintf "error: pass either --journal or --trace, not both@.";
+        None
+    | Some path, None ->
+        (* Strict line-by-line decode: a single malformed or unknown-kind
+           line fails the whole report with its line number — a journal
+           that does not decode is a bug, not something to skip over. *)
+        let events =
+          read_file path |> String.split_on_char '\n'
+          |> List.mapi (fun i line -> (i + 1, line))
+          |> List.filter_map (fun (n, line) ->
+                 if String.trim line = "" then None
+                 else
+                   match Analysis.Obs_codec.event_of_string line with
+                   | Ok e -> Some e
+                   | Error msg ->
+                       invalid_arg (Printf.sprintf "%s:%d: %s" path n msg))
+        in
+        Some (Analysis.Obs_report.of_events ~top events)
+    | None, Some path -> (
+        match Analysis.Obs_codec.trace_of_string (read_file path) with
+        | Ok tr -> Some (Analysis.Obs_report.of_trace ~top tr)
+        | Error msg -> invalid_arg (Printf.sprintf "%s: %s" path msg))
+  in
+  match report with
+  | None -> exit_error
+  | Some r ->
+      if json then
+        print_endline (Analysis.Json.to_string (Analysis.Obs_report.to_json r))
+      else Format.printf "%a" Analysis.Obs_report.pp r;
+      0
+
+let obs_cmd =
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Aggregate the JSONL event journal at $(docv) (written by \
+             $(b,cqa serve --journal) or $(b,cqa certain --journal)).")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Aggregate the JSON trace document at $(docv) (written by \
+             $(b,cqa certain --trace) or returned by the serve $(b,trace) \
+             op).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the aggregated report as a JSON document on stdout.")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Size of the slowest-requests table.")
+  in
+  let report_cmd =
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:
+           "Aggregate an event journal or a trace document into per-tier \
+            latency quantiles, per-site step profiles, admission and cache \
+            rates, and a slowest-requests table."
+         ~man:
+           [
+             `S Manpage.s_description;
+             `P
+               "Reads either a $(b,--journal) JSONL file (strictly: every \
+                line must decode as a schema-versioned event, and a bad line \
+                fails the report with its line number) or a $(b,--trace) \
+                document, and prints one aggregated report: request counts, \
+                per-tier latency quantiles estimated from histogram buckets \
+                (the same estimator the serve $(b,stats) op uses online), \
+                per-site budget step profiles, admission and plane-cache \
+                rates, tier fallback and budget exhaustion counts, and the \
+                top-N slowest requests.";
+             `S Manpage.s_exit_status;
+             `P "0 — report produced.";
+             `P "2 — usage error, unreadable input, or a malformed line.";
+           ])
+      Term.(const obs_report_run $ journal_arg $ trace_arg $ json_arg $ top_arg)
+  in
+  Cmd.group
+    (Cmd.info "obs"
+       ~doc:"Offline analysis of observability artifacts (journals, traces).")
+    [ report_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* bench *)
@@ -1335,6 +1532,53 @@ let delta_bench_run profile seed output budget_s =
   then 0
   else exit_error
 
+(* The observability-overhead profile: the same seeded solve under a no-obs
+   control and three instrumented variants (sharded metrics sink, journal,
+   both); the report carries the worst instrumented-vs-control slowdown and
+   fails the run when it clears the acceptance bar. *)
+let obs_bench_run profile seed output budget_s =
+  let report = Benchkit.Obs_suite.run ~profile ~seed ~budget_s () in
+  let ms (c : Benchkit.Report.case) alg =
+    match
+      List.find_opt (fun r -> r.Benchkit.Report.algorithm = alg) c.Benchkit.Report.runs
+    with
+    | Some r when r.Benchkit.Report.status = "ok" ->
+        Printf.sprintf "%.3f" r.Benchkit.Report.median_ms
+    | Some _ -> "timeout"
+    | None -> "-"
+  in
+  Format.printf "%-16s %8s %12s %12s %12s %14s %10s@." "case" "facts"
+    "control(ms)" "metrics(ms)" "journal(ms)" "combined(ms)" "overhead";
+  List.iter
+    (fun (c : Benchkit.Report.case) ->
+      Format.printf "%-16s %8d %12s %12s %12s %14s %10s@." c.Benchkit.Report.name
+        c.Benchkit.Report.n_facts (ms c "control") (ms c "sharded-metrics")
+        (ms c "journal")
+        (ms c "metrics+journal")
+        (match c.Benchkit.Report.obs_overhead_pct with
+        | Some p -> Printf.sprintf "%+.1f%%" p
+        | None -> "-"))
+    report.Benchkit.Report.cases;
+  (match
+     (report.Benchkit.Report.obs_overhead_pct, report.Benchkit.Report.obs_bar_pct)
+   with
+  | Some p, Some bar ->
+      Format.printf "worst observability overhead: %+.1f%% (bar %.1f%%)@." p bar
+  | _ -> ());
+  Format.printf "verdict agreement across variants: %b@."
+    report.Benchkit.Report.agreement;
+  (match Benchkit.Report.validate_round_trip report with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("benchmark report: " ^ msg));
+  let output = if output = "BENCH_certk.json" then "BENCH_obs.json" else output in
+  Benchkit.Report.write output report;
+  Format.printf "wrote %s@." output;
+  if
+    report.Benchkit.Report.agreement
+    && report.Benchkit.Report.obs_within_bar <> Some false
+  then 0
+  else exit_error
+
 let bench_run profile seed output budget_s catalog =
   guard @@ fun () ->
   if profile = "serve-throughput" then serve_bench_run seed output
@@ -1342,12 +1586,17 @@ let bench_run profile seed output budget_s catalog =
     delta_bench_run Benchkit.Delta_suite.Default seed output budget_s
   else if profile = "delta-smoke" then
     delta_bench_run Benchkit.Delta_suite.Smoke seed output budget_s
+  else if profile = "obs-overhead" then
+    obs_bench_run Benchkit.Obs_suite.Default seed output budget_s
+  else if profile = "obs-overhead-smoke" then
+    obs_bench_run Benchkit.Obs_suite.Smoke seed output budget_s
   else
   match Benchkit.Certk_suite.profile_of_string profile with
   | None ->
       Format.eprintf
         "error: unknown profile %S (expected smoke, default, \
-         serve-throughput, delta-update or delta-smoke)@."
+         serve-throughput, delta-update, delta-smoke, obs-overhead or \
+         obs-overhead-smoke)@."
         profile;
       exit_error
   | Some profile ->
@@ -1419,10 +1668,13 @@ let bench_cmd =
             "Workload profile: $(b,smoke) (tiny, CI-friendly), $(b,default), \
              $(b,serve-throughput) (drive the serve daemon in-process and \
              measure requests/sec by tier plus shed/downgrade counts; writes \
-             BENCH_serve.json), or $(b,delta-update) / $(b,delta-smoke) \
+             BENCH_serve.json), $(b,delta-update) / $(b,delta-smoke) \
              (incremental plane maintenance vs full recompile after a fact \
              delta, with from-scratch equivalence oracles; writes \
-             BENCH_delta.json).")
+             BENCH_delta.json), or $(b,obs-overhead) / \
+             $(b,obs-overhead-smoke) (sharded-metrics and journal cost vs a \
+             no-obs control, failing above a 5% bar; writes \
+             BENCH_obs.json).")
   in
   let seed_arg =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload generation seed.")
@@ -1472,6 +1724,7 @@ let main_cmd =
       atlas_cmd;
       estimate_cmd;
       serve_cmd;
+      obs_cmd;
       bench_cmd;
     ]
 

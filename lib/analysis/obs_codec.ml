@@ -2,6 +2,7 @@ let schema_version = 1
 
 type trace = {
   query : string option;
+  dropped : int;
   spans : Obs.Trace.span list;
 }
 
@@ -29,12 +30,15 @@ let encode_span (s : Obs.Trace.span) =
 
 let encode_trace t =
   Json.Obj
-    [
-      ("schema_version", Json.Int schema_version);
-      ("kind", Json.String "trace");
-      ("query", match t.query with None -> Json.Null | Some q -> Json.String q);
-      ("spans", Json.List (List.map encode_span t.spans));
-    ]
+    ([
+       ("schema_version", Json.Int schema_version);
+       ("kind", Json.String "trace");
+       ("query", match t.query with None -> Json.Null | Some q -> Json.String q);
+     ]
+    (* Emitted only when spans were actually evicted from the recorder's
+       ring, so complete traces keep their pre-ring byte layout. *)
+    @ (if t.dropped > 0 then [ ("dropped", Json.Int t.dropped) ] else [])
+    @ [ ("spans", Json.List (List.map encode_span t.spans)) ])
 
 let encode_histogram (h : Obs.Metrics.histogram_snapshot) =
   Json.Obj
@@ -132,9 +136,18 @@ let decode_trace j =
     | Some _ -> Error "ill-typed field \"query\""
     | None -> Error "missing field \"query\""
   in
+  let* dropped =
+    match Json.member "dropped" j with
+    | None -> Ok 0
+    | Some v -> (
+        match Json.to_int_opt v with
+        | Some n when n >= 0 -> Ok n
+        | Some _ -> Error "field \"dropped\" must be non-negative"
+        | None -> Error "ill-typed field \"dropped\"")
+  in
   let* spans = field "spans" Json.to_list_opt j in
   let* spans = map_m decode_span spans in
-  Ok { query; spans }
+  Ok { query; dropped; spans }
 
 let decode_histogram j =
   let* bounds = field "bounds" Json.to_list_opt j in
@@ -189,6 +202,57 @@ let decode_metrics j =
       histograms
   in
   Ok { Obs.Metrics.counters; histograms }
+
+(* Journal events — one compact object per JSONL line. The version field is
+   "v", not "schema_version": journal lines are written millions of times,
+   the envelope documents are written once. *)
+
+let journal_version = 1
+
+let encode_event (e : Obs.Journal.event) =
+  Json.Obj
+    [
+      ("v", Json.Int journal_version);
+      ("seq", Json.Int e.Obs.Journal.seq);
+      ("t_s", Json.Float e.Obs.Journal.t_s);
+      ("kind", Json.String e.Obs.Journal.kind);
+      ( "fields",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, encode_value v)) e.Obs.Journal.fields) );
+    ]
+
+let decode_event j =
+  let* v = field "v" Json.to_int_opt j in
+  let* () =
+    if v = journal_version then Ok ()
+    else Error (Printf.sprintf "unsupported journal version %d" v)
+  in
+  let* seq = field "seq" Json.to_int_opt j in
+  let* () = if seq >= 0 then Ok () else Error "negative event seq" in
+  let* t_s = field "t_s" Json.to_float_opt j in
+  let* kind = field "kind" Json.to_string_opt j in
+  let* () =
+    if Obs.Journal.known_kind kind then Ok ()
+    else Error (Printf.sprintf "unknown event kind %S" kind)
+  in
+  let* fields =
+    match Json.member "fields" j with
+    | Some (Json.Obj kvs) ->
+        map_m
+          (fun (k, v) ->
+            let* v = decode_value v in
+            Ok (k, v))
+          kvs
+    | Some _ -> Error "ill-typed field \"fields\""
+    | None -> Error "missing field \"fields\""
+  in
+  Ok { Obs.Journal.seq; t_s; kind; fields }
+
+let event_to_string e = Json.to_string (encode_event e)
+
+let event_of_string s =
+  let* j = Json.of_string s in
+  decode_event j
 
 (* Validation *)
 

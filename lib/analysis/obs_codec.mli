@@ -28,9 +28,14 @@
 val schema_version : int
 
 (** A trace document: the closed spans of one recorder, optionally tagged
-    with the query they explain. *)
+    with the query they explain. [dropped] counts spans evicted from the
+    recorder's bounded ring; it is encoded (as a [dropped] field between
+    [query] and [spans]) only when positive, so complete traces keep their
+    pre-ring byte layout, and decodes to 0 when absent — truncation is
+    visible exactly when it happened. *)
 type trace = {
   query : string option;
+  dropped : int;
   spans : Obs.Trace.span list;
 }
 
@@ -45,6 +50,24 @@ val trace_of_string : string -> (trace, string) result
     intervals (a child starts no earlier than its parent and ends no later,
     up to a float-printing epsilon). *)
 val validate_trace : trace -> (unit, string) result
+
+(** {2 Journal events}
+
+    One compact object per JSONL line in an {!Obs.Journal} file:
+    {v
+    { "v": 1, "seq": <int>, "t_s": <float>, "kind": <kind>,
+      "fields": { <key>: <bool|int|float|string>, ... } }
+    v}
+    The decoder is strict: unknown versions, unknown kinds (the vocabulary
+    is {!Obs.Journal.kinds}), negative sequence numbers, and structured
+    field values are all errors. [Obs.Journal.create ~render:event_to_string]
+    is the writing half of the contract. *)
+
+val journal_version : int
+val encode_event : Obs.Journal.event -> Json.t
+val decode_event : Json.t -> (Obs.Journal.event, string) result
+val event_to_string : Obs.Journal.event -> string
+val event_of_string : string -> (Obs.Journal.event, string) result
 
 val encode_metrics : Obs.Metrics.snapshot -> Json.t
 val decode_metrics : Json.t -> (Obs.Metrics.snapshot, string) result

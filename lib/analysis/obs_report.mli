@@ -1,0 +1,57 @@
+(** Offline aggregation of observability artifacts — the analysis half of
+    [cqa obs report].
+
+    Two sources feed the same report shape: a {e journal} (the
+    [Obs.Journal] events of a serve run or a one-shot solve) or a {e trace}
+    document (an [Obs_codec.trace]). Latency quantiles are estimated from
+    histogram buckets via {!Obs.Metrics.quantile} — the same estimator the
+    serve [stats] op uses online, so the two agree by construction. *)
+
+type tier_latency = {
+  tl_tier : string;
+  tl_count : int;
+  tl_mean_ms : float;
+  tl_p50_ms : float;
+  tl_p90_ms : float;
+  tl_p99_ms : float;
+}
+
+type slow = {
+  sl_seq : int;
+      (** Journal sequence number, or the root span id for traces. *)
+  sl_op : string;
+  sl_tier : string;
+  sl_code : string;
+  sl_ms : float;
+}
+
+type t = {
+  source : string;  (** ["journal"] or ["trace"]. *)
+  events : int;  (** Journal events (or trace spans) consumed. *)
+  requests : int;
+  tiers : tier_latency list;  (** Sorted by tier name. *)
+  sites : (string * int) list;  (** Budget steps by site, hottest first. *)
+  admission : (string * int) list;  (** admitted/downgraded/shed counts. *)
+  cache : (string * int) list;  (** hit/miss/compiled/patched/... counts. *)
+  fallbacks : int;  (** [tier.fallback] events. *)
+  exhausted : int;  (** [budget.exhausted] events. *)
+  slowest : slow list;  (** At most [top], slowest first. *)
+  dropped_spans : int;  (** Ring evictions (trace source only). *)
+}
+
+(** Aggregate journal events. [request.completed] events carry the latency
+    ([ms]), tier, cache outcome, and [steps.<site>] profile; admission and
+    plane-lifecycle events feed the rate tables. [top] (default 10) bounds
+    the slowest-requests table. *)
+val of_events : ?top:int -> Obs.Journal.event list -> t
+
+(** Aggregate a trace document: root spans become requests, [tier] spans
+    feed per-tier latency histograms and the site profile, [admission] and
+    [cache] spans (when the producer emits them — the serve daemon does)
+    feed the rate tables. *)
+val of_trace : ?top:int -> Obs_codec.trace -> t
+
+val to_json : t -> Json.t
+
+(** A fixed-width human-readable rendering. *)
+val pp : Format.formatter -> t -> unit

@@ -165,6 +165,7 @@ let run_case ~budget_s spec =
     delta_us = None;
     delta_speedup = None;
     delta_equivalent = None;
+    obs_overhead_pct = None;
   }
 
 (* Agreement is between the Cert_k variants only — they compute the same
@@ -219,4 +220,7 @@ let run ?(extra_queries = []) ~profile ~seed ~budget_s () =
     geomean_e2e = geomean (List.filter_map (fun c -> c.Report.speedup_e2e) cases);
     delta_equivalence = None;
     geomean_delta = None;
+    obs_overhead_pct = None;
+    obs_bar_pct = None;
+    obs_within_bar = None;
   }

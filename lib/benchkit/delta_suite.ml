@@ -180,6 +180,7 @@ let run_case ~budget_s spec =
     delta_us;
     delta_speedup;
     delta_equivalent = Some delta_equivalent;
+    obs_overhead_pct = None;
   }
 
 let geomean = function
@@ -226,4 +227,7 @@ let run ~profile ~seed ~budget_s () =
         (List.for_all (fun c -> c.Report.delta_equivalent <> Some false) cases);
     geomean_delta =
       geomean (List.filter_map (fun c -> c.Report.delta_speedup) cases);
+    obs_overhead_pct = None;
+    obs_bar_pct = None;
+    obs_within_bar = None;
   }

@@ -5,9 +5,11 @@ module Json = Analysis.Json
    "plane_equivalent"; summary "plane_equivalence", "geomean_e2e");
    v4 added the incremental-maintenance split (per-case "delta_us",
    "delta_speedup", "delta_equivalent"; summary "delta_equivalence",
-   "geomean_delta"). The decoder still accepts v1–v3 documents, reading the
-   newer fields as absent ([None]). *)
-let schema_version = 4
+   "geomean_delta"); v5 added the observability-overhead split (per-case
+   "obs_overhead_pct"; summary "obs_overhead_pct", "obs_bar_pct",
+   "obs_within_bar"). The decoder still accepts v1–v4 documents, reading
+   the newer fields as absent ([None]). *)
+let schema_version = 5
 
 type run = {
   algorithm : string;
@@ -34,6 +36,7 @@ type case = {
   delta_us : float option;
   delta_speedup : float option;
   delta_equivalent : bool option;
+  obs_overhead_pct : float option;
 }
 
 type t = {
@@ -47,6 +50,9 @@ type t = {
   geomean_e2e : float option;
   delta_equivalence : bool option;
   geomean_delta : float option;
+  obs_overhead_pct : float option;
+  obs_bar_pct : float option;
+  obs_within_bar : bool option;
 }
 
 (* Encoding *)
@@ -82,6 +88,7 @@ let encode_case c =
       ("delta_us", opt (fun f -> Json.Float f) c.delta_us);
       ("delta_speedup", opt (fun f -> Json.Float f) c.delta_speedup);
       ("delta_equivalent", opt (fun b -> Json.Bool b) c.delta_equivalent);
+      ("obs_overhead_pct", opt (fun f -> Json.Float f) c.obs_overhead_pct);
     ]
 
 let encode t =
@@ -105,6 +112,10 @@ let encode t =
             ( "delta_equivalence",
               opt (fun b -> Json.Bool b) t.delta_equivalence );
             ("geomean_delta", opt (fun f -> Json.Float f) t.geomean_delta);
+            ( "obs_overhead_pct",
+              opt (fun f -> Json.Float f) t.obs_overhead_pct );
+            ("obs_bar_pct", opt (fun f -> Json.Float f) t.obs_bar_pct);
+            ("obs_within_bar", opt (fun b -> Json.Bool b) t.obs_within_bar);
           ] );
     ]
 
@@ -178,6 +189,8 @@ let decode_case j =
   let* delta_us = opt_field "delta_us" Json.to_float_opt j in
   let* delta_speedup = opt_field "delta_speedup" Json.to_float_opt j in
   let* delta_equivalent = opt_field "delta_equivalent" Json.to_bool_opt j in
+  (* obs_overhead_pct is absent before v5. *)
+  let* obs_overhead_pct = opt_field "obs_overhead_pct" Json.to_float_opt j in
   Ok
     {
       name;
@@ -194,6 +207,7 @@ let decode_case j =
       delta_us;
       delta_speedup;
       delta_equivalent;
+      obs_overhead_pct;
     }
 
 let decode j =
@@ -220,6 +234,11 @@ let decode j =
     opt_field "delta_equivalence" Json.to_bool_opt summary
   in
   let* geomean_delta = opt_field "geomean_delta" Json.to_float_opt summary in
+  let* obs_overhead_pct =
+    opt_field "obs_overhead_pct" Json.to_float_opt summary
+  in
+  let* obs_bar_pct = opt_field "obs_bar_pct" Json.to_float_opt summary in
+  let* obs_within_bar = opt_field "obs_within_bar" Json.to_bool_opt summary in
   Ok
     {
       suite;
@@ -232,6 +251,9 @@ let decode j =
       geomean_e2e;
       delta_equivalence;
       geomean_delta;
+      obs_overhead_pct;
+      obs_bar_pct;
+      obs_within_bar;
     }
 
 let of_string s =

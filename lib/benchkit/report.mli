@@ -6,13 +6,13 @@
     alias) guarantees that what lands on disk parses back to the identical
     report.
 
-    Schema (version 4, one object per file; v2 added the per-run ["sites"]
+    Schema (version 5, one object per file; v2 added the per-run ["sites"]
     object, v3 the compile-phase split, v4 the incremental-maintenance
-    split — older documents still decode, with empty sites and absent
-    compile/delta fields):
+    split, v5 the observability-overhead split — older documents still
+    decode, with empty sites and absent compile/delta/obs fields):
     {v
-    { "schema_version": 4,
-      "suite": "certk-fixpoint" | "delta-update",
+    { "schema_version": 5,
+      "suite": "certk-fixpoint" | "delta-update" | "obs-overhead",
       "profile": "smoke" | "default",
       "seed": <int>,
       "cases": [
@@ -29,13 +29,17 @@
           "plane_equivalent": <bool> | null,
           "delta_us": <float> | null,
           "delta_speedup": <float> | null,
-          "delta_equivalent": <bool> | null } ],
+          "delta_equivalent": <bool> | null,
+          "obs_overhead_pct": <float> | null } ],
       "summary": { "cases": <int>, "agreement": <bool>,
                    "plane_equivalence": <bool> | null,
                    "geomean_speedup_vs_rounds": <float> | null,
                    "geomean_e2e": <float> | null,
                    "delta_equivalence": <bool> | null,
-                   "geomean_delta": <float> | null } }
+                   "geomean_delta": <float> | null,
+                   "obs_overhead_pct": <float> | null,
+                   "obs_bar_pct": <float> | null,
+                   "obs_within_bar": <bool> | null } }
     v} *)
 
 val schema_version : int
@@ -92,6 +96,13 @@ type case = {
           equal to the rebuilt one, and a patched plane passing
           {!Analysis.Sanitize.run} plus the PL109 delta-image check.
           [None] outside the [delta-update] suite. *)
+  obs_overhead_pct : float option;
+      (** Worst instrumented-vs-control slowdown of the case, in percent:
+          [max] over the instrumented variants (sharded metrics, journal,
+          both) of [(variant median / control median - 1) * 100], the
+          control being the identical solve with no observability attached.
+          [None] outside the [obs-overhead] suite and in pre-v5
+          documents. *)
 }
 
 type t = {
@@ -114,6 +125,15 @@ type t = {
           [@bench-smoke] alias, exactly like [plane_equivalence]. *)
   geomean_delta : float option;
       (** Geometric mean of the per-case [delta_speedup]s. *)
+  obs_overhead_pct : float option;
+      (** Worst per-case [obs_overhead_pct] across the suite ([None]
+          outside the [obs-overhead] suite). *)
+  obs_bar_pct : float option;
+      (** The acceptance bar the suite was run against (5% by default). *)
+  obs_within_bar : bool option;
+      (** [obs_overhead_pct <= obs_bar_pct]. A [false] here fails
+          [cqa bench] and the [@bench-smoke] alias, exactly like
+          [plane_equivalence]. *)
 }
 
 val encode : t -> Analysis.Json.t

@@ -543,3 +543,25 @@ let solve_query ?opts ?k ?exact_only ?check_certificate ?check_plane ?budget
     ?verify ?estimate_trials ?seed ?trace q db =
   solve ?k ?exact_only ?check_certificate ?check_plane ?budget ?verify
     ?estimate_trials ?seed ?trace (Dichotomy.classify ?opts q) db
+
+(* Bridge a chain's attempts into a metrics registry: per-tier latency and
+   step histograms plus status counters, alongside the per-site tick
+   counters the budget sink already recorded. Lives here (not in the
+   front-ends) so the CLI and the serve daemon meter identically under the
+   names documented in the manual's "Observability" section. *)
+let step_bounds = [ 1.; 10.; 100.; 1_000.; 10_000.; 100_000.; 1_000_000. ]
+
+let record_metrics metrics outcome (attempts : attempt list) =
+  List.iter
+    (fun (a : attempt) ->
+      let tier = Format.asprintf "%a" pp_tier a.tier in
+      Obs.Metrics.incr metrics
+        (Printf.sprintf "solver.attempt.%s.%s" tier (status_label a.status));
+      Obs.Metrics.observe metrics
+        (Printf.sprintf "solver.tier.%s.ms" tier)
+        (a.wall_s *. 1000.);
+      Obs.Metrics.observe metrics ~bounds:step_bounds
+        (Printf.sprintf "solver.tier.%s.steps" tier)
+        (float_of_int a.steps))
+    attempts;
+  Obs.Metrics.incr metrics ("solver.outcome." ^ outcome_label outcome)

@@ -251,3 +251,15 @@ val solve_query :
   Qlang.Query.t ->
   Relational.Database.t ->
   outcome * attempt list
+
+(** Bucket bounds used for the [solver.tier.<tier>.steps] histograms:
+    decades from 1 to 10^6 steps. *)
+val step_bounds : float list
+
+(** [record_metrics m outcome attempts] meters one finished chain into [m]:
+    a [solver.attempt.<tier>.<status>] counter per attempt, per-tier
+    [solver.tier.<tier>.ms] / [solver.tier.<tier>.steps] histograms, and a
+    [solver.outcome.<label>] counter. Both front-ends — [cqa certain
+    --metrics] and the serve daemon's per-request registries — record
+    through this one bridge, so their names and bucket shapes agree. *)
+val record_metrics : Obs.Metrics.t -> outcome -> attempt list -> unit

@@ -1,24 +1,36 @@
-(** A process-local metrics registry: named counters and histograms.
+(** A process-local metrics registry: named counters and histograms, sharded
+    per writer for OCaml 5 domains.
 
     Dependency-light by design (no JSON, no I/O): the registry is mutable
     state to bump from hot paths, {!snapshot} freezes it into plain data,
     and [Analysis.Obs_codec] serializes snapshots. The canonical metric
-    names are documented in the manual's "Observability" section; the two
+    names are documented in the manual's "Observability" section; the
     producers in-tree are {!tick_sink} (per-site budget tick counters,
     attached to {!Harness.Budget.make}'s [sink] so every existing tick site
-    is metered with zero new call sites) and the [cqa certain] front-end
+    is metered with zero new call sites), [Core.Solver.record_metrics]
     (per-tier latency and step histograms derived from the degradation
-    chain's attempts). *)
+    chain's attempts), and the serve daemon's per-request registries.
+
+    {b Concurrency contract.} A registry is a set of {e shards}; the plain
+    API ([incr]/[observe]/[tick_sink]/[merge]) writes to a built-in default
+    shard, and each call to {!shard} mints a fresh one. Each shard must have
+    a single writer (one domain, or one logical owner); any domain may read
+    ([snapshot]/[counter_value]) at any time. Hot-path bumps are lock-free —
+    a concurrent reader may see a bump-in-flight as slightly stale, never
+    torn — and totals are exact once the shard's writer has been joined.
+    {!merge_shards} folds the extra shards back into the default one at that
+    point ("merged at join"). *)
 
 type t
 
 val create : unit -> t
 
 (** [incr t name] bumps counter [name] by [by] (default 1), creating it at
-    zero on first use. *)
+    zero on first use. Writes the default shard. *)
 val incr : ?by:int -> t -> string -> unit
 
-(** Current value of a counter; 0 when it was never bumped. *)
+(** Current value of a counter summed across all shards; 0 when it was
+    never bumped. *)
 val counter_value : t -> string -> int
 
 (** Upper bounds (inclusive) used for histograms created without explicit
@@ -27,16 +39,60 @@ val counter_value : t -> string -> int
 val default_bounds : float list
 
 (** [observe t name x] records [x] into histogram [name], creating it on
-    first use with [bounds] (which are ignored on later calls — the first
-    observation fixes the shape). Each histogram keeps one count per bucket
-    [x <= bound], an overflow bucket, the total count, and the sum. *)
+    first use with [bounds] — the first observation fixes the shape. Each
+    histogram keeps one count per bucket [x <= bound], an overflow bucket,
+    the total count, and the sum. A later call whose [~bounds] disagree with
+    the recorded shape is counted under the [obs.bounds_mismatch] counter
+    and warned about once per name on stderr ({!set_debug}[ true] upgrades
+    the warning to [Invalid_argument]); the observation itself still lands
+    in the original buckets. *)
 val observe : ?bounds:float list -> t -> string -> float -> unit
 
-(** [tick_sink t site] counts a budget tick at [site] under the counter
-    ["budget.tick.<site>"] (the empty label counts as
+(** [tick_sink t] is a budget sink counting each tick at [site] under the
+    counter ["budget.tick.<site>"] (the empty label counts as
     ["budget.tick.unnamed"]). Partially applied, it is exactly the [sink]
-    {!Harness.Budget.make} expects: [Budget.make ~sink:(Metrics.tick_sink m) ()]. *)
+    {!Harness.Budget.make} expects: [Budget.make ~sink:(Metrics.tick_sink m) ()].
+    The closure memoizes the last site's counter, so a run that ticks one
+    site in a tight loop pays a pointer compare and a ref bump per tick. *)
 val tick_sink : t -> string -> unit
+
+(** When the debug flag is set, a bounds mismatch in {!observe} raises
+    [Invalid_argument] instead of warning — wire this on in tests and
+    debugging sessions so disagreeing call sites fail loudly. Off by
+    default. *)
+val set_debug : bool -> unit
+
+(** {2 Shards}
+
+    One shard per concurrent writer. Mint a shard per domain before
+    spawning, hand each domain its own shard (and
+    [shard_tick_sink shard] as its budget sink), then after joining call
+    {!merge_shards} — or just {!snapshot}, which merges read-side — to get
+    exact totals. *)
+
+type shard
+
+(** Mint a fresh shard owned by one writer. Thread-safe. *)
+val shard : t -> shard
+
+(** Number of shards (the default plus every live {!shard}). *)
+val shard_count : t -> int
+
+(** As {!incr}, on the given shard. *)
+val shard_incr : ?by:int -> shard -> string -> unit
+
+(** As {!observe}, on the given shard. *)
+val shard_observe : ?bounds:float list -> shard -> string -> float -> unit
+
+(** As {!tick_sink}, on the given shard. *)
+val shard_tick_sink : shard -> string -> unit
+
+(** Fold every extra shard into the default shard and drop them. Call after
+    the shard writers have been joined; afterwards the plain API sees the
+    combined totals directly.
+    @raise Invalid_argument when two shards hold a histogram of the same
+    name with different bounds. *)
+val merge_shards : t -> unit
 
 (** {2 Snapshots} *)
 
@@ -54,20 +110,34 @@ type snapshot = {
   histograms : (string * histogram_snapshot) list;  (** Sorted by name. *)
 }
 
-(** A frozen copy of the registry, deterministically ordered. *)
+(** A frozen copy of the registry, deterministically ordered. Merges all
+    shards read-side: counters of the same name add, histograms of the same
+    name add bucket-wise. A single-shard registry snapshots byte-identically
+    to the pre-shard implementation.
+    @raise Invalid_argument when two shards hold a histogram of the same
+    name with different bounds. *)
 val snapshot : t -> snapshot
 
 (** An empty snapshot (what [create |> snapshot] yields). *)
 val empty_snapshot : snapshot
 
-(** [merge t s] folds snapshot [s] into registry [t]: counters add, and each
-    histogram adds bucket-wise into the histogram of the same name (created
-    with the snapshot's bounds when absent). This is the {e per-request
-    scoping} primitive of the serve daemon: every request runs against its
-    own fresh registry — so a request that dies mid-flight can never leave
-    the shared registry half-updated — and only a {e completed} request's
-    snapshot is merged into the daemon-wide registry the [stats] endpoint
-    serves.
+(** [merge t s] folds snapshot [s] into registry [t]'s default shard:
+    counters add, and each histogram adds bucket-wise into the histogram of
+    the same name (created with the snapshot's bounds when absent). This is
+    the {e per-request scoping} primitive of the serve daemon: every request
+    runs against its own fresh registry — so a request that dies mid-flight
+    can never leave the shared registry half-updated — and only a
+    {e completed} request's snapshot is merged into the daemon-wide registry
+    the [stats] endpoint serves.
     @raise Invalid_argument when a histogram of the same name already exists
     with different bounds (bucket counts would not be comparable). *)
 val merge : t -> snapshot -> unit
+
+(** [quantile h q] estimates the [q]-quantile ([0 <= q <= 1], clamped) of
+    the values recorded in [h] by linear interpolation inside the bucket
+    where the [q]-th observation falls (the first bucket's lower edge is
+    taken as 0, so the estimate assumes non-negative observations — true of
+    every histogram in-tree: latencies and step counts). Observations in the
+    overflow bucket are clamped to the last bound — the tightest claim the
+    histogram can back. [None] when the histogram is empty. *)
+val quantile : histogram_snapshot -> float -> float option

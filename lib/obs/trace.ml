@@ -36,14 +36,41 @@ type open_span = {
 type t = {
   clock : unit -> float;
   epoch : float;
+  cap : int;
   mutable next_id : int;
   mutable stack : open_span list;  (* innermost first *)
-  mutable closed : span list;  (* reversed close order *)
+  (* Closed spans live in a bounded ring: [buf] grows geometrically up to
+     [cap], then wraps — slot [count mod cap] — dropping the oldest-closed
+     span. A recorder in a week-long daemon stays O(capacity) while the
+     drop count keeps truncation visible. *)
+  mutable buf : span array;
+  mutable count : int;  (* total spans ever closed *)
 }
 
-let create ?clock () =
+let default_capacity = 65_536
+
+let create ?clock ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
   let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
-  { clock; epoch = clock (); next_id = 0; stack = []; closed = [] }
+  { clock; epoch = clock (); cap = capacity; next_id = 0; stack = [];
+    buf = [||]; count = 0 }
+
+let capacity t = t.cap
+let dropped t = if t.count > t.cap then t.count - t.cap else 0
+
+let push t span =
+  if t.count < t.cap then begin
+    let blen = Array.length t.buf in
+    if t.count >= blen then begin
+      let nlen = Stdlib.min t.cap (Stdlib.max 8 (2 * blen)) in
+      let nb = Array.make nlen span in
+      Array.blit t.buf 0 nb 0 blen;
+      t.buf <- nb
+    end;
+    t.buf.(t.count) <- span
+  end
+  else t.buf.(t.count mod t.cap) <- span;
+  t.count <- t.count + 1
 
 let now t = t.clock () -. t.epoch
 
@@ -61,7 +88,7 @@ let close t =
   | [] -> ()
   | o :: rest ->
       t.stack <- rest;
-      t.closed <-
+      push t
         {
           id = o.o_id;
           parent = o.o_parent;
@@ -70,7 +97,6 @@ let close t =
           duration_s = now t -. o.o_start;
           attrs = List.rev o.o_attrs;
         }
-        :: t.closed
 
 let add_attr t key v =
   match t.stack with [] -> () | o :: _ -> o.o_attrs <- (key, v) :: o.o_attrs
@@ -86,5 +112,12 @@ let with_span t ?(attrs = []) name f =
       close t;
       raise e
 
-let spans t = List.sort (fun a b -> compare a.id b.id) t.closed
+let spans t =
+  let retained = Stdlib.min t.count t.cap in
+  let out = ref [] in
+  for i = retained - 1 downto 0 do
+    out := t.buf.(i) :: !out
+  done;
+  List.sort (fun a b -> compare a.id b.id) !out
+
 let open_spans t = List.length t.stack

@@ -41,10 +41,26 @@ val pp_span : Format.formatter -> span -> unit
 
 type t
 
+(** Closed spans a recorder retains by default when no explicit [capacity]
+    is given: 65536. *)
+val default_capacity : int
+
 (** [create ()] is a fresh recorder whose epoch is "now" on [clock]
     (default [Unix.gettimeofday]). Inject a deterministic clock for
-    reproducible spans in tests. *)
-val create : ?clock:(unit -> float) -> unit -> t
+    reproducible spans in tests. Closed spans are kept in a ring of at most
+    [capacity] entries (default {!default_capacity}, must be >= 1): once
+    full, closing a span evicts the oldest-closed one and bumps {!dropped}
+    — a long-lived recorder is O(capacity), and truncation is never silent
+    because the codec reports the drop count.
+    @raise Invalid_argument when [capacity < 1]. *)
+val create : ?clock:(unit -> float) -> ?capacity:int -> unit -> t
+
+(** The ring capacity this recorder was created with. *)
+val capacity : t -> int
+
+(** Number of closed spans evicted from the ring so far (0 until the
+    recorder has closed more than [capacity] spans). *)
+val dropped : t -> int
 
 (** [with_span t name f] runs [f] inside a new span: the span opens before
     [f], becomes the parent of any span opened by [f], and closes when [f]
@@ -58,8 +74,9 @@ val with_span : t -> ?attrs:(string * value) list -> string -> (unit -> 'a) -> '
     unconditional). *)
 val add_attr : t -> string -> value -> unit
 
-(** All closed spans, in start (= id) order. Spans still open — [with_span]
-    calls currently on the stack — are not included. *)
+(** All retained closed spans, in start (= id) order. Spans still open —
+    [with_span] calls currently on the stack — are not included, and neither
+    are spans evicted from the ring (see {!dropped}). *)
 val spans : t -> span list
 
 (** Number of currently open spans (the [with_span] nesting depth). *)

@@ -40,6 +40,12 @@ type config = {
 (** Capacity 8, refill 4/s, costs 1 / 0.02 / 0.25. *)
 val default_config : config
 
+(** [monotonic_clock ()] builds the monotonic time source {!make} defaults
+    to: the kernel's boot-based uptime where available, else a
+    monotone-clamped [Unix.gettimeofday]. Exposed so other daemon-side
+    consumers (uptime reporting) share the bucket's notion of time. *)
+val monotonic_clock : unit -> unit -> float
+
 type t
 
 (** [make ?clock config] — [clock] defaults to a monotonic source (the

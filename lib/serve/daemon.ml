@@ -28,6 +28,8 @@ type config = {
   k : int;
   sanitize : bool;
       (* gate every freshly compiled plane with Analysis.Sanitize.gate *)
+  trace_capacity : int;
+      (* span-ring capacity of the request trace recorder; 0 disables *)
 }
 
 let default_config =
@@ -47,6 +49,7 @@ let default_config =
     seed = 0;
     k = 3;
     sanitize = true;
+    trace_capacity = 4096;
   }
 
 type t = {
@@ -60,13 +63,27 @@ type t = {
   reports : (string, Core.Dichotomy.report) Hashtbl.t;
   chaos : Chaos.t option;
   metrics : Obs.Metrics.t;
+  trace : Obs.Trace.t option;
+  journal : Obs.Journal.t option;
+  now_mono : unit -> float;
+      (* always the monotonic source, independent of the injectable
+         admission clock — uptime and latency must not consume (and thus
+         perturb) a virtual admission clock's readings *)
+  started : float;
+  (* Scratch for the request being handled (the loop is single-threaded):
+     the admission tier and the per-site step profile, read back by
+     [finalize] for the latency histogram and the journal. *)
+  mutable req_tier : string option;
+  mutable req_sites : (string * int) list;
   mutable requests : int;
   mutable stopped : bool;
 }
 
-let create ?clock ?(sleep = Unix.sleepf) config =
+let create ?clock ?(sleep = Unix.sleepf) ?journal config =
   if config.estimate_trials < 1 then
     invalid_arg "Daemon.create: estimate_trials must be >= 1";
+  if config.trace_capacity < 0 then
+    invalid_arg "Daemon.create: trace_capacity must be >= 0";
   if config.retries < 0 then invalid_arg "Daemon.create: retries must be >= 0";
   if config.max_frame_bytes < 2 then
     invalid_arg "Daemon.create: max_frame_bytes must be >= 2";
@@ -80,6 +97,7 @@ let create ?clock ?(sleep = Unix.sleepf) config =
           ~delay_s:s.delay_s ~pressure_p:s.pressure_p ~sites:s.sites ())
       config.chaos
   in
+  let now_mono = Admission.monotonic_clock () in
   {
     config;
     sleep;
@@ -93,6 +111,15 @@ let create ?clock ?(sleep = Unix.sleepf) config =
     reports = Hashtbl.create 16;
     chaos;
     metrics = Obs.Metrics.create ();
+    trace =
+      (if config.trace_capacity > 0 then
+         Some (Obs.Trace.create ~capacity:config.trace_capacity ())
+       else None);
+    journal;
+    now_mono;
+    started = now_mono ();
+    req_tier = None;
+    req_sites = [];
     requests = 0;
     stopped = false;
   }
@@ -100,6 +127,20 @@ let create ?clock ?(sleep = Unix.sleepf) config =
 let requests t = t.requests
 let stopped t = t.stopped
 let metrics t = t.metrics
+let uptime_s t = t.now_mono () -. t.started
+
+(* No-op when tracing / journaling is off, so instrumentation below is
+   unconditional. *)
+let tspan t ?(attrs = []) name f =
+  match t.trace with
+  | None -> f ()
+  | Some tr -> Obs.Trace.with_span tr ~attrs name f
+
+let tattr t key v =
+  match t.trace with None -> () | Some tr -> Obs.Trace.add_attr tr key v
+
+let jlog t kind fields =
+  match t.journal with None -> () | Some j -> Obs.Journal.log j kind fields
 
 (* ------------------------------------------------------------------ *)
 (* Request plumbing                                                    *)
@@ -124,6 +165,7 @@ let tier_of_report (r : Core.Dichotomy.report) =
    retried with backoff on a fresh budget — budgets are sticky, so reuse
    would re-raise the stale exhaustion. *)
 let run_budgeted t ~mreq ~tier f =
+  t.req_tier <- Some (Admission.tier_name tier);
   let timeout, max_steps =
     match tier with
     | Admission.Fast -> (t.config.fast_timeout, t.config.fast_max_steps)
@@ -260,7 +302,15 @@ let do_certain t ~mreq ~query ~db ~trials ~explain =
   | Ok q -> (
       let report = classify_cached t q in
       let tier = tier_of_report report in
-      let decision = Admission.decide t.admission tier in
+      t.req_tier <- Some (Admission.tier_name tier);
+      let decision =
+        tspan t "admission"
+          ~attrs:[ ("tier", Obs.Trace.String (Admission.tier_name tier)) ]
+          (fun () ->
+            let d = Admission.decide t.admission tier in
+            tattr t "decision" (Obs.Trace.String (Admission.decision_name d));
+            d)
+      in
       Obs.Metrics.incr mreq
         ("serve.admission." ^ Admission.decision_name decision);
       match decision with
@@ -282,25 +332,37 @@ let do_certain t ~mreq ~query ~db ~trials ~explain =
                 let tick () =
                   Budget.tick ~site:Harness.Sites.compile budget
                 in
-                match resolve_entry t ~tick db with
+                let resolved =
+                  tspan t "cache" (fun () ->
+                      let r = resolve_entry t ~tick db in
+                      tattr t "result"
+                        (Obs.Trace.String
+                           (match r with
+                           | Ok (_, true) -> "hit"
+                           | Ok (_, false) -> "miss"
+                           | Error _ -> "error"));
+                      r)
+                in
+                match resolved with
                 | Error e -> R_error e
                 | Ok (entry, hit) -> (
                     match decision with
                     | Admission.Downgrade ->
-                        let g =
-                          Qlang.Solution_graph.of_query_compiled ~tick q
-                            entry.Plane_cache.plane
-                        in
-                        let est =
-                          Cqa.Montecarlo.estimate_g ~budget
-                            (Random.State.make rng_seed) ~trials g
-                        in
-                        R_downgraded { est; hit }
+                        tspan t "estimate" (fun () ->
+                            let g =
+                              Qlang.Solution_graph.of_query_compiled ~tick q
+                                entry.Plane_cache.plane
+                            in
+                            let est =
+                              Cqa.Montecarlo.estimate_g ~budget
+                                (Random.State.make rng_seed) ~trials g
+                            in
+                            R_downgraded { est; hit })
                     | _ -> (
                         let outcome, attempts =
                           Core.Solver.solve_plane ~k:t.config.k ~budget
-                            ~estimate_trials:trials ~seed:t.config.seed report
-                            entry.Plane_cache.plane
+                            ~estimate_trials:trials ~seed:t.config.seed
+                            ?trace:t.trace report entry.Plane_cache.plane
                         in
                         match transient_site outcome attempts with
                         | Some site -> raise (Chaos.Injected_fault site)
@@ -332,6 +394,59 @@ let do_certain t ~mreq ~query ~db ~trials ~explain =
                 @ retries_fields retries )
           | Ok (R_solved { outcome; attempts; steps; hit }) ->
               count_plane hit;
+              (* Meter the chain like the CLI does, so the daemon's stats
+                 carry the same per-tier histograms `cqa certain --metrics`
+                 would; then journal the degradation story. *)
+              Core.Solver.record_metrics mreq outcome attempts;
+              let sites =
+                List.fold_left
+                  (fun acc (a : Core.Solver.attempt) ->
+                    List.fold_left
+                      (fun acc (site, n) ->
+                        let prev =
+                          Option.value ~default:0 (List.assoc_opt site acc)
+                        in
+                        (site, prev + n) :: List.remove_assoc site acc)
+                      acc a.Core.Solver.sites)
+                  [] attempts
+              in
+              t.req_sites <- List.sort compare sites;
+              List.iter
+                (fun (a : Core.Solver.attempt) ->
+                  match a.Core.Solver.status with
+                  | Core.Solver.Attempt_decided _ -> ()
+                  | status ->
+                      jlog t "tier.fallback"
+                        [
+                          ("tier", Obs.Trace.String (tier_label a.Core.Solver.tier));
+                          ( "algorithm",
+                            Obs.Trace.String (algorithm_name a.Core.Solver.algorithm)
+                          );
+                          ("status", Obs.Trace.String (Core.Solver.status_label status));
+                          ("steps", Obs.Trace.Int a.Core.Solver.steps);
+                        ])
+                attempts;
+              (match outcome with
+              | Harness.Outcome.Timeout | Harness.Outcome.Budget_exhausted ->
+                  let hottest =
+                    List.fold_left
+                      (fun acc (site, n) ->
+                        match acc with
+                        | Some (_, m) when m >= n -> acc
+                        | _ -> Some (site, n))
+                      None sites
+                  in
+                  jlog t "budget.exhausted"
+                    ([ ("steps", Obs.Trace.Int steps) ]
+                    @
+                    match hottest with
+                    | Some (site, n) ->
+                        [
+                          ("site", Obs.Trace.String site);
+                          ("site_steps", Obs.Trace.Int n);
+                        ]
+                    | None -> [])
+              | _ -> ());
               let common =
                 [
                   ("cache", Json.String (if hit then "hit" else "miss"));
@@ -655,11 +770,98 @@ let do_analyze t ~mreq ~query ~db =
                 @ [ ("cache", Json.String (if hit then "hit" else "miss")) ]
                 @ retries_fields retries )))
 
+(* The last [last] request traces, each re-encoded as a standalone
+   Obs_codec trace document: a root "request" span plus every retained
+   descendant whose parent chain survived the ring (an orphaned grandchild
+   would fail the codec's parent validation). The overall [dropped] count
+   makes ring eviction visible. *)
+let trace_fields t ~last =
+  match t.trace with
+  | None ->
+      [
+        ("enabled", Json.Bool false);
+        ("count", Json.Int 0);
+        ("dropped", Json.Int 0);
+        ("traces", Json.List []);
+      ]
+  | Some tr ->
+      let spans = Obs.Trace.spans tr in
+      let roots =
+        List.filter
+          (fun (s : Obs.Trace.span) ->
+            s.Obs.Trace.parent = None && s.Obs.Trace.name = "request")
+          spans
+      in
+      let n = List.length roots in
+      let roots = List.filteri (fun i _ -> i >= n - last) roots in
+      let traces =
+        List.map
+          (fun (root : Obs.Trace.span) ->
+            let included = Hashtbl.create 16 in
+            Hashtbl.add included root.Obs.Trace.id ();
+            let sub =
+              List.filter
+                (fun (s : Obs.Trace.span) ->
+                  s.Obs.Trace.id = root.Obs.Trace.id
+                  ||
+                  match s.Obs.Trace.parent with
+                  | Some p when Hashtbl.mem included p ->
+                      Hashtbl.add included s.Obs.Trace.id ();
+                      true
+                  | _ -> false)
+                spans
+            in
+            Analysis.Obs_codec.encode_trace
+              { Analysis.Obs_codec.query = None; dropped = 0; spans = sub })
+          roots
+      in
+      [
+        ("enabled", Json.Bool true);
+        ("count", Json.Int (List.length roots));
+        ("dropped", Json.Int (Obs.Trace.dropped tr));
+        ("traces", Json.List traces);
+      ]
+
+let latency_summary (h : Obs.Metrics.histogram_snapshot) =
+  let q p = Option.value ~default:0. (Obs.Metrics.quantile h p) in
+  Json.Obj
+    [
+      ("count", Json.Int h.Obs.Metrics.count);
+      ( "mean_ms",
+        Json.Float
+          (if h.Obs.Metrics.count > 0 then
+             h.Obs.Metrics.sum /. float_of_int h.Obs.Metrics.count
+           else 0.) );
+      ("p50_ms", Json.Float (q 0.5));
+      ("p90_ms", Json.Float (q 0.9));
+      ("p99_ms", Json.Float (q 0.99));
+    ]
+
+let latency_prefix = "serve.latency."
+let latency_suffix = ".ms"
+
 let stats_fields t =
   let snap = Obs.Metrics.snapshot t.metrics in
   let planes = Plane_cache.stats t.planes in
+  let latency =
+    List.filter_map
+      (fun (name, h) ->
+        let plen = String.length latency_prefix
+        and slen = String.length latency_suffix in
+        if
+          String.length name > plen + slen
+          && String.sub name 0 plen = latency_prefix
+          && String.sub name (String.length name - slen) slen = latency_suffix
+        then
+          Some
+            ( String.sub name plen (String.length name - plen - slen),
+              latency_summary h )
+        else None)
+      snap.Obs.Metrics.histograms
+  in
   [
     ("requests", Json.Int t.requests);
+    ("uptime_s", Json.Float (uptime_s t));
     ( "admission",
       Json.Obj
         [
@@ -691,11 +893,37 @@ let stats_fields t =
     ( "counters",
       Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) snap.Obs.Metrics.counters)
     );
+    ( "trace",
+      match t.trace with
+      | None -> Json.Obj [ ("enabled", Json.Bool false) ]
+      | Some tr ->
+          Json.Obj
+            [
+              ("enabled", Json.Bool true);
+              ("capacity", Json.Int (Obs.Trace.capacity tr));
+              ("spans", Json.Int (List.length (Obs.Trace.spans tr)));
+              ("dropped", Json.Int (Obs.Trace.dropped tr));
+            ] );
+    ( "journal",
+      match t.journal with
+      | None -> Json.Obj [ ("enabled", Json.Bool false) ]
+      | Some j ->
+          Json.Obj
+            [
+              ("enabled", Json.Bool true);
+              ("path", Json.String (Obs.Journal.path j));
+              ("events", Json.Int (Obs.Journal.seq j));
+              ("rotations", Json.Int (Obs.Journal.rotations j));
+            ] );
+    (* Last: wall-clock derived floats, so transcript normalization can
+       target the tail of the stats frame. *)
+    ("latency", Json.Obj latency);
   ]
 
 let handle_request t ~mreq = function
   | Protocol.Ping -> (Protocol.Ok_code, [])
   | Protocol.Stats -> (Protocol.Ok_code, stats_fields t)
+  | Protocol.Trace { last } -> (Protocol.Ok_code, trace_fields t ~last)
   | Protocol.Shutdown ->
       t.stopped <- true;
       (Protocol.Ok_code, [ ("stopping", Json.Bool true) ])
@@ -711,11 +939,74 @@ let handle_request t ~mreq = function
 (* ------------------------------------------------------------------ *)
 (* The loop                                                            *)
 
-let finalize t ~mreq ?id ~op code fields =
+let finalize t ~mreq ~t0 ?id ~op code fields =
   Obs.Metrics.incr mreq ("serve.response." ^ Protocol.code_name code);
+  let ms = (t.now_mono () -. t0) *. 1000. in
+  (match t.req_tier with
+  | Some tier ->
+      Obs.Metrics.observe mreq
+        (latency_prefix ^ tier ^ latency_suffix)
+        ms
+  | None -> ());
+  tattr t "code" (Obs.Trace.String (Protocol.code_name code));
+  (* Journal the request's story. Admission is read back from the isolated
+     per-request counters and the plane lifecycle from the response fields,
+     so every handler (and the last-line-of-defence path) is covered from
+     this one choke point. *)
+  (match t.journal with
+  | None -> ()
+  | Some _ ->
+      let opf = ("op", Obs.Trace.String op) in
+      let tier_f =
+        match t.req_tier with
+        | Some s -> [ ("tier", Obs.Trace.String s) ]
+        | None -> []
+      in
+      let adm k =
+        Obs.Metrics.counter_value mreq ("serve.admission." ^ k) > 0
+      in
+      if adm "admit" then jlog t "request.admitted" (opf :: tier_f);
+      if adm "downgrade" then jlog t "request.downgraded" (opf :: tier_f);
+      if adm "shed" then jlog t "request.shed" (opf :: tier_f);
+      let cache = List.assoc_opt "cache" fields in
+      (match cache with
+      | Some (Json.String (("miss" | "recompiled") as c)) ->
+          jlog t "plane.compiled" ((opf :: tier_f) @ [ ("cache", Obs.Trace.String c) ])
+      | Some (Json.String "patched") -> jlog t "plane.patched" (opf :: tier_f)
+      | _ -> ());
+      (match code with
+      | Protocol.Corrupt_plane ->
+          jlog t "plane.rejected"
+            (opf
+            ::
+            (match List.assoc_opt "error" fields with
+            | Some (Json.String m) -> [ ("error", Obs.Trace.String m) ]
+            | _ -> []))
+      | _ -> ());
+      jlog t "request.completed"
+        ([
+           opf;
+           ("code", Obs.Trace.String (Protocol.code_name code));
+           ("ms", Obs.Trace.Float ms);
+         ]
+        @ tier_f
+        @ (match cache with
+          | Some (Json.String c) -> [ ("cache", Obs.Trace.String c) ]
+          | _ -> [])
+        @ (match List.assoc_opt "steps" fields with
+          | Some (Json.Int n) -> [ ("steps", Obs.Trace.Int n) ]
+          | _ -> [])
+        @ List.map
+            (fun (site, n) -> ("steps." ^ site, Obs.Trace.Int n))
+            t.req_sites));
   (* Per-request isolation ends here: only a COMPLETED request's metrics
      reach the daemon-wide registry. *)
   Obs.Metrics.merge t.metrics (Obs.Metrics.snapshot mreq);
+  let fields =
+    match t.trace with
+    | None -> fields
+    | Some _ -> fields @ [ ("trace_id", Json.Int t.requests) ]
+  in
   Protocol.to_frame (Protocol.response ?id ~op code fields)
 
 let handle_line t line =
@@ -723,23 +1014,38 @@ let handle_line t line =
   else begin
     t.requests <- t.requests + 1;
     Obs.Metrics.incr t.metrics "serve.requests";
+    t.req_tier <- None;
+    t.req_sites <- [];
+    let t0 = t.now_mono () in
     let frame =
       match Protocol.decode ~max_bytes:t.config.max_frame_bytes line with
       | Error (id, { Protocol.code; message }) ->
           finalize t
             ~mreq:(Obs.Metrics.create ())
-            ?id ~op:"error" code
+            ~t0 ?id ~op:"error" code
             [ ("error", Json.String message) ]
-      | Ok (id, req) -> (
+      | Ok (id, req) ->
           let op = Protocol.op_name req in
           let mreq = Obs.Metrics.create () in
           Obs.Metrics.incr mreq ("serve.request." ^ op);
-          match handle_request t ~mreq req with
-          | code, fields -> finalize t ~mreq ?id ~op code fields
-          | exception e ->
-              (* The last line of defence: NOTHING kills the loop. *)
-              let code, fields = code_of_exn e in
-              finalize t ~mreq ?id ~op code fields)
+          let run () =
+            match handle_request t ~mreq req with
+            | code, fields -> finalize t ~mreq ~t0 ?id ~op code fields
+            | exception e ->
+                (* The last line of defence: NOTHING kills the loop. *)
+                let code, fields = code_of_exn e in
+                finalize t ~mreq ~t0 ?id ~op code fields
+          in
+          (* The request-root span: everything a handler records — the
+             admission decision, the cache probe, the solver chain — nests
+             under it, keyed by the response's trace_id. *)
+          tspan t "request"
+            ~attrs:
+              [
+                ("trace_id", Obs.Trace.Int t.requests);
+                ("op", Obs.Trace.String op);
+              ]
+            run
     in
     Some frame
   end

@@ -29,7 +29,19 @@
 
     The [stats] request exposes the daemon-wide registry (request, response,
     retry, fault, downgrade and shed counters, plus the per-site budget tick
-    counters merged from every completed request). *)
+    counters merged from every completed request), daemon uptime, and
+    per-tier request-latency summaries with bucket-derived quantiles.
+
+    {b Observability.} Unless [trace_capacity] is 0, every request runs
+    inside a root [request] span (attributes [trace_id] — also echoed as a
+    [trace_id] response field — [op], and the final [code]) with the
+    admission decision, the plane-cache probe, and the solver chain's spans
+    nested under it, recorded into a bounded span ring; the [trace] request
+    returns the last N request traces as [Obs_codec] documents. A daemon
+    created with [~journal] appends one {!Obs.Journal} event per admission
+    verdict, plane lifecycle step (compiled / patched / rejected), tier
+    fallback, budget exhaustion (with the hottest tick site), and request
+    completion (op, code, latency, tier, cache outcome, per-site steps). *)
 
 type chaos_spec = {
   fail_p : float;
@@ -62,11 +74,15 @@ type config = {
           before it enters the cache; a rejected plane produces a
           [corrupt-plane] response and is never cached or served. Disabled
           by [cqa serve --no-sanitize]. *)
+  trace_capacity : int;
+      (** Capacity of the request-trace span ring; 0 disables tracing
+          entirely (no spans, no [trace_id] response fields). *)
 }
 
 (** Fast tier: 1 s / 200k steps; heavy tier: 10 s / 5M steps; 200 trials;
     2 retries with 10 ms initial backoff; 1 MiB frames; 100k facts;
-    8 planes; {!Admission.default_config}; no chaos; sanitize on. *)
+    8 planes; {!Admission.default_config}; no chaos; sanitize on; a
+    4096-span trace ring. *)
 val default_config : config
 
 type t
@@ -74,8 +90,17 @@ type t
 (** [create config] — [clock] feeds the admission token bucket (default:
     {!Admission.make}'s monotonic source, immune to wall-clock steps);
     [sleep] implements retry backoff (default [Unix.sleepf]); both
-    injectable for deterministic tests. *)
-val create : ?clock:(unit -> float) -> ?sleep:(float -> unit) -> config -> t
+    injectable for deterministic tests. [journal] attaches a structured
+    event journal (the daemon logs to it but does not close it — the
+    creator owns its lifecycle). Uptime and request latencies are measured
+    on their own monotonic source, never on the injected [clock], so a
+    virtual admission clock's readings are not perturbed by metering. *)
+val create :
+  ?clock:(unit -> float) ->
+  ?sleep:(float -> unit) ->
+  ?journal:Obs.Journal.t ->
+  config ->
+  t
 
 (** [handle_line t line] serves one frame: [None] for a blank line (framing
     tolerance), otherwise exactly one newline-terminated response frame.
@@ -90,6 +115,9 @@ val stopped : t -> bool
 
 (** The daemon-wide metrics registry (what [stats] reports). *)
 val metrics : t -> Obs.Metrics.t
+
+(** Seconds since {!create}, on the daemon's monotonic source. *)
+val uptime_s : t -> float
 
 (** [run_pipe t ic oc] serves frames from [ic] to [oc] (one response per
     request, flushed) until EOF or [shutdown]. *)

@@ -72,6 +72,7 @@ type request =
   | Analyze of { query : string; db : db_ref option }
   | Update of { db : string; insert : string; retract : string }
   | Stats
+  | Trace of { last : int }
   | Shutdown
 
 let op_name = function
@@ -83,6 +84,7 @@ let op_name = function
   | Analyze _ -> "analyze"
   | Update _ -> "update"
   | Stats -> "stats"
+  | Trace _ -> "trace"
   | Shutdown -> "shutdown"
 
 let decode ~max_bytes line =
@@ -110,6 +112,11 @@ let decode ~max_bytes line =
         | "ping" -> Ok (id, Ping)
         | "stats" -> Ok (id, Stats)
         | "shutdown" -> Ok (id, Shutdown)
+        | "trace" -> (
+            match List.assoc_opt "last" fields with
+            | None -> Ok (id, Trace { last = 10 })
+            | Some (Json.Int n) when n > 0 -> Ok (id, Trace { last = n })
+            | Some _ -> fail ?id Bad_request "last must be a positive integer")
         | "classify" ->
             let* query = str "query" in
             Ok (id, Classify { query })

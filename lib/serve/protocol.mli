@@ -95,6 +95,11 @@ type request =
           ({!Relational.Compiled.apply_delta}) and re-keys it under the
           rolling fingerprint instead of evicting and recompiling. *)
   | Stats
+  | Trace of { last : int }
+      (** Return the last [last] (default 10, must be positive) request
+          traces recorded by the daemon's bounded span ring, each as a full
+          [Obs_codec] trace document, plus the recorder's drop count. Empty
+          (with [enabled: false]) when the daemon runs with tracing off. *)
   | Shutdown
 
 (** The op spelling of a request (["ping"], ["certain"], ...). *)

@@ -151,12 +151,58 @@ same exit-code taxonomy carried in every frame:
   > not json at all
   > {"op": "shutdown"}
   > REQS
-  {"op": "classify", "status": "ok", "code": "ok", "exit": 0, "verdict": "PTIME (Theorem 9: no tripath, Cert_k exact)", "class": "ptime", "tier": "fast", "bounded_search": true}
-  {"op": "load", "status": "ok", "code": "ok", "exit": 0, "name": "db1", "fingerprint": "aed0f38af6b210dc6f05f28989dbce27", "facts": 3, "cache": "miss"}
-  {"id": 1, "op": "certain", "status": "ok", "code": "ok", "exit": 0, "answer": true, "algorithm": "Cert_3", "cache": "hit", "steps": 5}
-  {"id": 2, "op": "certain", "status": "error", "code": "unknown-db", "exit": 2, "error": "no database loaded under name nope"}
-  {"op": "error", "status": "error", "code": "bad-frame", "exit": 2, "error": "frame is not valid JSON: offset 0: expected null"}
-  {"op": "shutdown", "status": "ok", "code": "ok", "exit": 0, "stopping": true}
+  {"op": "classify", "status": "ok", "code": "ok", "exit": 0, "verdict": "PTIME (Theorem 9: no tripath, Cert_k exact)", "class": "ptime", "tier": "fast", "bounded_search": true, "trace_id": 1}
+  {"op": "load", "status": "ok", "code": "ok", "exit": 0, "name": "db1", "fingerprint": "aed0f38af6b210dc6f05f28989dbce27", "facts": 3, "cache": "miss", "trace_id": 2}
+  {"id": 1, "op": "certain", "status": "ok", "code": "ok", "exit": 0, "answer": true, "algorithm": "Cert_3", "cache": "hit", "steps": 5, "trace_id": 3}
+  {"id": 2, "op": "certain", "status": "error", "code": "unknown-db", "exit": 2, "error": "no database loaded under name nope", "trace_id": 4}
+  {"op": "error", "status": "error", "code": "bad-frame", "exit": 2, "error": "frame is not valid JSON: offset 0: expected null", "trace_id": 5}
+  {"op": "shutdown", "status": "ok", "code": "ok", "exit": 0, "stopping": true, "trace_id": 6}
+
+Every frame above carries the trace id of its request: tracing is on by
+default (a bounded in-memory ring; --trace-capacity 0 disables it), and the
+"trace" op returns the recorded request-root spans.
+
+The journal: --journal appends one schema-versioned JSONL event per
+degradation step and per request, on `cqa certain` and `cqa serve` alike.
+Wall-clock fields are nondeterministic, so mask float literals (ints are
+safe — every JSON float in this tree prints with a '.' or an 'e'):
+
+  $ cqa certain --max-steps 1 --exact --journal=events.jsonl "R(x | y) R(y | x)" certain.db 2>/dev/null
+  [3]
+  $ sed -E 's/-?[0-9]+\.[0-9]+([eE][+-]?[0-9]+)?/0.0/g' events.jsonl
+  {"v": 1, "seq": 0, "t_s": 0.0, "kind": "tier.fallback", "fields": {"tier": "sat", "algorithm": "exact (SAT)", "status": "out-of-budget-steps", "steps": 1}}
+  {"v": 1, "seq": 1, "t_s": 0.0, "kind": "budget.exhausted", "fields": {"steps": 1, "site": "compile", "site_steps": 1}}
+  {"v": 1, "seq": 2, "t_s": 0.0, "kind": "request.completed", "fields": {"op": "certain", "outcome": "budget-exhausted", "steps": 1}}
+
+`cqa obs report` aggregates a journal — or a trace, like the one the
+--trace block above wrote — into tier latency quantiles, cache and
+admission rates, per-site step profiles and the slowest requests:
+
+  $ cqa obs report --journal events.jsonl | sed -E 's/-?[0-9]+\.[0-9]+([eE][+-]?[0-9]+)?/0.0/g'
+  obs report (journal): 3 events, 1 requests
+  admission: (none)
+  plane cache: (none)
+  degradation: fallbacks=1 exhausted=1
+
+  $ cqa obs report --trace trace.json | sed -E 's/-?[0-9]+\.[0-9]+([eE][+-]?[0-9]+)?/0.0/g'
+  obs report (trace): 4 events, 1 requests
+  tier latency (ms):
+    tier         count      mean       p50       p90       p99
+    ptime            1     0.0     0.0     0.0     0.0
+  admission: (none)
+  plane cache: (none)
+  steps by site:
+    compile              4
+    certk                2
+  slowest requests:
+       seq op         tier       code                      ms
+         0 solve                 decided-true           0.0
+
+Passing both sources is a usage error:
+
+  $ cqa obs report --journal events.jsonl --trace trace.json
+  error: pass either --journal or --trace, not both
+  [2]
 
 Ingestion errors are structured and shared with the daemon's decoder — the
 same stable code a serve client would see, spoken on stderr:

@@ -1,0 +1,127 @@
+(* The domains half of the @obs-smoke gate: hammer one shared registry from
+   N writer domains — each on its own shard, as the concurrency contract in
+   [Obs.Metrics] demands — while the main domain snapshots mid-flight, then
+   join, merge, and assert the totals are EXACT. Sharding is only worth its
+   complexity if nothing is lost or torn under real parallelism; a plain
+   shared counter would shed increments here and fail the equality.
+
+   Also pins the compatibility claim the refactor rode in on: a registry
+   driven through the old single-shard API must produce byte-identical
+   [Analysis.Obs_codec] output to one driven through a shard + merge. *)
+
+module Metrics = Obs.Metrics
+module Codec = Analysis.Obs_codec
+
+let failures = ref 0
+
+let check name ok =
+  if ok then Printf.printf "ok   %s\n" name
+  else begin
+    incr failures;
+    Printf.printf "FAIL %s\n" name
+  end
+
+let n_domains = 4
+let iters = 25_000
+let bounds = [ 1.; 10.; 100.; 1000. ]
+
+let writer shard d =
+  for i = 1 to iters do
+    Metrics.shard_incr shard "domains.requests";
+    Metrics.shard_incr ~by:d shard "domains.weighted";
+    Metrics.shard_observe ~bounds shard "domains.steps"
+      (float_of_int ((i * d) mod 1500));
+    Metrics.shard_tick_sink shard "spawn"
+  done
+
+let exact_totals () =
+  let m = Metrics.create () in
+  let shards = List.init n_domains (fun _ -> Metrics.shard m) in
+  check "registry counts one shard per writer plus the default"
+    (Metrics.shard_count m = n_domains + 1);
+  let domains =
+    List.mapi (fun d shard -> Domain.spawn (fun () -> writer shard (d + 1))) shards
+  in
+  (* Concurrent read-side merges while the writers are hot: the contract
+     says stale-but-never-torn, so every mid-flight value must stay within
+     the envelope and the snapshot shape must already be coherent. *)
+  let expected_requests = n_domains * iters in
+  for _ = 1 to 50 do
+    let v = Metrics.counter_value m "domains.requests" in
+    check "mid-run counter read is within the envelope"
+      (v >= 0 && v <= expected_requests);
+    let s = Metrics.snapshot m in
+    List.iter
+      (fun (name, (h : Metrics.histogram_snapshot)) ->
+        check
+          (Printf.sprintf "mid-run histogram %s is coherent" name)
+          (List.length h.counts = List.length h.bounds + 1
+          && h.count = List.fold_left ( + ) 0 h.counts))
+      s.Metrics.histograms
+  done;
+  List.iter Domain.join domains;
+  Metrics.merge_shards m;
+  check "merge collapses back to a single shard" (Metrics.shard_count m = 1);
+  let weight = n_domains * (n_domains + 1) / 2 in
+  check "merged request counter is exact"
+    (Metrics.counter_value m "domains.requests" = expected_requests);
+  check "merged weighted counter is exact"
+    (Metrics.counter_value m "domains.weighted" = weight * iters);
+  check "merged tick counter is exact"
+    (Metrics.counter_value m "budget.tick.spawn" = expected_requests);
+  let s = Metrics.snapshot m in
+  match List.assoc_opt "domains.steps" s.Metrics.histograms with
+  | None -> check "merged histogram present" false
+  | Some h ->
+      check "merged histogram count is exact" (h.Metrics.count = expected_requests);
+      let expected_sum =
+        let sum = ref 0 in
+        for d = 1 to n_domains do
+          for i = 1 to iters do
+            sum := !sum + ((i * d) mod 1500)
+          done
+        done;
+        float_of_int !sum
+      in
+      check "merged histogram sum is exact" (h.Metrics.sum = expected_sum);
+      check "merged histogram buckets account for every observation"
+        (List.fold_left ( + ) 0 h.Metrics.counts = expected_requests)
+
+(* Drive the same fixed operation sequence through the legacy single-shard
+   API and through an explicit shard + merge_shards, and require the two
+   registries to serialize to the same bytes. *)
+let byte_identical_codec () =
+  let ops incr observe tick =
+    for i = 1 to 200 do
+      incr "compat.count";
+      observe "compat.hist" (float_of_int (i mod 7));
+      tick "site"
+    done
+  in
+  let legacy = Metrics.create () in
+  ops
+    (fun n -> Metrics.incr legacy n)
+    (fun n x -> Metrics.observe ~bounds legacy n x)
+    (Metrics.tick_sink legacy);
+  let sharded = Metrics.create () in
+  let shard = Metrics.shard sharded in
+  ops
+    (fun n -> Metrics.shard_incr shard n)
+    (fun n x -> Metrics.shard_observe ~bounds shard n x)
+    (Metrics.shard_tick_sink shard);
+  Metrics.merge_shards sharded;
+  let a = Codec.metrics_to_string (Metrics.snapshot legacy) in
+  let b = Codec.metrics_to_string (Metrics.snapshot sharded) in
+  check "single-shard and shard+merge codec output is byte-identical" (a = b);
+  check "codec round-trips the merged snapshot"
+    (match Codec.metrics_of_string a with
+    | Ok s -> Codec.metrics_to_string s = a
+    | Error _ -> false)
+
+let () =
+  exact_totals ();
+  byte_identical_codec ();
+  if !failures > 0 then begin
+    Printf.printf "%d domains check(s) failed\n" !failures;
+    exit 1
+  end

@@ -1,0 +1,80 @@
+(* The journal half of the @obs-smoke gate: a chaos soak of `cqa serve
+   --pipe --journal` just ran; every line of the journal it left behind must
+   decode under the strict [Analysis.Obs_codec] event schema, carry a known
+   kind, and tell a coherent story — strictly increasing sequence numbers,
+   at least one admission and one completion, and completion events that
+   name their op, code and tier. A single undecodable line fails the gate:
+   the journal exists to be machine-read after a crash, so "mostly valid
+   JSONL" is worthless. *)
+
+module Codec = Analysis.Obs_codec
+module Journal = Obs.Journal
+
+let failures = ref 0
+
+let check name ok =
+  if ok then Printf.printf "ok   %s\n" name
+  else begin
+    incr failures;
+    Printf.printf "FAIL %s\n" name
+  end
+
+let str_field key (ev : Journal.event) =
+  match List.assoc_opt key ev.Journal.fields with
+  | Some (Obs.Trace.String v) -> Some v
+  | _ -> None
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; p |] -> p
+    | _ ->
+        prerr_endline "usage: validate_journal JOURNAL.jsonl";
+        exit 2
+  in
+  let ic = open_in path in
+  let events = ref [] in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       if String.trim line <> "" then
+         match Codec.event_of_string line with
+         | Ok ev -> events := ev :: !events
+         | Error e ->
+             check (Printf.sprintf "line %d decodes (%s)" !lineno e) false
+     done
+   with End_of_file -> close_in ic);
+  let events = List.rev !events in
+  check "journal is non-empty" (events <> []);
+  check "every kind is in the closed vocabulary"
+    (List.for_all (fun ev -> Journal.known_kind ev.Journal.kind) events);
+  check "sequence numbers strictly increase"
+    (fst
+       (List.fold_left
+          (fun (ok, prev) ev ->
+            (ok && ev.Journal.seq > prev, ev.Journal.seq))
+          (true, -1) events));
+  check "timestamps are non-negative"
+    (List.for_all (fun ev -> ev.Journal.t_s >= 0.) events);
+  let of_kind k = List.filter (fun ev -> ev.Journal.kind = k) events in
+  check "at least one request was admitted" (of_kind "request.admitted" <> []);
+  check "at least one plane was compiled" (of_kind "plane.compiled" <> []);
+  let completed = of_kind "request.completed" in
+  check "at least one request completed" (completed <> []);
+  List.iter
+    (fun ev ->
+      check
+        (Printf.sprintf "completion #%d names op and code" ev.Journal.seq)
+        (str_field "op" ev <> None && str_field "code" ev <> None);
+      check
+        (Printf.sprintf "completion #%d carries a latency" ev.Journal.seq)
+        (match List.assoc_opt "ms" ev.Journal.fields with
+        | Some (Obs.Trace.Float ms) -> ms >= 0.
+        | _ -> false))
+    completed;
+  if !failures > 0 then begin
+    Printf.printf "%d journal check(s) failed\n" !failures;
+    exit 1
+  end

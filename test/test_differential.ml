@@ -302,6 +302,7 @@ let test_bench_report_round_trip () =
             delta_us = Some 12.5;
             delta_speedup = Some 80.0;
             delta_equivalent = Some true;
+            obs_overhead_pct = Some 1.25;
           };
         ];
       agreement = true;
@@ -310,6 +311,9 @@ let test_bench_report_round_trip () =
       geomean_e2e = Some 1.75;
       delta_equivalence = Some true;
       geomean_delta = Some 80.0;
+      obs_overhead_pct = Some 1.25;
+      obs_bar_pct = Some 5.0;
+      obs_within_bar = Some true;
     }
   in
   match Benchkit.Report.validate_round_trip report with

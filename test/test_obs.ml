@@ -75,6 +75,24 @@ let test_trace_orphan_attr () =
   Trace.add_attr tr "ignored" (Trace.Bool true);
   check "attr without an open span is dropped" (Trace.spans tr = [])
 
+let test_trace_ring_capacity () =
+  let tr = Trace.create ~clock:(counter_clock ()) ~capacity:4 () in
+  for i = 0 to 9 do
+    Trace.with_span tr (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  check "capacity reported" (Trace.capacity tr = 4);
+  let spans = Trace.spans tr in
+  check "ring retains at most capacity spans" (List.length spans = 4);
+  check "evictions counted" (Trace.dropped tr = 6);
+  check "newest spans survive, in id order"
+    (List.map (fun (s : Trace.span) -> s.Trace.id) spans = [ 6; 7; 8; 9 ]);
+  check "under-capacity recorder drops nothing"
+    (Trace.dropped (Trace.create ~capacity:4 ()) = 0);
+  check "capacity must be positive"
+    (match Trace.create ~capacity:0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 (* ------------------------------------------------------------------ *)
 (* Metrics registry *)
 
@@ -100,6 +118,45 @@ let test_metrics_histograms () =
       check "bucket placement (inclusive upper bounds)"
         (h.Metrics.counts = [ 2; 1; 1; 1 ]);
       check "count and sum" (h.Metrics.count = 5 && h.Metrics.sum = 556.5)
+
+let test_metrics_quantile () =
+  let m = Metrics.create () in
+  let bounds = [ 1.; 10.; 100. ] in
+  List.iter (Metrics.observe ~bounds m "lat") [ 0.5; 1.0; 5.; 50.; 500. ];
+  let h = List.assoc "lat" (Metrics.snapshot m).Metrics.histograms in
+  (* counts [2;1;1;1]: p40 exhausts the first bucket, the median
+     interpolates halfway into (1,10], p100 lands in the overflow bucket
+     where the last bound is the tightest claim the histogram can back. *)
+  check "p40 at the first bucket's edge" (Metrics.quantile h 0.4 = Some 1.0);
+  check "median interpolates linearly" (Metrics.quantile h 0.5 = Some 5.5);
+  check "p100 clamps to the last bound" (Metrics.quantile h 1.0 = Some 100.);
+  check "out-of-range q clamps" (Metrics.quantile h 2.0 = Some 100.);
+  check "empty histogram has no quantiles"
+    (Metrics.quantile
+       { Metrics.bounds; counts = [ 0; 0; 0; 0 ]; count = 0; sum = 0. }
+       0.5
+    = None)
+
+let test_metrics_bounds_mismatch () =
+  let m = Metrics.create () in
+  Metrics.observe ~bounds:[ 1.; 10. ] m "lat" 5.;
+  (* Disagreeing ~bounds on an existing histogram: the observation lands in
+     the original buckets, and the disagreement is itself counted. *)
+  Metrics.observe ~bounds:[ 2.; 20. ] m "lat" 5.;
+  let s = Metrics.snapshot m in
+  let h = List.assoc "lat" s.Metrics.histograms in
+  check "original bounds kept" (h.Metrics.bounds = [ 1.; 10. ]);
+  check "observation still recorded" (h.Metrics.count = 2);
+  check "mismatch counted"
+    (Metrics.counter_value m "obs.bounds_mismatch" = 1);
+  Metrics.set_debug true;
+  Fun.protect
+    ~finally:(fun () -> Metrics.set_debug false)
+    (fun () ->
+      check "debug mode raises on a mismatch"
+        (match Metrics.observe ~bounds:[ 3. ] m "lat" 1. with
+        | exception Invalid_argument _ -> true
+        | () -> false))
 
 let test_metrics_tick_sink () =
   let m = Metrics.create () in
@@ -193,7 +250,7 @@ let test_solver_trace_shape () =
   check "every tier reports its steps"
     (List.for_all (fun (s : Trace.span) -> List.mem_assoc "steps" s.Trace.attrs) tiers);
   (* The serialized trace passes the independent structural validator. *)
-  let doc = { Codec.query = Some "q3"; spans } in
+  let doc = { Codec.query = Some "q3"; dropped = 0; spans } in
   check "validator accepts a real trace" (Codec.validate_trace doc = Ok ())
 
 let test_solver_trace_under_chaos () =
@@ -245,8 +302,8 @@ let gen_span =
 let gen_trace =
   QCheck.Gen.(
     map
-      (fun (query, spans) -> { Codec.query; spans })
-      (tup2 (opt gen_name) (list_size (int_range 0 12) gen_span)))
+      (fun (query, dropped, spans) -> { Codec.query; dropped; spans })
+      (tup3 (opt gen_name) (int_range 0 8) (list_size (int_range 0 12) gen_span)))
 
 let trace_round_trip =
   QCheck.Test.make ~count:200 ~name:"Obs_codec trace round-trips"
@@ -297,14 +354,15 @@ let test_validator_rejects_malformed () =
     check msg (match Codec.validate_trace t with Error _ -> true | Ok () -> false)
   in
   bad "unknown parent"
-    { Codec.query = None; spans = [ span ~id:0 ~parent:7 "x" ] };
+    { Codec.query = None; dropped = 0; spans = [ span ~id:0 ~parent:7 "x" ] };
   bad "non-increasing ids"
-    { Codec.query = None; spans = [ span ~id:1 "a"; span ~id:1 "b" ] };
+    { Codec.query = None; dropped = 0; spans = [ span ~id:1 "a"; span ~id:1 "b" ] };
   bad "negative duration"
-    { Codec.query = None; spans = [ span ~duration_s:(-1.) "x" ] };
+    { Codec.query = None; dropped = 0; spans = [ span ~duration_s:(-1.) "x" ] };
   bad "child escapes its parent"
     {
       Codec.query = None;
+      dropped = 0;
       spans =
         [ span ~id:0 ~duration_s:1. "p"; span ~id:1 ~parent:0 ~start_s:0.5 ~duration_s:5. "c" ];
     };
@@ -312,6 +370,124 @@ let test_validator_rejects_malformed () =
     (match Codec.trace_of_string (Codec.metrics_to_string Metrics.empty_snapshot) with
     | Error _ -> true
     | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Journal *)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let with_temp_journal f =
+  let path = Filename.temp_file "cqa-test-journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; path ^ ".1" ])
+    (fun () -> f path)
+
+let test_journal_round_trip () =
+  with_temp_journal @@ fun path ->
+  let j =
+    Obs.Journal.create ~clock:(counter_clock ())
+      ~render:Codec.event_to_string path
+  in
+  Obs.Journal.log j "request.admitted"
+    [ ("op", Trace.String "certain"); ("tier", Trace.String "heavy") ];
+  Obs.Journal.log j "request.completed"
+    [ ("code", Trace.String "ok"); ("ms", Trace.Float 1.5); ("steps", Trace.Int 42) ];
+  check "unknown kinds are rejected at the choke point"
+    (match Obs.Journal.log j "request.madeup" [] with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  Obs.Journal.close j;
+  Obs.Journal.close j (* idempotent *);
+  let lines = read_lines path in
+  check "one line per event" (List.length lines = 2);
+  let events =
+    List.map
+      (fun line ->
+        match Codec.event_of_string line with
+        | Ok e -> e
+        | Error msg -> Alcotest.failf "journal line failed to decode: %s" msg)
+      lines
+  in
+  (match events with
+  | [ a; b ] ->
+      check "seq increases" (a.Obs.Journal.seq = 0 && b.Obs.Journal.seq = 1);
+      check "timestamps from the injected clock"
+        (b.Obs.Journal.t_s > a.Obs.Journal.t_s);
+      check "kinds preserved"
+        (a.Obs.Journal.kind = "request.admitted"
+        && b.Obs.Journal.kind = "request.completed");
+      check "fields round-trip"
+        (List.assoc_opt "steps" b.Obs.Journal.fields = Some (Trace.Int 42))
+  | _ -> Alcotest.fail "expected exactly two events");
+  check "decoder rejects an unknown kind"
+    (match
+       Codec.event_of_string
+         {|{"v": 1, "seq": 0, "t_s": 0, "kind": "request.madeup", "fields": {}}|}
+     with
+    | Error _ -> true
+    | Ok _ -> false);
+  check "decoder rejects a wrong version"
+    (match
+       Codec.event_of_string
+         {|{"v": 99, "seq": 0, "t_s": 0, "kind": "request.completed", "fields": {}}|}
+     with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_journal_rotation () =
+  with_temp_journal @@ fun path ->
+  let j =
+    Obs.Journal.create ~max_bytes:1024 ~render:Codec.event_to_string path
+  in
+  let pad = String.make 96 'x' in
+  for _ = 1 to 50 do
+    Obs.Journal.log j "request.completed"
+      [ ("op", Trace.String "certain"); ("pad", Trace.String pad) ]
+  done;
+  check "size cap forces rotation" (Obs.Journal.rotations j >= 1);
+  check "rotated segment exists" (Sys.file_exists (path ^ ".1"));
+  Obs.Journal.close j;
+  let decode_all file =
+    List.map
+      (fun line ->
+        match Codec.event_of_string line with
+        | Ok e -> e
+        | Error msg -> Alcotest.failf "%s: undecodable line: %s" file msg)
+      (read_lines file)
+  in
+  let events = decode_all (path ^ ".1") @ decode_all path in
+  check "live segment stays under the cap plus one event"
+    (let st = open_in path in
+     let len = in_channel_length st in
+     close_in st;
+     len <= 1024 + 256);
+  (* path.1 keeps only the most recent rotated segment, so the surviving
+     events are a suffix of the stream: seq must be strictly increasing
+     across the segment boundary, not contiguous from zero. *)
+  check "every segment decodes and seq survives rotation"
+    (match events with
+    | [] -> false
+    | e0 :: rest ->
+        fst
+          (List.fold_left
+             (fun (ok, prev) (e : Obs.Journal.event) ->
+               (ok && e.Obs.Journal.seq = prev + 1, e.Obs.Journal.seq))
+             (true, e0.Obs.Journal.seq) rest));
+  check "rotation is journaled"
+    (List.exists (fun e -> e.Obs.Journal.kind = "journal.rotated") events)
 
 (* ------------------------------------------------------------------ *)
 (* Overhead smoke check *)
@@ -341,12 +517,20 @@ let () =
           Alcotest.test_case "well-nested spans" `Quick test_trace_nesting;
           Alcotest.test_case "exception safety" `Quick test_trace_exception_safety;
           Alcotest.test_case "orphan attr dropped" `Quick test_trace_orphan_attr;
+          Alcotest.test_case "bounded span ring" `Quick test_trace_ring_capacity;
         ] );
       ( "metrics",
         [
           Alcotest.test_case "counters" `Quick test_metrics_counters;
           Alcotest.test_case "histograms" `Quick test_metrics_histograms;
+          Alcotest.test_case "quantile estimator" `Quick test_metrics_quantile;
+          Alcotest.test_case "bounds mismatch" `Quick test_metrics_bounds_mismatch;
           Alcotest.test_case "tick sink" `Quick test_metrics_tick_sink;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "round-trip" `Quick test_journal_round_trip;
+          Alcotest.test_case "rotation" `Quick test_journal_rotation;
         ] );
       ( "budget",
         [
