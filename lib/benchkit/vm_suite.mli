@@ -1,0 +1,28 @@
+(** The [vm-speedup] benchmark profile: the register-based evaluation VM
+    ({!Qlang.Vm}) against the checked {!Qlang.Pattern} plane on
+    matching-heavy workloads.
+
+    Each case compiles one seeded database to an execution plane (SoA view
+    forced) {e outside} every timed region, then times solution-graph
+    construction through both engines over the identical interned arrays —
+    their ratio is the per-case [vm_speedup], summarised as [geomean_vm] —
+    plus a budgeted end-to-end [Cert_k] pair ([certk-plane] /
+    [certk-vm], the latter ticking at site ["vm"]).
+
+    Every case also runs the full (untimed) equivalence oracle behind
+    [vm_equivalent]: structurally equal graphs, identical pair
+    enumerations, the {!Analysis.Verify_pattern} bytecode licence, equal
+    [Cert_k] verdicts, antichains and certificates, and equal seeded
+    Monte-Carlo estimates. A [false] on any case makes
+    [summary.vm_equivalence] false, which fails [cqa bench] (and the
+    [@bench-smoke] alias) with a nonzero exit — the speedup number is only
+    reportable when the engines agree byte-for-byte. *)
+
+type profile = Smoke | Default
+
+val profile_name : profile -> string
+val profile_of_string : string -> profile option
+
+(** [run ~profile ~seed ~budget_s ()] runs the suite; write the result with
+    {!Report.write} (conventionally to [BENCH_vm.json]). *)
+val run : profile:profile -> seed:int -> budget_s:float -> unit -> Report.t

@@ -79,6 +79,22 @@ val certain_plane :
   Relational.Compiled.t ->
   bool
 
+(** [certain_plane_vm ?budget ~k q plane] is {!certain_plane} with the
+    wake/match inner loop — the solution enumeration feeding the fixpoint —
+    executed as a compiled [Qlang.Vm] scan program over the
+    structure-of-arrays view. [budget] is ticked once per outer candidate
+    row at site ["vm"] ([Harness.Sites.vm]) during the scan, then as usual
+    at ["certk"] during the fixpoint. Verdicts are identical to
+    {!certain_plane} (the [@vm-smoke] differential suite pins this).
+    @raise Invalid_argument if the assembled program fails the VM's
+    internal memory-safety check. *)
+val certain_plane_vm :
+  ?budget:Harness.Budget.t ->
+  k:int ->
+  Qlang.Query.t ->
+  Relational.Compiled.t ->
+  bool
+
 (** {2 Incremental resumption}
 
     A {!snapshot} captures the fixpoint state of one run so that, after a

@@ -36,6 +36,12 @@
       ([Serve.Daemon] ticks once per accepted frame before routing it), so
       chaos schedules can fault the service loop itself, not just the
       solvers it drives.
+    - {!vm} — the register-based evaluation VM ([Qlang.Vm]): one tick per
+      outer candidate row of a compiled scan program, the same cadence as
+      the checked [Qlang.Pattern.iter_pairs] loop it replaces under
+      [--engine vm]. A separate site from {!compile} so budgets and chaos
+      schedules can target (or spare) the unsafe-indexed hot loop
+      specifically.
 
     The empty string is the default label of a {!Budget.tick} call that
     does not name a site; no loop in this repository uses it, and the
@@ -52,6 +58,7 @@ val brute : string
 val exact : string
 val montecarlo : string
 val serve : string
+val vm : string
 
 (** All canonical site names, in request order (the serve admission point
     first, then the shared compilation, then PTIME loops, then SAT, then

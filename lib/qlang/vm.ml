@@ -1,0 +1,620 @@
+module Compiled = Relational.Compiled
+module Schema = Relational.Schema
+
+(* ------------------------------------------------------------------ *)
+(* Instruction set                                                     *)
+
+(* Flat bytecode, stride 4: [| op; x; y; z |] per instruction. Operands are
+   plain ints; jump targets are instruction indices (not word offsets). Two
+   scan shapes exist: a pair scan (nested loops over two relation ranges,
+   emitting solution pairs) and a block scan (loop over the block partition,
+   emitting every block all of whose members match a single atom). Cursors
+   [ia]/[jb]/[bk] are interpreter locals, not registers: the register file
+   holds only variable bindings (interned value ids). *)
+
+let op_halt = 0
+let op_init_a = 1 (* x=lo            ia := lo - 1 *)
+let op_next_a = 2 (* x=hi y=tick z=e ia++; if ia >= hi jump e (else tick) *)
+let op_init_b = 3 (* x=lo            jb := lo - 1 *)
+let op_next_b = 4 (* x=hi z=e        jb++; if jb >= hi jump e *)
+let op_const_a = 5 (* x=col y=id z=f  if cols[col][ia] <> id jump f *)
+let op_const_b = 6 (* x=col y=id z=f  if cols[col][jb] <> id jump f *)
+let op_bind_a = 7 (* x=col y=reg     regs[reg] := cols[col][ia] *)
+let op_bind_b = 8 (* x=col y=reg     regs[reg] := cols[col][jb] *)
+let op_check_a = 9 (* x=col y=reg z=f if cols[col][ia] <> regs[reg] jump f *)
+let op_check_b = 10 (* x=col y=reg z=f if cols[col][jb] <> regs[reg] jump f *)
+let op_emit = 11 (* z=next          emit (ia, jb); jump next *)
+let op_blk_next = 12 (* x=n z=e     bk++; if bk >= n jump e; ia := lo[bk]-1 *)
+let op_mem_next = 13 (* y=tick z=m  ia++; if ia >= hi[bk] jump m (else tick) *)
+let op_emit_blk = 14 (* z=next      emit (bk, -1); jump next *)
+let op_rel_a = 15 (* x=rel z=f      if rel_of[ia] <> rel jump f *)
+let op_jmp = 16 (* z=target *)
+
+type kind = Pair_scan | Block_scan
+
+type t = {
+  code : int array;
+  n_regs : int;
+  kind : kind;
+  trusted : bool;
+      (* built by an assembler in this module (canonical loop shape, hence
+         terminating); [Unsafe.with_code] clears it and [exec] then runs
+         under a fuel bound so a corrupted jump graph cannot spin forever *)
+  mutable sane_for : Compiled.t option;
+      (* plane the last [sanity] pass accepted this program against *)
+}
+
+let kind p = p.kind
+let n_regs p = p.n_regs
+let n_instrs p = Array.length p.code / 4
+
+(* ------------------------------------------------------------------ *)
+(* Decoded view (for the static analyzer and the disassembler)         *)
+
+type instr =
+  | Halt
+  | Init_a of { lo : int }
+  | Next_a of { hi : int; tick : bool; exit : int }
+  | Init_b of { lo : int }
+  | Next_b of { hi : int; exit : int }
+  | Const_a of { col : int; id : int; fail : int }
+  | Const_b of { col : int; id : int; fail : int }
+  | Bind_a of { col : int; reg : int }
+  | Bind_b of { col : int; reg : int }
+  | Check_a of { col : int; reg : int; fail : int }
+  | Check_b of { col : int; reg : int; fail : int }
+  | Emit of { next : int }
+  | Blk_next of { count : int; exit : int }
+  | Mem_next of { tick : bool; matched : int }
+  | Emit_blk of { next : int }
+  | Rel_a of { rel : int; fail : int }
+  | Jmp of { target : int }
+  | Unknown of int
+
+let decode p =
+  let code = p.code in
+  if Array.length code = 0 || Array.length code mod 4 <> 0 then
+    invalid_arg "Vm.decode: code length must be a nonzero multiple of 4";
+  Array.init (n_instrs p) (fun pc ->
+      let b = pc * 4 in
+      let x = code.(b + 1) and y = code.(b + 2) and z = code.(b + 3) in
+      match code.(b) with
+      | 0 -> Halt
+      | 1 -> Init_a { lo = x }
+      | 2 -> Next_a { hi = x; tick = y <> 0; exit = z }
+      | 3 -> Init_b { lo = x }
+      | 4 -> Next_b { hi = x; exit = z }
+      | 5 -> Const_a { col = x; id = y; fail = z }
+      | 6 -> Const_b { col = x; id = y; fail = z }
+      | 7 -> Bind_a { col = x; reg = y }
+      | 8 -> Bind_b { col = x; reg = y }
+      | 9 -> Check_a { col = x; reg = y; fail = z }
+      | 10 -> Check_b { col = x; reg = y; fail = z }
+      | 11 -> Emit { next = z }
+      | 12 -> Blk_next { count = x; exit = z }
+      | 13 -> Mem_next { tick = y <> 0; matched = z }
+      | 14 -> Emit_blk { next = z }
+      | 15 -> Rel_a { rel = x; fail = z }
+      | 16 -> Jmp { target = z }
+      | op -> Unknown op)
+
+let pp_kind ppf = function
+  | Pair_scan -> Format.pp_print_string ppf "pair-scan"
+  | Block_scan -> Format.pp_print_string ppf "block-scan"
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>vm %a: %d instructions, %d registers@," pp_kind
+    p.kind (n_instrs p) p.n_regs;
+  Array.iteri
+    (fun pc i ->
+      Format.fprintf ppf "%4d  " pc;
+      (match i with
+      | Halt -> Format.fprintf ppf "halt"
+      | Init_a { lo } -> Format.fprintf ppf "init.a    lo=%d" lo
+      | Next_a { hi; tick; exit } ->
+          Format.fprintf ppf "next.a    hi=%d exit=%d%s" hi exit
+            (if tick then " tick" else "")
+      | Init_b { lo } -> Format.fprintf ppf "init.b    lo=%d" lo
+      | Next_b { hi; exit } ->
+          Format.fprintf ppf "next.b    hi=%d exit=%d" hi exit
+      | Const_a { col; id; fail } ->
+          Format.fprintf ppf "const.a   col=%d id=%d fail=%d" col id fail
+      | Const_b { col; id; fail } ->
+          Format.fprintf ppf "const.b   col=%d id=%d fail=%d" col id fail
+      | Bind_a { col; reg } ->
+          Format.fprintf ppf "bind.a    col=%d reg=%d" col reg
+      | Bind_b { col; reg } ->
+          Format.fprintf ppf "bind.b    col=%d reg=%d" col reg
+      | Check_a { col; reg; fail } ->
+          Format.fprintf ppf "check.a   col=%d reg=%d fail=%d" col reg fail
+      | Check_b { col; reg; fail } ->
+          Format.fprintf ppf "check.b   col=%d reg=%d fail=%d" col reg fail
+      | Emit { next } -> Format.fprintf ppf "emit      next=%d" next
+      | Blk_next { count; exit } ->
+          Format.fprintf ppf "blk.next  n=%d exit=%d" count exit
+      | Mem_next { tick; matched } ->
+          Format.fprintf ppf "mem.next  matched=%d%s" matched
+            (if tick then " tick" else "")
+      | Emit_blk { next } -> Format.fprintf ppf "emit.blk  next=%d" next
+      | Rel_a { rel; fail } ->
+          Format.fprintf ppf "rel.a     rel=%d fail=%d" rel fail
+      | Jmp { target } -> Format.fprintf ppf "jmp       to=%d" target
+      | Unknown op -> Format.fprintf ppf "unknown   op=%d" op);
+      Format.fprintf ppf "@,")
+    (decode p);
+  Format.fprintf ppf "@]"
+
+let disassemble p = Format.asprintf "%a" pp p
+
+(* ------------------------------------------------------------------ *)
+(* Assembly                                                            *)
+
+let halt_program kind n_regs =
+  {
+    code = [| op_halt; 0; 0; 0 |];
+    n_regs = max 0 n_regs;
+    kind;
+    trusted = true;
+    sane_for = None;
+  }
+
+let set code pc op x y z =
+  let b = pc * 4 in
+  code.(b) <- op;
+  code.(b + 1) <- x;
+  code.(b + 2) <- y;
+  code.(b + 3) <- z
+
+(* A program is assemblable iff the pattern is satisfiable at all and the
+   slot count equals the relation's arity (so every column read lands inside
+   the scanned relation's cells); otherwise the canonical empty scan (a lone
+   HALT) preserves the matcher's "emits nothing" semantics. *)
+let arity_ok plane (p : Pattern.program) =
+  p.Pattern.ok
+  && p.Pattern.rel >= 0
+  && p.Pattern.rel < Compiled.n_relations plane
+  && Array.length p.Pattern.ops
+     = plane.Compiled.schemas.(p.Pattern.rel).Schema.arity
+
+let assemble_pair_programs plane (pa : Pattern.program) (pb : Pattern.program)
+    n_vars =
+  if not (arity_ok plane pa && arity_ok plane pb) then
+    halt_program Pair_scan n_vars
+  else begin
+    let alo, ahi = plane.Compiled.rel_range.(pa.Pattern.rel) in
+    let blo, bhi = plane.Compiled.rel_range.(pb.Pattern.rel) in
+    let n_a = Array.length pa.Pattern.ops in
+    let n_b = Array.length pb.Pattern.ops in
+    let pc_next_a = 1 in
+    let pc_next_b = 3 + n_a in
+    let pc_emit = 4 + n_a + n_b in
+    let pc_halt = 5 + n_a + n_b in
+    let code = Array.make ((pc_halt + 1) * 4) 0 in
+    set code 0 op_init_a alo 0 0;
+    set code pc_next_a op_next_a ahi 1 pc_halt;
+    Array.iteri
+      (fun c op ->
+        let pc = 2 + c in
+        match (op : Pattern.op) with
+        | Pattern.Const id -> set code pc op_const_a c id pc_next_a
+        | Pattern.Bind x -> set code pc op_bind_a c x 0
+        | Pattern.Check x -> set code pc op_check_a c x pc_next_a)
+      pa.Pattern.ops;
+    set code (2 + n_a) op_init_b blo 0 0;
+    set code pc_next_b op_next_b bhi 0 pc_next_a;
+    Array.iteri
+      (fun c op ->
+        let pc = 4 + n_a + c in
+        match (op : Pattern.op) with
+        | Pattern.Const id -> set code pc op_const_b c id pc_next_b
+        | Pattern.Bind x -> set code pc op_bind_b c x 0
+        | Pattern.Check x -> set code pc op_check_b c x pc_next_b)
+      pb.Pattern.ops;
+    set code pc_emit op_emit 0 0 pc_next_b;
+    set code pc_halt op_halt 0 0 0;
+    { code; n_regs = n_vars; kind = Pair_scan; trusted = true; sane_for = None }
+  end
+
+let assemble_atoms plane a b =
+  let pa, pb, n_vars = Pattern.pair_programs (Pattern.pair plane a b) in
+  assemble_pair_programs plane pa pb n_vars
+
+let assemble_query plane (q : Query.t) =
+  assemble_atoms plane q.Query.a q.Query.b
+
+let assemble_single_program plane (p : Pattern.program) n_vars =
+  if not (arity_ok plane p) then halt_program Block_scan n_vars
+  else begin
+    let n = Array.length p.Pattern.ops in
+    let nblk = Compiled.n_blocks plane in
+    let pc_mem_next = 1 in
+    let pc_jmp = 3 + n in
+    let pc_emit_blk = 4 + n in
+    let pc_halt = 5 + n in
+    let code = Array.make ((pc_halt + 1) * 4) 0 in
+    set code 0 op_blk_next nblk 0 pc_halt;
+    set code pc_mem_next op_mem_next 0 1 pc_emit_blk;
+    set code 2 op_rel_a p.Pattern.rel 0 0;
+    Array.iteri
+      (fun c op ->
+        let pc = 3 + c in
+        match (op : Pattern.op) with
+        | Pattern.Const id -> set code pc op_const_a c id 0
+        | Pattern.Bind x -> set code pc op_bind_a c x 0
+        | Pattern.Check x -> set code pc op_check_a c x 0)
+      p.Pattern.ops;
+    set code pc_jmp op_jmp 0 0 pc_mem_next;
+    set code pc_emit_blk op_emit_blk 0 0 0;
+    set code pc_halt op_halt 0 0 0;
+    {
+      code;
+      n_regs = n_vars;
+      kind = Block_scan;
+      trusted = true;
+      sane_for = None;
+    }
+  end
+
+let assemble_single plane a =
+  let p, n_vars = Pattern.single_program (Pattern.single plane a) in
+  assemble_single_program plane p n_vars
+
+(* ------------------------------------------------------------------ *)
+(* Structural sanity: the in-module memory-safety licence               *)
+
+(* [sanity] is the internal gate in front of every [exec]: a decoded-operand
+   bounds check plus a cursor-validity dataflow, together strong enough that
+   every [Array.unsafe_get] in the interpreter is provably in bounds. It is
+   deliberately independent of (and weaker than) the semantic licence in
+   [Analysis.Verify_pattern.verify_vm] — that one additionally proves
+   read-before-bind freedom and interned constants, and is what engine
+   selection consults; this one is the last line of defense that runs even
+   when the analysis layer is not in the picture, so a corrupted program can
+   never execute unsafely no matter how it reaches the interpreter.
+
+   The dataflow tracks, per instruction and path-insensitively (meet = must
+   hold on every incoming edge), whether each cursor currently holds a valid
+   index: [ia]/[jb] a fact index in [0, n), [bk] a block index in
+   [0, n_blocks). Loop headers are the only instructions that validate a
+   cursor (their fallthrough edge passed the bounds guard) and INIT/exit
+   edges invalidate it; any column, relation or extent read whose cursor is
+   not valid on some path is rejected. Operand checks pin every other index:
+   INIT/NEXT extents within [0, n] (so cursors never go below -1), BLKNEXT's
+   count equals the plane's block count, columns within the SoA width,
+   registers within the file. *)
+
+let bit_a = 1
+let bit_b = 2
+let bit_k = 4
+
+let sanity plane p =
+  let soa = Compiled.soa plane in
+  let n = soa.Compiled.soa_n in
+  let width = soa.Compiled.soa_width in
+  let nblk = Compiled.n_blocks plane in
+  let code = p.code in
+  let err fmt = Format.kasprintf (fun m -> Error m) fmt in
+  if Array.length code = 0 || Array.length code mod 4 <> 0 then
+    err "code length %d is not a nonzero multiple of 4" (Array.length code)
+  else if p.n_regs < 0 then err "negative register count %d" p.n_regs
+  else begin
+    let ni = Array.length code / 4 in
+    let instrs = decode p in
+    (* pass 1: operands *)
+    let operand_error = ref None in
+    let bad pc fmt =
+      Format.kasprintf
+        (fun m ->
+          if !operand_error = None then
+            operand_error := Some (Printf.sprintf "instr %d: %s" pc m))
+        fmt
+    in
+    let target pc t what =
+      if t < 0 || t >= ni then bad pc "%s target %d out of [0, %d)" what t ni
+    in
+    let extent pc v what =
+      if v < 0 || v > n then bad pc "%s extent %d out of [0, %d]" what v n
+    in
+    let col pc c =
+      if c < 0 || c >= width then bad pc "column %d out of [0, %d)" c width
+    in
+    let reg pc r =
+      if r < 0 || r >= p.n_regs then
+        bad pc "register %d out of [0, %d)" r p.n_regs
+    in
+    Array.iteri
+      (fun pc i ->
+        match i with
+        | Halt -> ()
+        | Init_a { lo } | Init_b { lo } -> extent pc lo "init"
+        | Next_a { hi; exit; _ } ->
+            extent pc hi "next.a";
+            target pc exit "exit"
+        | Next_b { hi; exit } ->
+            extent pc hi "next.b";
+            target pc exit "exit"
+        | Const_a { col = c; fail; _ } | Const_b { col = c; fail; _ } ->
+            col pc c;
+            target pc fail "fail"
+        | Bind_a { col = c; reg = r } | Bind_b { col = c; reg = r } ->
+            col pc c;
+            reg pc r
+        | Check_a { col = c; reg = r; fail } | Check_b { col = c; reg = r; fail }
+          ->
+            col pc c;
+            reg pc r;
+            target pc fail "fail"
+        | Emit { next } -> target pc next "emit"
+        | Blk_next { count; exit } ->
+            if count <> nblk then
+              bad pc "block count %d does not match the plane's %d" count nblk;
+            if count > 0 && not soa.Compiled.soa_block_safe then
+              bad pc "plane block extents are not scan-safe";
+            target pc exit "exit"
+        | Mem_next { matched; _ } -> target pc matched "matched"
+        | Emit_blk { next } -> target pc next "emit.blk"
+        | Rel_a { fail; _ } -> target pc fail "fail"
+        | Jmp { target = t } -> target pc t "jmp"
+        | Unknown op -> bad pc "unknown opcode %d" op)
+      instrs;
+    (* the last instruction must not fall through off the code end *)
+    (match instrs.(ni - 1) with
+    | Halt | Emit _ | Emit_blk _ | Jmp _ -> ()
+    | _ -> bad (ni - 1) "fallthrough off the end of the code");
+    match !operand_error with
+    | Some m -> Error m
+    | None ->
+        (* pass 2: cursor-validity dataflow to a fixpoint *)
+        let state = Array.make ni (-1) in
+        state.(0) <- 0;
+        let queue = Queue.create () in
+        Queue.add 0 queue;
+        let flow_error = ref None in
+        let join pc s =
+          let s' = if state.(pc) < 0 then s else state.(pc) land s in
+          if s' <> state.(pc) then begin
+            state.(pc) <- s';
+            Queue.add pc queue
+          end
+        in
+        let need pc s bit what =
+          if s land bit = 0 && !flow_error = None then
+            flow_error :=
+              Some
+                (Printf.sprintf "instr %d: cursor %s may be invalid" pc what)
+        in
+        while not (Queue.is_empty queue) && !flow_error = None do
+          let pc = Queue.pop queue in
+          let s = state.(pc) in
+          match instrs.(pc) with
+          | Halt -> ()
+          | Init_a _ -> join (pc + 1) (s land lnot bit_a)
+          | Init_b _ -> join (pc + 1) (s land lnot bit_b)
+          | Next_a { exit; _ } ->
+              join exit (s land lnot bit_a);
+              if pc + 1 < ni then join (pc + 1) (s lor bit_a)
+          | Next_b { exit; _ } ->
+              join exit (s land lnot bit_b);
+              if pc + 1 < ni then join (pc + 1) (s lor bit_b)
+          | Const_a { fail; _ } | Rel_a { fail; _ } ->
+              need pc s bit_a "a";
+              join fail s;
+              if pc + 1 < ni then join (pc + 1) s
+          | Check_a { fail; _ } ->
+              need pc s bit_a "a";
+              join fail s;
+              if pc + 1 < ni then join (pc + 1) s
+          | Bind_a _ ->
+              need pc s bit_a "a";
+              if pc + 1 < ni then join (pc + 1) s
+          | Const_b { fail; _ } | Check_b { fail; _ } ->
+              need pc s bit_b "b";
+              join fail s;
+              if pc + 1 < ni then join (pc + 1) s
+          | Bind_b _ ->
+              need pc s bit_b "b";
+              if pc + 1 < ni then join (pc + 1) s
+          | Emit { next } ->
+              need pc s bit_a "a";
+              need pc s bit_b "b";
+              join next s
+          | Blk_next { exit; _ } ->
+              join exit (s land lnot bit_k);
+              if pc + 1 < ni then
+                join (pc + 1) ((s lor bit_k) land lnot bit_a)
+          | Mem_next { matched; _ } ->
+              need pc s bit_k "block";
+              join matched (s land lnot bit_a);
+              if pc + 1 < ni then join (pc + 1) (s lor bit_a)
+          | Emit_blk { next } ->
+              need pc s bit_k "block";
+              join next s
+          | Jmp { target } -> join target s
+          | Unknown _ -> ()
+        done;
+        (match !flow_error with Some m -> Error m | None -> Ok ())
+  end
+
+let ensure_sane plane p =
+  match p.sane_for with
+  | Some pl when pl == plane -> ()
+  | _ -> (
+      match sanity plane p with
+      | Ok () -> p.sane_for <- Some plane
+      | Error m -> invalid_arg ("Vm: rejected bytecode: " ^ m))
+
+(* ------------------------------------------------------------------ *)
+(* The interpreter                                                     *)
+
+exception Done
+
+(* One flat loop, int-dispatched (the match compiles to a jump table). All
+   array reads are [Array.unsafe_get], licensed by [ensure_sane] above: no
+   closures in the per-tuple path except the [emit]/[tick] callbacks the
+   caller provided, no allocation at all between emissions. *)
+let exec ?tick plane p ~emit =
+  ensure_sane plane p;
+  let soa = Compiled.soa plane in
+  let cols = soa.Compiled.soa_cols in
+  let block_lo = soa.Compiled.soa_block_lo in
+  let block_hi = soa.Compiled.soa_block_hi in
+  let rel_of = plane.Compiled.rel_of in
+  let tick = match tick with Some f -> f | None -> ignore in
+  let code = p.code in
+  let regs = Array.make (max 1 p.n_regs) (-1) in
+  (* Untrusted code (built via [Unsafe]) passed the memory-safety dataflow
+     but not necessarily a termination argument, so it runs on fuel: an
+     upper bound generous enough for any honest scan of this plane. *)
+  let fueled = not p.trusted in
+  let fuel = ref 0 in
+  if fueled then begin
+    let n = soa.Compiled.soa_n + 2 in
+    let ni = Array.length code / 4 in
+    fuel := (n * n * (ni + 2)) + 1024
+  end;
+  let ia = ref 0 and jb = ref 0 and bk = ref (-1) in
+  let pc = ref 0 in
+  try
+    while true do
+      if fueled then begin
+        decr fuel;
+        if !fuel < 0 then
+          invalid_arg "Vm: fuel exhausted (untrusted bytecode)"
+      end;
+      let base = !pc lsl 2 in
+      let op = Array.unsafe_get code base in
+      match op with
+      | 0 (* HALT *) -> raise_notrace Done
+      | 1 (* INITA *) ->
+          ia := Array.unsafe_get code (base + 1) - 1;
+          incr pc
+      | 2 (* NEXTA *) ->
+          let i = !ia + 1 in
+          ia := i;
+          if i >= Array.unsafe_get code (base + 1) then
+            pc := Array.unsafe_get code (base + 3)
+          else begin
+            if Array.unsafe_get code (base + 2) <> 0 then tick ();
+            incr pc
+          end
+      | 3 (* INITB *) ->
+          jb := Array.unsafe_get code (base + 1) - 1;
+          incr pc
+      | 4 (* NEXTB *) ->
+          let j = !jb + 1 in
+          jb := j;
+          if j >= Array.unsafe_get code (base + 1) then
+            pc := Array.unsafe_get code (base + 3)
+          else incr pc
+      | 5 (* CONSTA *) ->
+          if
+            Array.unsafe_get
+              (Array.unsafe_get cols (Array.unsafe_get code (base + 1)))
+              !ia
+            = Array.unsafe_get code (base + 2)
+          then incr pc
+          else pc := Array.unsafe_get code (base + 3)
+      | 6 (* CONSTB *) ->
+          if
+            Array.unsafe_get
+              (Array.unsafe_get cols (Array.unsafe_get code (base + 1)))
+              !jb
+            = Array.unsafe_get code (base + 2)
+          then incr pc
+          else pc := Array.unsafe_get code (base + 3)
+      | 7 (* BINDA *) ->
+          Array.unsafe_set regs
+            (Array.unsafe_get code (base + 2))
+            (Array.unsafe_get
+               (Array.unsafe_get cols (Array.unsafe_get code (base + 1)))
+               !ia);
+          incr pc
+      | 8 (* BINDB *) ->
+          Array.unsafe_set regs
+            (Array.unsafe_get code (base + 2))
+            (Array.unsafe_get
+               (Array.unsafe_get cols (Array.unsafe_get code (base + 1)))
+               !jb);
+          incr pc
+      | 9 (* CHECKA *) ->
+          if
+            Array.unsafe_get
+              (Array.unsafe_get cols (Array.unsafe_get code (base + 1)))
+              !ia
+            = Array.unsafe_get regs (Array.unsafe_get code (base + 2))
+          then incr pc
+          else pc := Array.unsafe_get code (base + 3)
+      | 10 (* CHECKB *) ->
+          if
+            Array.unsafe_get
+              (Array.unsafe_get cols (Array.unsafe_get code (base + 1)))
+              !jb
+            = Array.unsafe_get regs (Array.unsafe_get code (base + 2))
+          then incr pc
+          else pc := Array.unsafe_get code (base + 3)
+      | 11 (* EMIT *) ->
+          emit !ia !jb;
+          pc := Array.unsafe_get code (base + 3)
+      | 12 (* BLKNEXT *) ->
+          let b = !bk + 1 in
+          bk := b;
+          if b >= Array.unsafe_get code (base + 1) then
+            pc := Array.unsafe_get code (base + 3)
+          else begin
+            ia := Array.unsafe_get block_lo b - 1;
+            incr pc
+          end
+      | 13 (* MNEXT *) ->
+          let i = !ia + 1 in
+          ia := i;
+          if i >= Array.unsafe_get block_hi !bk then
+            pc := Array.unsafe_get code (base + 3)
+          else begin
+            if Array.unsafe_get code (base + 2) <> 0 then tick ();
+            incr pc
+          end
+      | 14 (* EMITBLK *) ->
+          emit !bk (-1);
+          pc := Array.unsafe_get code (base + 3)
+      | 15 (* RELA *) ->
+          if Array.unsafe_get rel_of !ia = Array.unsafe_get code (base + 1)
+          then incr pc
+          else pc := Array.unsafe_get code (base + 3)
+      | 16 (* JMP *) -> pc := Array.unsafe_get code (base + 3)
+      | _ ->
+          (* unreachable: [ensure_sane] rejected unknown opcodes *)
+          invalid_arg "Vm: unknown opcode"
+    done
+  with Done -> ()
+
+let iter_pairs ?tick plane p f =
+  (match p.kind with
+  | Pair_scan -> ()
+  | Block_scan -> invalid_arg "Vm.iter_pairs: block-scan program");
+  exec ?tick plane p ~emit:f
+
+let iter_matching_blocks ?tick plane p f =
+  (match p.kind with
+  | Block_scan -> ()
+  | Pair_scan -> invalid_arg "Vm.iter_matching_blocks: pair-scan program");
+  exec ?tick plane p ~emit:(fun b _ -> f b)
+
+exception Found
+
+let exists_matching_block ?tick plane p =
+  try
+    iter_matching_blocks ?tick plane p (fun _ -> raise_notrace Found);
+    false
+  with Found -> true
+
+module Unsafe = struct
+  let with_code p code =
+    { p with code = Array.copy code; trusted = false; sane_for = None }
+
+  let patch p ~pc ~field ~v =
+    if pc < 0 || pc >= n_instrs p then invalid_arg "Vm.Unsafe.patch: pc";
+    if field < 0 || field > 3 then invalid_arg "Vm.Unsafe.patch: field";
+    let code = Array.copy p.code in
+    code.((pc * 4) + field) <- v;
+    { p with code; trusted = false; sane_for = None }
+end

@@ -210,3 +210,51 @@ same stable code a serve client would see, spoken on stderr:
   $ printf 'R(1 | 2)\nR(1 2 | 3)\n' | cqa certain "R(x | y) R(y | x)" -
   error [bad-db]: Database: fact R(1 2 3) has wrong arity for schema R[2,1]
   [2]
+
+The evaluation VM: --engine vm routes the PTIME tier's scans through the
+register-based bytecode engine (verdicts are identical to the checked
+plane — the @vm-smoke differential suite pins this); anything else is a
+usage error:
+
+  $ printf 'R(1 | 2)\nR(2 | 3)\nR(2 | 4)\n' > vm.db
+  $ cqa certain --engine vm "R(x | y) R(y | z)" vm.db
+  CERTAIN: true (via Cert_2)
+  $ cqa certain --engine turbo "R(x | y) R(y | z)" vm.db
+  error: unknown engine "turbo" (use plane or vm)
+  [2]
+
+analyze --dump-vm prints the assembled program's stable disassembly plus
+the PL114+ bytecode licence verdict — the human-readable face of exactly
+what --engine vm would execute (or refuse):
+
+  $ cqa analyze --dump-vm --db vm.db "R(x | y) R(y | z)"
+  vm pair-scan: 10 instructions, 3 registers
+     0  init.a    lo=0
+     1  next.a    hi=3 exit=9 tick
+     2  bind.a    col=0 reg=0
+     3  bind.a    col=1 reg=1
+     4  init.b    lo=0
+     5  next.b    hi=3 exit=1
+     6  check.b   col=0 reg=1 fail=5
+     7  bind.b    col=1 reg=2
+     8  emit      next=5
+     9  halt
+  vm verify: ok
+
+  $ cqa analyze --dump-vm --file vm.db
+  error: --dump-vm requires a single query argument
+  [2]
+
+The bench profile registry, one line per profile (the unknown-profile
+error points here too):
+
+  $ cqa bench --list-profiles
+  smoke                tiny CI-friendly Cert_k suite (writes BENCH_certk.json)
+  default              full Cert_k suite: delta-driven vs round-driven fixpoint
+  serve-throughput     drive the serve daemon in-process; requests/sec by tier
+  delta-update         incremental plane maintenance vs full recompile
+  delta-smoke          tiny delta-update variant for CI
+  obs-overhead         metrics/journal cost vs a no-obs control (5% bar)
+  obs-overhead-smoke   tiny obs-overhead variant for CI
+  vm-speedup           evaluation VM vs checked plane, with equivalence gate
+  vm-smoke             tiny vm-speedup variant for CI

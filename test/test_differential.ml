@@ -303,6 +303,8 @@ let test_bench_report_round_trip () =
             delta_speedup = Some 80.0;
             delta_equivalent = Some true;
             obs_overhead_pct = Some 1.25;
+            vm_speedup = Some 2.125;
+            vm_equivalent = Some true;
           };
         ];
       agreement = true;
@@ -314,6 +316,8 @@ let test_bench_report_round_trip () =
       obs_overhead_pct = Some 1.25;
       obs_bar_pct = Some 5.0;
       obs_within_bar = Some true;
+      vm_equivalence = Some true;
+      geomean_vm = Some 2.125;
     }
   in
   match Benchkit.Report.validate_round_trip report with
